@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmarks: consistent
+ * row formatting and the ratio arithmetic the paper reports.
+ */
+
+#ifndef QUETZAL_BENCH_BENCH_UTIL_HPP
+#define QUETZAL_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.hpp"
+
+namespace quetzal {
+namespace bench {
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Header for the standard discard/report table. */
+inline void
+discardHeader()
+{
+    std::printf("%-12s %10s %8s %8s %8s %8s %8s %6s\n", "system",
+                "disc-total%", "ibo%", "fn%", "txI-HQ", "txI-LQ",
+                "txU", "HQ%");
+}
+
+/** One row of the standard discard/report table. */
+inline void
+discardRow(const std::string &label, const sim::Metrics &m)
+{
+    std::printf("%-12s %10.2f %8.2f %8.2f %8llu %8llu %8llu %6.1f\n",
+                label.c_str(), m.interestingDiscardedPct(),
+                m.iboDiscardedPct(), m.fnDiscardedPct(),
+                static_cast<unsigned long long>(m.txInterestingHq),
+                static_cast<unsigned long long>(m.txInterestingLq),
+                static_cast<unsigned long long>(m.txUninterestingHq +
+                                                m.txUninterestingLq),
+                100.0 * m.highQualityShare());
+}
+
+/** "A discards Nx fewer than B" ratio with zero protection. */
+inline double
+discardRatio(const sim::Metrics &baseline, const sim::Metrics &quetzal)
+{
+    const double b =
+        static_cast<double>(baseline.interestingDiscardedTotal());
+    const double q = static_cast<double>(
+        std::max<std::uint64_t>(quetzal.interestingDiscardedTotal(), 1));
+    return b / q;
+}
+
+/** IBO-only discard ratio. */
+inline double
+iboRatio(const sim::Metrics &baseline, const sim::Metrics &quetzal)
+{
+    const double b = static_cast<double>(
+        baseline.iboDropsInteresting + baseline.unprocessedInteresting);
+    const double q = static_cast<double>(std::max<std::uint64_t>(
+        quetzal.iboDropsInteresting + quetzal.unprocessedInteresting,
+        1));
+    return b / q;
+}
+
+/** Run one configuration (convenience wrapper). */
+inline sim::Metrics
+runKind(sim::ControllerKind kind, trace::EnvironmentPreset env,
+        std::size_t events = 1000, std::uint64_t seed = 42)
+{
+    sim::ExperimentConfig cfg;
+    cfg.environment = env;
+    cfg.eventCount = events;
+    cfg.controller = kind;
+    cfg.seed = seed;
+    return sim::runExperiment(cfg);
+}
+
+} // namespace bench
+} // namespace quetzal
+
+#endif // QUETZAL_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 12: scheduling-policy sensitivity. All systems carry
+ * Quetzal's IBO engine; only the scheduler/estimator is swapped:
+ * Energy-aware SJF (the paper's Alg. 1), FCFS, LCFS and the
+ * power-blind Avg. S_e2e estimator.
+ *
+ * Paper results: EA-SJF discards 1.8x/2.3x/3x fewer than FCFS,
+ * 1.5x/2x/2.7x fewer than LCFS, and 2.2x/3.1x/4.2x fewer than
+ * Avg. S_e2e.
+ */
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace quetzal;
+    using sim::ControllerKind;
+
+    bench::banner("Figure 12: scheduling policies with the IBO engine "
+                  "(1000 events, Apollo 4)");
+
+    for (const auto env : {trace::EnvironmentPreset::MoreCrowded,
+                           trace::EnvironmentPreset::Crowded,
+                           trace::EnvironmentPreset::LessCrowded}) {
+        std::printf("\n-- environment: %s --\n",
+                    trace::environmentName(env).c_str());
+        bench::discardHeader();
+        const sim::Metrics sjf =
+            bench::runKind(ControllerKind::Quetzal, env);
+        const sim::Metrics fcfs =
+            bench::runKind(ControllerKind::QuetzalFcfs, env);
+        const sim::Metrics lcfs =
+            bench::runKind(ControllerKind::QuetzalLcfs, env);
+        const sim::Metrics avg =
+            bench::runKind(ControllerKind::QuetzalAvgSe2e, env);
+        bench::discardRow("EA-SJF", sjf);
+        bench::discardRow("FCFS", fcfs);
+        bench::discardRow("LCFS", lcfs);
+        bench::discardRow("Avg-Se2e", avg);
+
+        std::printf("EA-SJF vs FCFS: %.1fx (paper: 1.8-3x), vs LCFS: "
+                    "%.1fx (paper: 1.5-2.7x), vs Avg-Se2e: %.1fx "
+                    "(paper: 2.2-4.2x)\n",
+                    bench::discardRatio(fcfs, sjf),
+                    bench::discardRatio(lcfs, sjf),
+                    bench::discardRatio(avg, sjf));
+    }
+    return 0;
+}

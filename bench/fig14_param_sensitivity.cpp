@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 14: sensitivity to system parameters — harvester cell count,
+ * <arrival-window> and <task-window> — on the MoreCrowded
+ * environment, plus two ablations DESIGN.md calls out (PID loop
+ * on/off, measurement circuit vs exact float power). The paper's
+ * operating point (6 cells, arrival-window 256, task-window 64) is
+ * marked.
+ */
+
+#include <string>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace quetzal;
+
+sim::Metrics
+runWith(int cells, std::uint32_t arrivalWindow, std::uint32_t taskWindow,
+        bool usePid = true, bool useCircuit = true, double jitter = 0.0)
+{
+    sim::ExperimentConfig cfg;
+    cfg.environment = trace::EnvironmentPreset::MoreCrowded;
+    cfg.eventCount = 1000;
+    cfg.controller = sim::ControllerKind::Quetzal;
+    cfg.harvesterCells = cells;
+    cfg.arrivalWindow = arrivalWindow;
+    cfg.taskWindow = taskWindow;
+    cfg.usePid = usePid;
+    cfg.useCircuit = useCircuit;
+    cfg.executionJitterSigma = jitter;
+    return sim::runExperiment(cfg);
+}
+
+void
+row(const std::string &label, const sim::Metrics &m, bool chosen)
+{
+    std::printf("%-14s %12.2f %10llu %8.1f%% %s\n", label.c_str(),
+                m.interestingDiscardedPct(),
+                static_cast<unsigned long long>(m.txInterestingTotal()),
+                100.0 * m.highQualityShare(), chosen ? "  <- Table 1" :
+                                                       "");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 14: parameter sensitivity (Quetzal, "
+                  "MoreCrowded, 1000 events)");
+
+    std::printf("\n-- harvester cells --\n%-14s %12s %10s %9s\n",
+                "cells", "disc-total%", "txI", "HQ%");
+    for (int cells : {2, 4, 6, 8, 10})
+        row(std::to_string(cells), runWith(cells, 256, 64), cells == 6);
+
+    std::printf("\n-- <arrival-window> --\n%-14s %12s %10s %9s\n",
+                "window", "disc-total%", "txI", "HQ%");
+    for (std::uint32_t w : {32u, 64u, 128u, 256u, 512u})
+        row(std::to_string(w), runWith(6, w, 64), w == 256);
+
+    std::printf("\n-- <task-window> --\n%-14s %12s %10s %9s\n",
+                "window", "disc-total%", "txI", "HQ%");
+    for (std::uint32_t w : {8u, 16u, 32u, 64u, 128u})
+        row(std::to_string(w), runWith(6, 256, w), w == 64);
+
+    std::printf("\n-- ablations (DESIGN.md section 7) --\n"
+                "%-14s %12s %10s %9s\n",
+                "config", "disc-total%", "txI", "HQ%");
+    row("full", runWith(6, 256, 64, true, true), true);
+    row("no-pid", runWith(6, 256, 64, false, true), false);
+    row("exact-power", runWith(6, 256, 64, true, false), false);
+
+    std::printf("\n-- variable execution costs (future work, "
+                "section 5.2): log-normal jitter --\n"
+                "%-14s %12s %10s %9s\n", "config", "disc-total%",
+                "txI", "HQ%");
+    row("jitter+pid", runWith(6, 256, 64, true, true, 0.3), false);
+    row("jitter-nopid", runWith(6, 256, 64, false, true, 0.3), false);
+
+    std::printf("\npaper shape: more cells monotonically reduce "
+                "discards; window sizes trade\nreactivity against "
+                "noise around the Table 1 operating point.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Host-level microbenchmarks of the runtime hot path's arithmetic:
+ * Algorithm 3 (subtract/lookup/shift) versus floating-point division
+ * (Eq. 1 evaluated exactly), plus profile construction.
+ *
+ * Absolute host numbers are not MCU numbers (see tab_overheads for
+ * the cycle-accurate cost model); the point is the *relative* cost
+ * and that the Alg. 3 path stays branch-light and division-free.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hw/power_monitor_circuit.hpp"
+#include "hw/ratio_engine.hpp"
+
+namespace {
+
+using namespace quetzal;
+
+void
+BM_ServiceTicksAlg3(benchmark::State &state)
+{
+    const auto profile = hw::RatioEngine::makeProfile(1000, 200);
+    std::uint8_t code = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hw::RatioEngine::serviceTicks(profile, code));
+        code = static_cast<std::uint8_t>(code + 37);
+    }
+}
+BENCHMARK(BM_ServiceTicksAlg3);
+
+void
+BM_ServiceSecondsExactDivision(benchmark::State &state)
+{
+    double pin = 1e-3;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hw::RatioEngine::exactServiceSeconds(1.0, 100e-3, pin));
+        pin = pin < 1.0 ? pin * 1.5 : 1e-3;
+    }
+}
+BENCHMARK(BM_ServiceSecondsExactDivision);
+
+void
+BM_MakeProfile(benchmark::State &state)
+{
+    Tick ticks = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hw::RatioEngine::makeProfile(ticks, 180));
+        ticks = ticks % 100000 + 1;
+    }
+}
+BENCHMARK(BM_MakeProfile);
+
+void
+BM_CircuitMeasurement(benchmark::State &state)
+{
+    hw::PowerMonitorCircuit circuit;
+    double power = 1e-3;
+    for (auto _ : state) {
+        circuit.setInputPower(power);
+        benchmark::DoNotOptimize(circuit.measureInputCode());
+        power = power < 0.2 ? power * 1.1 : 1e-3;
+    }
+}
+BENCHMARK(BM_CircuitMeasurement);
+
+} // namespace
+
+BENCHMARK_MAIN();

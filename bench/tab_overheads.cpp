@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Section 5.1 "Costs and Overheads" table: per-operation costs of the
+ * ratio computation under each strategy, the derived Quetzal
+ * invocation overheads (paper: 6.2 % -> 0.4 % on the MSP430, 0.02 %
+ * on the Apollo 4, at 10 invocations/s with 32 tasks x 4 options),
+ * the runtime memory footprint (paper: 2,360 B), and the circuit's
+ * ratio-prediction error across the 25-50 C temperature band
+ * (paper: <= 5.5 %).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "hw/mcu_model.hpp"
+#include "hw/power_monitor_circuit.hpp"
+#include "hw/ratio_engine.hpp"
+#include "util/types.hpp"
+
+namespace {
+
+using namespace quetzal;
+
+void
+costRows(const hw::McuModel &mcu)
+{
+    const auto strategies = {
+        std::make_pair(hw::RatioStrategy::SoftwareDivision, "sw-div"),
+        std::make_pair(hw::RatioStrategy::HardwareDivider, "hw-div"),
+        std::make_pair(hw::RatioStrategy::QuetzalModule, "module"),
+    };
+    for (const auto &[strategy, label] : strategies) {
+        if (strategy == hw::RatioStrategy::HardwareDivider &&
+            !mcu.profile().hasHardwareDivider) {
+            std::printf("  %-8s %10s %12s %12s\n", label, "-", "-",
+                        "-");
+            continue;
+        }
+        if (strategy == hw::RatioStrategy::SoftwareDivision &&
+            mcu.profile().hasHardwareDivider) {
+            continue; // nobody compiles soft division with a divider
+        }
+        const auto cost = mcu.ratioCost(strategy);
+        std::printf("  %-8s %7u cyc %9.2f nJ %11.3f%%\n", label,
+                    cost.cycles, cost.nanojoules,
+                    100.0 * mcu.overheadFraction(strategy, 32, 4,
+                                                 10.0));
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Section 5.1: ratio-computation costs and "
+                "overheads ===\n");
+    std::printf("(overhead: 10 Quetzal invocations/s, 32 tasks x 4 "
+                "degradation options)\n");
+
+    const hw::McuModel msp(hw::msp430fr5994Profile());
+    std::printf("\nMSP430FR5994 (no hardware divider, %.0f kHz):\n",
+                msp.profile().clockHz / 1e3);
+    costRows(msp);
+    std::printf("  paper: sw-div 158 cyc / 49.37 nJ -> 6.2%% overhead; "
+                "module 12 cyc / 3.75 nJ -> 0.4%%\n");
+    std::printf("  module energy reduction: %.1f%% (paper: 92.5%%)\n",
+                100.0 * (1.0 - 3.75 / 49.37));
+
+    const hw::McuModel apollo(hw::apollo4Profile());
+    std::printf("\nApollo 4 (hardware divider, %.0f MHz):\n",
+                apollo.profile().clockHz / 1e6);
+    costRows(apollo);
+    std::printf("  paper: hw-div 13 cyc / 0.4 nJ; module 5 cyc / "
+                "0.16 nJ -> 0.02%% overhead\n");
+    std::printf("  module energy reduction: %.1f%% (paper: 62%%)\n",
+                100.0 * (1.0 - 0.16 / 0.4));
+
+    std::printf("\nruntime state footprint (32 tasks x 4 options, "
+                "windows 64/256): %zu bytes (paper: 2,360)\n",
+                hw::McuModel::footprintBytes(32, 4, 64, 256));
+
+    // --- Circuit accuracy across temperature -------------------------
+    std::printf("\n=== Circuit ratio-prediction error, 25-50 C ===\n");
+    std::printf("%-8s %14s %14s\n", "temp_C", "err(ratio<=4x)",
+                "err(ratio<=32x)");
+    const Watts pExe = 80e-3;
+    for (double celsius : {25.0, 30.0, 37.5, 45.0, 50.0}) {
+        hw::PowerMonitorCircuit circuit;
+        circuit.setTemperature(celsius + hw::kCelsiusOffset);
+        const auto profile = hw::RatioEngine::makeProfile(
+            100000, circuit.codeForPower(pExe));
+        double worstModerate = 0.0;
+        double worstWide = 0.0;
+        for (double ratio = 1.05; ratio <= 32.0; ratio *= 1.08) {
+            const Watts pin = pExe / ratio;
+            const Tick predicted = hw::RatioEngine::serviceTicks(
+                profile, circuit.codeForPower(pin));
+            const double exact = hw::RatioEngine::exactServiceSeconds(
+                100.0, pExe, pin);
+            const double error =
+                std::abs(ticksToSeconds(predicted) - exact) / exact;
+            worstWide = std::max(worstWide, error);
+            if (ratio <= 4.0)
+                worstModerate = std::max(worstModerate, error);
+        }
+        std::printf("%-8.1f %13.1f%% %13.1f%%\n", celsius,
+                    100.0 * worstModerate, 100.0 * worstWide);
+    }
+    std::printf("paper: <= 5.5%% error for 25-50 C. Our emulation "
+                "matches for moderate ratios; the\ntemperature "
+                "coefficient deviates from exactly 1/8 per code away "
+                "from the band\ncenter, so very large ratios see "
+                "larger error (documented in EXPERIMENTS.md).\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Seed-robustness study (beyond the paper): the headline comparison
+ * repeated over an ensemble of seeds per environment, reporting
+ * mean / sd / range — evidence the reproduction's conclusions are
+ * not artifacts of one synthetic trace. Also includes the
+ * checkpoint-policy ablation (JIT vs Periodic) the intermittent-
+ * computing substrate supports (DESIGN.md section 7).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "sim/ensemble.hpp"
+
+int
+main()
+{
+    using namespace quetzal;
+    using sim::ControllerKind;
+
+    std::printf("=== Seed robustness: 5 seeds x 400 events ===\n");
+    for (const auto env : {trace::EnvironmentPreset::MoreCrowded,
+                           trace::EnvironmentPreset::Crowded,
+                           trace::EnvironmentPreset::LessCrowded}) {
+        std::printf("\n-- environment: %s --\n",
+                    trace::environmentName(env).c_str());
+        for (const auto kind :
+             {ControllerKind::NoAdapt, ControllerKind::CatNap,
+              ControllerKind::Quetzal}) {
+            sim::ExperimentConfig cfg;
+            cfg.environment = env;
+            cfg.eventCount = 400;
+            cfg.controller = kind;
+            const sim::EnsembleResult r = sim::runEnsemble(cfg, 5);
+            r.printSummary(std::cout, sim::controllerKindName(kind));
+        }
+    }
+
+    std::printf("\n=== Checkpoint-policy ablation "
+                "(Quetzal, Crowded, 5 seeds) ===\n");
+    for (const Tick interval : {Tick{0}, Tick{200}, Tick{1000},
+                                Tick{5000}}) {
+        sim::ExperimentConfig cfg;
+        cfg.environment = trace::EnvironmentPreset::Crowded;
+        cfg.eventCount = 400;
+        cfg.controller = ControllerKind::Quetzal;
+        if (interval == 0) {
+            cfg.checkpointPolicy = app::CheckpointPolicy::JustInTime;
+        } else {
+            cfg.checkpointPolicy = app::CheckpointPolicy::Periodic;
+            cfg.checkpointIntervalTicks = interval;
+        }
+        const sim::EnsembleResult r = sim::runEnsemble(cfg, 5);
+        const std::string label = interval == 0 ?
+            std::string("JIT") :
+            "Periodic-" + std::to_string(interval) + "ms";
+        r.printSummary(std::cout, label);
+    }
+    std::printf("\nshape: JIT never loses work. Periodic checkpointing "
+                "matches it at fine intervals\n(small save overhead), "
+                "then falls off a cliff once the interval exceeds the\n"
+                "per-charge execution budget: every failure rolls back "
+                "everything — the classic\nintermittent-computing "
+                "non-termination hazard [8, 90].\n");
+    return 0;
+}

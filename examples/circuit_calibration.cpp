@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Walkthrough of the measurement circuit (paper section 5.1,
+ * figure 6): how diode voltages encode currents, how the 0.6 V ADC
+ * reference makes one code ~1/8 of an octave of power ratio, and how
+ * accurate the division-free S_e2e computation is across
+ * temperature — the calibration study behind the paper's <= 5.5 %
+ * error claim.
+ *
+ * Build & run:  ./build/examples/circuit_calibration
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "hw/power_monitor_circuit.hpp"
+#include "hw/ratio_engine.hpp"
+
+int
+main()
+{
+    using namespace quetzal;
+
+    hw::PowerMonitorCircuit circuit;
+
+    std::printf("1) Diode Law: codes are logarithmic in power\n");
+    std::printf("   %-10s %12s %6s\n", "P (mW)", "V_diode (mV)",
+                "code");
+    for (double mw : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+                      128.0}) {
+        std::printf("   %-10.1f %12.1f %6u\n", mw,
+                    circuit.diodeVoltageForPower(mw * 1e-3) * 1e3,
+                    circuit.codeForPower(mw * 1e-3));
+    }
+    std::printf("   each power doubling adds ~8 codes: the ratio "
+                "P_exe/P_in becomes a code\n   difference, no "
+                "division required (Alg. 3).\n\n");
+
+    std::printf("2) Division-free S_e2e for a 1.0 s / 80 mW task\n");
+    const auto profile =
+        hw::RatioEngine::makeProfile(1000, circuit.codeForPower(80e-3));
+    std::printf("   %-10s %10s %12s %10s\n", "P_in(mW)", "S_hw(s)",
+                "S_exact(s)", "error");
+    for (double mw : {160.0, 80.0, 40.0, 20.0, 10.0, 5.0, 2.5}) {
+        const Tick hwTicks = hw::RatioEngine::serviceTicks(
+            profile, circuit.codeForPower(mw * 1e-3));
+        const double exact = hw::RatioEngine::exactServiceSeconds(
+            1.0, 80e-3, mw * 1e-3);
+        std::printf("   %-10.1f %10.3f %12.3f %9.1f%%\n", mw,
+                    ticksToSeconds(hwTicks), exact,
+                    100.0 * std::abs(ticksToSeconds(hwTicks) - exact) /
+                        exact);
+    }
+
+    std::printf("\n3) Temperature sensitivity (paper: <= 5.5%% over "
+                "25-50 C)\n");
+    std::printf("   %-8s %18s\n", "temp_C", "worst err, ratio<=4x");
+    for (double celsius = 25.0; celsius <= 50.0; celsius += 5.0) {
+        hw::PowerMonitorCircuit tempCircuit;
+        tempCircuit.setTemperature(celsius + hw::kCelsiusOffset);
+        const auto tempProfile = hw::RatioEngine::makeProfile(
+            1000, tempCircuit.codeForPower(80e-3));
+        double worst = 0.0;
+        for (double ratio = 1.1; ratio <= 4.0; ratio *= 1.1) {
+            const double pin = 80e-3 / ratio;
+            const Tick ticks = hw::RatioEngine::serviceTicks(
+                tempProfile, tempCircuit.codeForPower(pin));
+            const double exact = hw::RatioEngine::exactServiceSeconds(
+                1.0, 80e-3, pin);
+            worst = std::max(
+                worst,
+                std::abs(ticksToSeconds(ticks) - exact) / exact);
+        }
+        std::printf("   %-8.0f %17.1f%%\n", celsius, 100.0 * worst);
+    }
+    std::printf("\nThe 0.6 V reference centres the per-code "
+                "coefficient on 1/8 inside the band;\nquantization "
+                "plus the residual temperature slope set the error "
+                "floor.\n");
+    return 0;
+}

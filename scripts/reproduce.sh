@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, test, regenerate every figure/table.
+# Outputs land in test_output.txt and bench_output.txt at the repo
+# root (the files EXPERIMENTS.md cites).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+        "$b"
+    fi
+done 2>&1 | tee bench_output.txt
+
+echo
+echo "Examples:"
+for e in build/examples/*; do
+    if [ -f "$e" ] && [ -x "$e" ]; then
+        echo "--- $e"
+        "$e" > /dev/null && echo "    ok"
+    fi
+done

@@ -1,0 +1,53 @@
+#include "app/audio_monitor.hpp"
+
+namespace quetzal {
+namespace app {
+
+ApplicationModel
+buildAudioMonitorApp(core::TaskSystem &system, const DeviceProfile &device,
+                     const AudioMonitorConfig &config)
+{
+    ApplicationModel appModel;
+
+    // Acoustic detectors: a full CNN over mel spectrograms versus a
+    // tiny keyword-spotter. Costs scale with the device class.
+    const bool fast = device.kind == DeviceKind::Apollo4;
+    appModel.inferenceModels = {
+        {"audio-cnn", fast ? Tick{900} : Tick{2600},
+         fast ? 14e-3 : 3e-3, 0.05, 0.04},
+        {"keyword-spotter", fast ? Tick{60} : Tick{500},
+         fast ? 10e-3 : 2.5e-3, 0.12, 0.15},
+    };
+    appModel.camera = {};       // microphone front end: tiny capture
+    appModel.camera.captureTicks = 15;
+    appModel.camera.capturePower = 3e-3;
+    appModel.camera.diffTicks = 5;
+    appModel.camera.diffPower = 2e-3;
+    appModel.compression = jpegModel(device.kind); // ADPCM-class cost
+    appModel.storedInputBytes = config.clipBytes;
+
+    std::vector<core::DegradationOptionSpec> detectSpecs;
+    for (const MlModel &model : appModel.inferenceModels)
+        detectSpecs.push_back({model.name, model.exeTicks,
+                               model.execPower});
+    appModel.inferenceTask = system.addTask("audio-detect", detectSpecs);
+
+    const RadioOption clip = fullImageRadio(config.lora,
+                                            config.clipBytes);
+    RadioOption summary = singleByteRadio(config.lora);
+    summary.name = "detection-summary";
+    summary.payloadBytes = 4;
+    appModel.radioTask = system.addTask(
+        "clip-uplink",
+        {{"full-clip", clip.exeTicks, clip.execPower},
+         {summary.name, summary.exeTicks, summary.execPower}});
+
+    appModel.transmitJob = system.addJob("uplink", {appModel.radioTask});
+    appModel.classifyJob = system.addJob("detect",
+                                         {appModel.inferenceTask},
+                                         appModel.transmitJob);
+    return appModel;
+}
+
+} // namespace app
+} // namespace quetzal

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A second application built on the same public API: a batteryless
+ * wildlife *acoustic* monitor. Demonstrates that Quetzal's task/job
+ * abstraction is application-agnostic (paper section 5.2): the
+ * pipeline is spectrogram classification of buffered audio clips
+ * with a degradable detector and a degradable uplink.
+ */
+
+#ifndef QUETZAL_APP_AUDIO_MONITOR_HPP
+#define QUETZAL_APP_AUDIO_MONITOR_HPP
+
+#include "app/application.hpp"
+#include "app/radio.hpp"
+#include "core/system.hpp"
+
+namespace quetzal {
+namespace app {
+
+/** Tuning knobs for buildAudioMonitorApp(). */
+struct AudioMonitorConfig
+{
+    LoRaParams lora;
+    std::size_t clipBytes = 4000; ///< compressed 2 s audio clip
+};
+
+/**
+ * Register the audio-monitor tasks and jobs and return the bound
+ * application model.
+ *
+ * Task/job graph:
+ *   Task "audio-detect" — full CNN vs tiny keyword spotter,
+ *                         degradable
+ *   Task "clip-uplink"  — full clip vs 4-byte detection summary,
+ *                         degradable
+ *   Job  "detect"   = [audio-detect], spawns "uplink" on positive
+ *   Job  "uplink"   = [clip-uplink]
+ */
+ApplicationModel
+buildAudioMonitorApp(core::TaskSystem &system,
+                     const DeviceProfile &device,
+                     const AudioMonitorConfig &config = {});
+
+} // namespace app
+} // namespace quetzal
+
+#endif // QUETZAL_APP_AUDIO_MONITOR_HPP

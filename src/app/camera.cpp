@@ -1,0 +1,22 @@
+#include "app/camera.hpp"
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace app {
+
+CameraModel
+cameraModel(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Apollo4:
+        return {30, 10e-3, 10, 5e-3};
+      case DeviceKind::Msp430:
+        // Slower readout and diff on the 16-bit core.
+        return {60, 6e-3, 40, 3e-3};
+    }
+    util::panic("unknown device kind");
+}
+
+} // namespace app
+} // namespace quetzal

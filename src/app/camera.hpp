@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Camera and pixel-differencing model (the paper's ultra-low-power
+ * HM01B0 sensor [40] with the pixel-wise diff pre-filter of
+ * section 6.2). Capture and diff run for every frame; compression
+ * and buffering only for frames the diff marks "different".
+ */
+
+#ifndef QUETZAL_APP_CAMERA_HPP
+#define QUETZAL_APP_CAMERA_HPP
+
+#include "app/device_profiles.hpp"
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace app {
+
+/** Per-frame capture-side costs. */
+struct CameraModel
+{
+    Tick captureTicks = 30;   ///< sensor exposure + readout
+    Watts capturePower = 10e-3;
+    Tick diffTicks = 10;      ///< pixel-wise difference
+    Watts diffPower = 5e-3;
+
+    /** Energy of capture + diff (paid for every frame). */
+    Joules
+    captureEnergy() const
+    {
+        return capturePower * ticksToSeconds(captureTicks) +
+            diffPower * ticksToSeconds(diffTicks);
+    }
+};
+
+/** Per-device camera characterization. */
+CameraModel cameraModel(DeviceKind kind);
+
+} // namespace app
+} // namespace quetzal
+
+#endif // QUETZAL_APP_CAMERA_HPP

@@ -1,0 +1,23 @@
+#include "app/compression.hpp"
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace app {
+
+CompressionModel
+jpegModel(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Apollo4:
+        // "The Apollo 4 MCU can efficiently compress images"
+        // (section 6.4).
+        return {50, 10e-3, 48.0};
+      case DeviceKind::Msp430:
+        return {400, 3e-3, 48.0};
+    }
+    util::panic("unknown device kind");
+}
+
+} // namespace app
+} // namespace quetzal

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * JPEG compression model (the paper uses jpec [65]; all systems
+ * compress images before storing them into the input buffer, section
+ * 6.4, so compression cost is charged at capture time, not as a
+ * scheduled task).
+ */
+
+#ifndef QUETZAL_APP_COMPRESSION_HPP
+#define QUETZAL_APP_COMPRESSION_HPP
+
+#include <cstddef>
+
+#include "app/device_profiles.hpp"
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace app {
+
+/** A compressor's cost and output characterization. */
+struct CompressionModel
+{
+    Tick exeTicks = 0;        ///< per-image encode latency
+    Watts execPower = 0.0;    ///< draw while encoding
+    double compressionRatio = 48.0; ///< input bytes per output byte
+
+    /** Energy per encoded image. */
+    Joules energy() const
+    {
+        return execPower * ticksToSeconds(exeTicks);
+    }
+
+    /** Output size for a raw image. */
+    std::size_t
+    compressedBytes(std::size_t rawBytes) const
+    {
+        const auto out = static_cast<std::size_t>(
+            static_cast<double>(rawBytes) / compressionRatio);
+        return out > 0 ? out : 1;
+    }
+};
+
+/** Per-device JPEG encoder characterization. */
+CompressionModel jpegModel(DeviceKind kind);
+
+/** Raw image size the pipeline captures (QQVGA grayscale). */
+inline constexpr std::size_t kRawImageBytes = 160 * 120;
+
+} // namespace app
+} // namespace quetzal
+
+#endif // QUETZAL_APP_COMPRESSION_HPP

@@ -1,0 +1,63 @@
+#include "app/device_profiles.hpp"
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace app {
+
+std::string
+deviceKindName(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Apollo4: return "Apollo4";
+      case DeviceKind::Msp430: return "MSP430FR5994";
+    }
+    util::panic("unknown device kind");
+}
+
+DeviceProfile
+apollo4Device()
+{
+    DeviceProfile dev;
+    dev.name = "Apollo4";
+    dev.kind = DeviceKind::Apollo4;
+    // 33 mF BestCap behind a BQ25504 (paper section 6.2).
+    dev.storage.capacitance = 33e-3;
+    dev.storage.vMax = 3.3;
+    dev.storage.vOff = 1.8;
+    dev.storage.vOn = 2.2;
+    dev.sleepPower = 50e-6;
+    dev.checkpoint = {5, 5e-3, 5, 5e-3};
+    dev.mcu = hw::apollo4Profile();
+    return dev;
+}
+
+DeviceProfile
+msp430Device()
+{
+    DeviceProfile dev;
+    dev.name = "MSP430FR5994";
+    dev.kind = DeviceKind::Msp430;
+    dev.storage.capacitance = 33e-3;
+    dev.storage.vMax = 3.3;
+    dev.storage.vOff = 1.8;
+    dev.storage.vOn = 2.2;
+    dev.sleepPower = 20e-6;
+    // FRAM checkpoints are cheap in energy but slower to write.
+    dev.checkpoint = {8, 2e-3, 8, 2e-3};
+    dev.mcu = hw::msp430fr5994Profile();
+    return dev;
+}
+
+DeviceProfile
+deviceProfile(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Apollo4: return apollo4Device();
+      case DeviceKind::Msp430: return msp430Device();
+    }
+    util::panic("unknown device kind");
+}
+
+} // namespace app
+} // namespace quetzal

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Device profiles for the paper's two evaluation platforms: the
+ * Ambiq Apollo 4 (hardware experiment + simulation) and the TI
+ * MSP430FR5994 (simulation only). A profile bundles the energy
+ * subsystem (supercap window, sleep draw, JIT-checkpoint costs) with
+ * the MCU cost model used to charge scheduler overheads.
+ */
+
+#ifndef QUETZAL_APP_DEVICE_PROFILES_HPP
+#define QUETZAL_APP_DEVICE_PROFILES_HPP
+
+#include <string>
+
+#include "energy/energy_storage.hpp"
+#include "hw/mcu_model.hpp"
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace app {
+
+/** The paper's evaluation MCUs. */
+enum class DeviceKind {
+    Apollo4,
+    Msp430,
+};
+
+/** Human-readable device name. */
+std::string deviceKindName(DeviceKind kind);
+
+/**
+ * How the device checkpoints for intermittent execution.
+ *
+ * JustInTime saves state exactly when the supply collapses (needs a
+ * voltage-warning comparator, as in [61]); no work is ever lost.
+ * Periodic saves every interval while running (no warning hardware
+ * needed, as in Hibernus-style systems [8, 9]); a power failure
+ * rolls execution back to the last completed checkpoint.
+ */
+enum class CheckpointPolicy {
+    JustInTime,
+    Periodic,
+};
+
+/** Intermittent-execution checkpoint costs. */
+struct CheckpointCosts
+{
+    Tick saveTicks = 5;        ///< persist registers + stack to NVM
+    Watts savePower = 5e-3;
+    Tick restoreTicks = 5;     ///< restore after recharge
+    Watts restorePower = 5e-3;
+    CheckpointPolicy policy = CheckpointPolicy::JustInTime;
+    /** Checkpoint interval while running (Periodic policy only). */
+    Tick periodicInterval = 1000;
+};
+
+/** Full device description. */
+struct DeviceProfile
+{
+    std::string name;
+    DeviceKind kind = DeviceKind::Apollo4;
+    energy::StorageConfig storage;  ///< paper: 33 mF supercap
+    Watts sleepPower = 50e-6;       ///< idle draw between jobs
+    CheckpointCosts checkpoint;
+    hw::McuProfile mcu;             ///< overhead cost model
+};
+
+/** The Apollo 4 platform of sections 6.2-6.4. */
+DeviceProfile apollo4Device();
+
+/** The MSP430FR5994 platform of section 7.3 / Figure 13. */
+DeviceProfile msp430Device();
+
+/** Profile by kind. */
+DeviceProfile deviceProfile(DeviceKind kind);
+
+} // namespace app
+} // namespace quetzal
+
+#endif // QUETZAL_APP_DEVICE_PROFILES_HPP

@@ -1,0 +1,53 @@
+#include "app/ml_model.hpp"
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace app {
+
+MlModel
+mobileNetV2Apollo4()
+{
+    // ~350 ms per frame at the Apollo 4's efficient ~20 mW active
+    // draw; strong detector (EuroCity-trained person detection). At
+    // full input power the whole pipeline keeps up with 1 FPS; at
+    // harvesting-limited power the 7 mJ per inference dominates.
+    return {"MobileNetV2", 350, 20e-3, 0.04, 0.03};
+}
+
+MlModel
+leNetApollo4()
+{
+    // Tiny CNN: ~20x faster and cheaper, but markedly worse accuracy
+    // on person detection — the cost the AlwaysDegrade baseline pays.
+    return {"LeNet", 80, 12e-3, 0.10, 0.12};
+}
+
+MlModel
+leNetInt16Msp430()
+{
+    // Seconds-per-inference at milliwatt draw, consistent with
+    // intermittent-inference measurements on MSP430-class MCUs [31].
+    return {"LeNet-int16", 2000, 3e-3, 0.05, 0.045};
+}
+
+MlModel
+leNetInt8Msp430()
+{
+    return {"LeNet-int8", 900, 3e-3, 0.075, 0.07};
+}
+
+std::vector<MlModel>
+inferenceOptions(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Apollo4:
+        return {mobileNetV2Apollo4(), leNetApollo4()};
+      case DeviceKind::Msp430:
+        return {leNetInt16Msp430(), leNetInt8Msp430()};
+    }
+    util::panic("unknown device kind");
+}
+
+} // namespace app
+} // namespace quetzal

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ML inference model zoo (paper Table 1 / section 6.4).
+ *
+ * The paper reduces every task to measured (latency, power) pairs in
+ * its own simulator (section 6.3); we do the same, with accuracy
+ * modeled by per-class misclassification rates applied against
+ * ground truth — exactly the I/O-pin methodology of the paper's
+ * hardware experiment (section 6.2). High-quality options classify
+ * better but cost more time and energy:
+ *
+ *  Apollo 4:  MobileNetV2 (high) vs LeNet (low)
+ *  MSP430:    int16 LeNet (high) vs int8 LeNet (low)
+ *
+ * Latency/energy constants are chosen to land in the regimes the
+ * paper reports (e.g. section 2.2: a radio task's end-to-end time
+ * spans 0.8 s at high power to >50 s at low power; inference on an
+ * MSP430-class MCU takes seconds) — see DESIGN.md section 2.
+ */
+
+#ifndef QUETZAL_APP_ML_MODEL_HPP
+#define QUETZAL_APP_ML_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "app/device_profiles.hpp"
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace app {
+
+/** An inference model's cost and accuracy characterization. */
+struct MlModel
+{
+    std::string name;
+    Tick exeTicks = 0;           ///< per-inference latency
+    Watts execPower = 0.0;       ///< draw during inference
+    double falsePositiveRate = 0.0; ///< uninteresting judged positive
+    double falseNegativeRate = 0.0; ///< interesting judged negative
+
+    /** Per-inference energy. */
+    Joules energy() const
+    {
+        return execPower * ticksToSeconds(exeTicks);
+    }
+};
+
+/** MobileNetV2 [78] person detector on the Apollo 4. */
+MlModel mobileNetV2Apollo4();
+
+/** LeNet [50] person detector on the Apollo 4 (degraded option). */
+MlModel leNetApollo4();
+
+/** int16-quantized LeNet on the MSP430 (high-quality option). */
+MlModel leNetInt16Msp430();
+
+/** int8-quantized LeNet on the MSP430 (degraded option). */
+MlModel leNetInt8Msp430();
+
+/**
+ * The quality-ordered inference options for a device (index 0 ==
+ * highest quality), matching Table 1.
+ */
+std::vector<MlModel> inferenceOptions(DeviceKind kind);
+
+} // namespace app
+} // namespace quetzal
+
+#endif // QUETZAL_APP_ML_MODEL_HPP

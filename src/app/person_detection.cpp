@@ -1,0 +1,45 @@
+#include "app/person_detection.hpp"
+
+namespace quetzal {
+namespace app {
+
+ApplicationModel
+buildPersonDetectionApp(core::TaskSystem &system,
+                        const DeviceProfile &device,
+                        const PersonDetectionConfig &config)
+{
+    ApplicationModel appModel;
+    appModel.inferenceModels = inferenceOptions(device.kind);
+    appModel.camera = cameraModel(device.kind);
+    appModel.compression = jpegModel(device.kind);
+    appModel.storedInputBytes =
+        appModel.compression.compressedBytes(config.rawImageBytes);
+
+    // Quality-ordered inference options (index 0 == highest quality).
+    std::vector<core::DegradationOptionSpec> mlSpecs;
+    for (const MlModel &model : appModel.inferenceModels)
+        mlSpecs.push_back({model.name, model.exeTicks, model.execPower});
+    appModel.inferenceTask = system.addTask("ml-infer", mlSpecs);
+
+    // Radio options: the full compressed image, then the one-byte
+    // "interesting event" marker.
+    const RadioOption full =
+        fullImageRadio(config.lora, appModel.storedInputBytes);
+    const RadioOption byte = singleByteRadio(config.lora);
+    appModel.radioTask = system.addTask(
+        "radio-tx",
+        {{full.name, full.exeTicks, full.execPower},
+         {byte.name, byte.exeTicks, byte.execPower}});
+
+    // Jobs: classify spawns transmit for positive classifications.
+    // Register transmit first so classify can reference its id.
+    appModel.transmitJob =
+        system.addJob("transmit", {appModel.radioTask});
+    appModel.classifyJob =
+        system.addJob("classify", {appModel.inferenceTask},
+                      appModel.transmitJob);
+    return appModel;
+}
+
+} // namespace app
+} // namespace quetzal

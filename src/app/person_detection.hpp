@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The person-detection smart-camera application of the paper's
+ * evaluation (like Camaroptera [23]): a camera captures frames at
+ * 1 FPS; frames that differ from their predecessor are compressed
+ * and buffered; a classify job runs the (degradable) ML inference
+ * task; positively classified inputs spawn a transmit job whose
+ * (degradable) radio task sends the full image or a single byte.
+ */
+
+#ifndef QUETZAL_APP_PERSON_DETECTION_HPP
+#define QUETZAL_APP_PERSON_DETECTION_HPP
+
+#include "app/application.hpp"
+#include "app/radio.hpp"
+#include "core/system.hpp"
+
+namespace quetzal {
+namespace app {
+
+/** Tuning knobs for buildPersonDetectionApp(). */
+struct PersonDetectionConfig
+{
+    LoRaParams lora;              ///< radio PHY parameters
+    std::size_t rawImageBytes = kRawImageBytes;
+};
+
+/**
+ * Register the person-detection tasks and jobs on a TaskSystem and
+ * return the bound application model.
+ *
+ * Task/job graph (paper Figure 5 shape):
+ *   Task "ml-infer"  — options per device (Table 1), degradable
+ *   Task "radio-tx"  — options full-image / single-byte, degradable
+ *   Job  "classify"  = [ml-infer], spawns "transmit" on positive
+ *   Job  "transmit"  = [radio-tx]
+ */
+ApplicationModel
+buildPersonDetectionApp(core::TaskSystem &system,
+                        const DeviceProfile &device,
+                        const PersonDetectionConfig &config = {});
+
+} // namespace app
+} // namespace quetzal
+
+#endif // QUETZAL_APP_PERSON_DETECTION_HPP

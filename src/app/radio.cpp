@@ -1,0 +1,85 @@
+#include "app/radio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace app {
+
+double
+loRaPacketAirtime(const LoRaParams &params, std::size_t payloadBytes)
+{
+    if (params.spreadingFactor < 6 || params.spreadingFactor > 12)
+        util::fatal("LoRa spreading factor out of range");
+    if (params.bandwidthHz <= 0.0)
+        util::fatal("LoRa bandwidth must be positive");
+
+    const double symbolSeconds =
+        std::pow(2.0, params.spreadingFactor) / params.bandwidthHz;
+    const double preambleSeconds =
+        (params.preambleSymbols + 4.25) * symbolSeconds;
+
+    // Semtech AN1200.13 payload symbol count.
+    const double pl = static_cast<double>(payloadBytes);
+    const double sf = params.spreadingFactor;
+    const double h = params.explicitHeader ? 0.0 : 1.0;
+    const double de = params.lowDataRateOptimize ? 1.0 : 0.0;
+    const double cr = params.codingRate;
+
+    const double numerator = 8.0 * pl - 4.0 * sf + 28.0 + 16.0 -
+        20.0 * h;
+    const double denominator = 4.0 * (sf - 2.0 * de);
+    const double payloadSymbols = 8.0 +
+        std::max(std::ceil(numerator / denominator) * (cr + 4.0), 0.0);
+
+    return preambleSeconds + payloadSymbols * symbolSeconds;
+}
+
+Tick
+loRaMessageTicks(const LoRaParams &params, std::size_t messageBytes)
+{
+    if (messageBytes == 0)
+        util::fatal("cannot transmit an empty message");
+    const std::size_t packets =
+        (messageBytes + params.maxPayloadBytes - 1) /
+        params.maxPayloadBytes;
+
+    double seconds = 0.0;
+    std::size_t remaining = messageBytes;
+    for (std::size_t i = 0; i < packets; ++i) {
+        const std::size_t chunk =
+            std::min(remaining, params.maxPayloadBytes);
+        seconds += loRaPacketAirtime(params, chunk);
+        remaining -= chunk;
+    }
+    const Tick gaps = params.interPacketGap *
+        static_cast<Tick>(packets);
+    return std::max<Tick>(secondsToTicks(seconds) + gaps, 1);
+}
+
+RadioOption
+fullImageRadio(const LoRaParams &params, std::size_t imageBytes)
+{
+    RadioOption option;
+    option.name = "full-image";
+    option.payloadBytes = imageBytes;
+    option.exeTicks = loRaMessageTicks(params, imageBytes);
+    option.execPower = params.txPower;
+    return option;
+}
+
+RadioOption
+singleByteRadio(const LoRaParams &params)
+{
+    RadioOption option;
+    option.name = "single-byte";
+    option.payloadBytes = 1;
+    option.exeTicks = loRaMessageTicks(params, 1);
+    option.execPower = params.txPower;
+    return option;
+}
+
+} // namespace app
+} // namespace quetzal

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * LoRa radio model (the paper's RFM95W module [42]).
+ *
+ * Transmission latency is computed from the LoRa airtime equation
+ * (Semtech AN1200.13): a packet's time on air is the preamble plus
+ * the payload symbols at the spreading factor's symbol duration.
+ * The high-quality radio option sends the full compressed image
+ * (fragmented into maximum-size packets); the degraded option sends
+ * a single byte flagging an interesting event (paper section 2.3).
+ */
+
+#ifndef QUETZAL_APP_RADIO_HPP
+#define QUETZAL_APP_RADIO_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace app {
+
+/** LoRa physical-layer parameters. */
+struct LoRaParams
+{
+    int spreadingFactor = 7;     ///< SF7..SF12
+    double bandwidthHz = 125e3;
+    int codingRate = 1;          ///< CR 4/(4+codingRate)
+    double preambleSymbols = 8;
+    bool explicitHeader = true;
+    bool lowDataRateOptimize = false;
+    std::size_t maxPayloadBytes = 222; ///< LoRaWAN SF7 limit
+    Watts txPower = 80e-3;       ///< RFM95W at ~+13 dBm, incl. MCU
+    Tick interPacketGap = 15;    ///< radio/MCU turnaround per packet
+};
+
+/** Time on air of a single packet, in seconds. */
+double loRaPacketAirtime(const LoRaParams &params,
+                         std::size_t payloadBytes);
+
+/**
+ * Total transmission latency for a message, fragmenting into
+ * maximum-size packets and adding per-packet turnaround.
+ */
+Tick loRaMessageTicks(const LoRaParams &params, std::size_t messageBytes);
+
+/** One radio quality option. */
+struct RadioOption
+{
+    std::string name;
+    std::size_t payloadBytes = 0;
+    Tick exeTicks = 0;
+    Watts execPower = 0.0;
+};
+
+/** Full compressed image (high quality — receiver can audit it). */
+RadioOption fullImageRadio(const LoRaParams &params = {},
+                           std::size_t imageBytes = 400);
+
+/** Single interesting-event byte (degraded). */
+RadioOption singleByteRadio(const LoRaParams &params = {});
+
+} // namespace app
+} // namespace quetzal
+
+#endif // QUETZAL_APP_RADIO_HPP

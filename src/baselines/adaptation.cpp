@@ -1,0 +1,113 @@
+#include "baselines/adaptation.hpp"
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace baselines {
+
+namespace {
+
+/**
+ * Build a decision with every task at a uniform quality extreme.
+ * @param degrade true selects each task's lowest-quality option
+ */
+core::AdaptationDecision
+uniformDecision(const core::TaskSystem &system, const core::Job &job,
+                const core::ServiceTimeEstimator &estimator,
+                const core::PowerReading &power, double pidCorrection,
+                bool degrade)
+{
+    core::AdaptationDecision decision;
+    decision.optionPerTask.resize(job.tasks.size());
+    bool anyDegraded = false;
+    for (std::size_t i = 0; i < job.tasks.size(); ++i) {
+        const core::Task &task = system.task(job.tasks[i]);
+        const std::size_t opt = degrade ? task.optionCount() - 1 : 0;
+        decision.optionPerTask[i] = opt;
+        anyDegraded = anyDegraded || opt > 0;
+    }
+    decision.degraded = anyDegraded;
+    decision.predictedServiceSeconds =
+        system.expectedJobService(job, estimator, power,
+                                  decision.optionPerTask) + pidCorrection;
+    return decision;
+}
+
+} // namespace
+
+core::AdaptationDecision
+NoAdaptPolicy::adapt(const core::TaskSystem &system, const core::Job &job,
+                     const queueing::InputBuffer &buffer,
+                     const core::ServiceTimeEstimator &estimator,
+                     const core::PowerReading &power, double pidCorrection)
+{
+    (void)buffer;
+    return uniformDecision(system, job, estimator, power, pidCorrection,
+                           false);
+}
+
+core::AdaptationDecision
+AlwaysDegradePolicy::adapt(const core::TaskSystem &system,
+                           const core::Job &job,
+                           const queueing::InputBuffer &buffer,
+                           const core::ServiceTimeEstimator &estimator,
+                           const core::PowerReading &power,
+                           double pidCorrection)
+{
+    (void)buffer;
+    return uniformDecision(system, job, estimator, power, pidCorrection,
+                           true);
+}
+
+BufferThresholdPolicy::BufferThresholdPolicy(double thresholdFraction_)
+    : thresholdFraction(thresholdFraction_)
+{
+    if (thresholdFraction <= 0.0 || thresholdFraction > 1.0)
+        util::fatal(util::msg("buffer threshold must be in (0,1]: ",
+                              thresholdFraction));
+}
+
+core::AdaptationDecision
+BufferThresholdPolicy::adapt(const core::TaskSystem &system,
+                             const core::Job &job,
+                             const queueing::InputBuffer &buffer,
+                             const core::ServiceTimeEstimator &estimator,
+                             const core::PowerReading &power,
+                             double pidCorrection)
+{
+    const bool over = buffer.occupancyFraction() >= thresholdFraction;
+    return uniformDecision(system, job, estimator, power, pidCorrection,
+                           over);
+}
+
+std::string
+BufferThresholdPolicy::name() const
+{
+    return util::msg("buffer-threshold-",
+                     static_cast<int>(thresholdFraction * 100.0), "%");
+}
+
+PowerThresholdPolicy::PowerThresholdPolicy(Watts thresholdWatts_,
+                                           std::string label_)
+    : thresholdWatts(thresholdWatts_), label(std::move(label_))
+{
+    if (thresholdWatts < 0.0)
+        util::fatal("power threshold must be non-negative");
+}
+
+core::AdaptationDecision
+PowerThresholdPolicy::adapt(const core::TaskSystem &system,
+                            const core::Job &job,
+                            const queueing::InputBuffer &buffer,
+                            const core::ServiceTimeEstimator &estimator,
+                            const core::PowerReading &power,
+                            double pidCorrection)
+{
+    (void)buffer;
+    const bool low = power.watts < thresholdWatts;
+    return uniformDecision(system, job, estimator, power, pidCorrection,
+                           low);
+}
+
+} // namespace baselines
+} // namespace quetzal

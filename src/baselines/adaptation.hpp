@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Baseline adaptation policies from the paper's evaluation
+ * (section 6.1):
+ *
+ *  - NoAdapt (NA): always run at full quality — the behaviour of most
+ *    deployed energy-harvesting systems, e.g. Camaroptera [23].
+ *  - AlwaysDegrade (AD): always run at the lowest quality.
+ *  - BufferThreshold: degrade fully once buffer occupancy reaches a
+ *    static fraction. CatNap [62] is the threshold=100 % special case
+ *    (degrade only when the buffer is already full); Figure 11 sweeps
+ *    the whole range.
+ *  - PowerThreshold: degrade fully when input power falls below a
+ *    static watt threshold, the Zygarde [44] / Protean [7] scheme.
+ *    ZGO derives the threshold from the harvester *datasheet* maximum
+ *    (which real traces rarely approach, so it degrades almost
+ *    always); ZGI idealizes it using the maximum power actually
+ *    observed in the experiment — unimplementable in practice since
+ *    it needs oracular knowledge of the future.
+ */
+
+#ifndef QUETZAL_BASELINES_ADAPTATION_HPP
+#define QUETZAL_BASELINES_ADAPTATION_HPP
+
+#include "core/ibo_engine.hpp"
+
+namespace quetzal {
+namespace baselines {
+
+/** Run everything at the highest available quality. */
+class NoAdaptPolicy : public core::AdaptationPolicy
+{
+  public:
+    core::AdaptationDecision
+    adapt(const core::TaskSystem &system, const core::Job &job,
+          const queueing::InputBuffer &buffer,
+          const core::ServiceTimeEstimator &estimator,
+          const core::PowerReading &power, double pidCorrection) override;
+
+    std::string name() const override { return "no-adapt"; }
+};
+
+/** Run everything at the lowest available quality. */
+class AlwaysDegradePolicy : public core::AdaptationPolicy
+{
+  public:
+    core::AdaptationDecision
+    adapt(const core::TaskSystem &system, const core::Job &job,
+          const queueing::InputBuffer &buffer,
+          const core::ServiceTimeEstimator &estimator,
+          const core::PowerReading &power, double pidCorrection) override;
+
+    std::string name() const override { return "always-degrade"; }
+};
+
+/** Degrade fully once the buffer reaches a static occupancy. */
+class BufferThresholdPolicy : public core::AdaptationPolicy
+{
+  public:
+    /** @param thresholdFraction occupancy fraction in (0, 1] */
+    explicit BufferThresholdPolicy(double thresholdFraction);
+
+    core::AdaptationDecision
+    adapt(const core::TaskSystem &system, const core::Job &job,
+          const queueing::InputBuffer &buffer,
+          const core::ServiceTimeEstimator &estimator,
+          const core::PowerReading &power, double pidCorrection) override;
+
+    std::string name() const override;
+
+    double threshold() const { return thresholdFraction; }
+
+  private:
+    double thresholdFraction;
+};
+
+/** Degrade fully when input power is below a static threshold. */
+class PowerThresholdPolicy : public core::AdaptationPolicy
+{
+  public:
+    /**
+     * @param thresholdWatts degrade when measured power is below this
+     * @param label          "ZGO" or "ZGI" for reporting
+     */
+    PowerThresholdPolicy(Watts thresholdWatts, std::string label);
+
+    core::AdaptationDecision
+    adapt(const core::TaskSystem &system, const core::Job &job,
+          const queueing::InputBuffer &buffer,
+          const core::ServiceTimeEstimator &estimator,
+          const core::PowerReading &power, double pidCorrection) override;
+
+    std::string name() const override { return label; }
+
+    Watts threshold() const { return thresholdWatts; }
+
+  private:
+    Watts thresholdWatts;
+    std::string label;
+};
+
+} // namespace baselines
+} // namespace quetzal
+
+#endif // QUETZAL_BASELINES_ADAPTATION_HPP

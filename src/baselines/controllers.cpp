@@ -1,0 +1,121 @@
+#include "baselines/controllers.hpp"
+
+#include "baselines/adaptation.hpp"
+#include "baselines/policies.hpp"
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace baselines {
+
+namespace {
+
+/**
+ * Baselines predict nothing, so they carry the exact-float estimator
+ * purely for bookkeeping (reported E[S] in stats) and run without
+ * the PID loop.
+ */
+std::unique_ptr<core::Controller>
+makeFcfsController(std::string name,
+                   std::unique_ptr<core::AdaptationPolicy> adaptation)
+{
+    return std::make_unique<core::Controller>(
+        std::move(name), std::make_unique<FcfsPolicy>(),
+        std::move(adaptation),
+        std::make_unique<core::EnergyAwareEstimator>(false));
+}
+
+} // namespace
+
+std::unique_ptr<core::Controller>
+makeNoAdaptController()
+{
+    return makeFcfsController("NoAdapt",
+                              std::make_unique<NoAdaptPolicy>());
+}
+
+std::unique_ptr<core::Controller>
+makeAlwaysDegradeController()
+{
+    return makeFcfsController("AlwaysDegrade",
+                              std::make_unique<AlwaysDegradePolicy>());
+}
+
+std::unique_ptr<core::Controller>
+makeCatNapController()
+{
+    auto controller = makeFcfsController(
+        "CatNap", std::make_unique<BufferThresholdPolicy>(1.0));
+    return controller;
+}
+
+std::unique_ptr<core::Controller>
+makeBufferThresholdController(double thresholdFraction)
+{
+    return makeFcfsController(
+        util::msg("Threshold-",
+                  static_cast<int>(thresholdFraction * 100.0), "%"),
+        std::make_unique<BufferThresholdPolicy>(thresholdFraction));
+}
+
+std::unique_ptr<core::Controller>
+makePowerThresholdController(Watts thresholdWatts, const std::string &label)
+{
+    return makeFcfsController(
+        label,
+        std::make_unique<PowerThresholdPolicy>(thresholdWatts, label));
+}
+
+std::string
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::EnergyAwareSjf: return "EA-SJF";
+      case SchedulerKind::Fcfs: return "FCFS";
+      case SchedulerKind::Lcfs: return "LCFS";
+      case SchedulerKind::AvgSe2e: return "Avg-Se2e";
+    }
+    util::panic("unknown scheduler kind");
+}
+
+std::unique_ptr<core::Controller>
+makeQuetzalVariantController(SchedulerKind kind, bool useCircuit,
+                             bool usePid)
+{
+    std::unique_ptr<core::SchedulerPolicy> policy;
+    std::unique_ptr<core::ServiceTimeEstimator> estimator;
+
+    switch (kind) {
+      case SchedulerKind::EnergyAwareSjf:
+        policy = std::make_unique<core::EnergyAwareSjfPolicy>();
+        estimator = std::make_unique<core::EnergyAwareEstimator>(
+            useCircuit);
+        break;
+      case SchedulerKind::Fcfs:
+        policy = std::make_unique<FcfsPolicy>();
+        estimator = std::make_unique<core::EnergyAwareEstimator>(
+            useCircuit);
+        break;
+      case SchedulerKind::Lcfs:
+        policy = std::make_unique<LcfsPolicy>();
+        estimator = std::make_unique<core::EnergyAwareEstimator>(
+            useCircuit);
+        break;
+      case SchedulerKind::AvgSe2e:
+        // Section 7.3: the Avg. S_e2e system keeps the SJF shape and
+        // the IBO engine but feeds both from historical averages
+        // instead of power-scaled predictions.
+        policy = std::make_unique<core::EnergyAwareSjfPolicy>();
+        estimator = std::make_unique<core::AverageServiceTimeEstimator>();
+        break;
+    }
+
+    return std::make_unique<core::Controller>(
+        util::msg("Quetzal(", schedulerKindName(kind), ")"),
+        std::move(policy), std::make_unique<core::IboReactionEngine>(),
+        std::move(estimator),
+        usePid ? std::optional<core::PidConfig>(core::PidConfig{})
+               : std::nullopt);
+}
+
+} // namespace baselines
+} // namespace quetzal

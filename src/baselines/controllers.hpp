@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Factory functions assembling every controller configuration the
+ * paper evaluates (sections 6.1 and 7.3) from the shared machinery:
+ * a scheduling policy + an adaptation policy + a service-time
+ * estimator (+ optionally the PID loop).
+ */
+
+#ifndef QUETZAL_BASELINES_CONTROLLERS_HPP
+#define QUETZAL_BASELINES_CONTROLLERS_HPP
+
+#include <memory>
+#include <string>
+
+#include "core/runtime.hpp"
+
+namespace quetzal {
+namespace baselines {
+
+/** NoAdapt (NA): FCFS processing at full quality. */
+std::unique_ptr<core::Controller> makeNoAdaptController();
+
+/** AlwaysDegrade (AD): FCFS processing at lowest quality. */
+std::unique_ptr<core::Controller> makeAlwaysDegradeController();
+
+/** CatNap (CN) [62]: degrade only when the buffer is 100 % full. */
+std::unique_ptr<core::Controller> makeCatNapController();
+
+/** Fixed buffer-occupancy threshold (Figure 11 family). */
+std::unique_ptr<core::Controller>
+makeBufferThresholdController(double thresholdFraction);
+
+/**
+ * Zygarde/Protean power-threshold baseline (ZGO/ZGI).
+ * @param thresholdWatts the static degradation threshold
+ * @param label "ZGO" (datasheet-derived) or "ZGI" (oracle-derived)
+ */
+std::unique_ptr<core::Controller>
+makePowerThresholdController(Watts thresholdWatts,
+                             const std::string &label);
+
+/** Scheduling-policy variants for the Figure 12 sensitivity study. */
+enum class SchedulerKind {
+    EnergyAwareSjf, ///< the paper's Alg. 1
+    Fcfs,
+    Lcfs,
+    AvgSe2e, ///< Energy-aware SJF shape, power-blind estimator
+};
+
+/** Human-readable name for a scheduler kind. */
+std::string schedulerKindName(SchedulerKind kind);
+
+/**
+ * A Quetzal system (IBO engine + PID) with a swapped scheduling
+ * policy / estimator — the configurations of Figure 12.
+ */
+std::unique_ptr<core::Controller>
+makeQuetzalVariantController(SchedulerKind kind, bool useCircuit = true,
+                             bool usePid = true);
+
+} // namespace baselines
+} // namespace quetzal
+
+#endif // QUETZAL_BASELINES_CONTROLLERS_HPP

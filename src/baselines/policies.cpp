@@ -1,0 +1,80 @@
+#include "baselines/policies.hpp"
+
+#include <algorithm>
+
+namespace quetzal {
+namespace baselines {
+
+namespace {
+
+/**
+ * Shared scan: pick the buffered input ordered first/last by capture
+ * time (enqueue time breaks ties so re-inserted inputs order behind
+ * fresh ones captured at the same tick).
+ */
+std::optional<core::SchedulerDecision>
+selectByOrder(const core::TaskSystem &system,
+              const queueing::InputBuffer &buffer,
+              const core::ServiceTimeEstimator &estimator,
+              const core::PowerReading &power, double pidCorrection,
+              bool newestFirst)
+{
+    std::optional<std::size_t> bestIndex;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+        const auto &candidate = buffer.at(i);
+        if (candidate.inFlight)
+            continue;
+        if (!bestIndex) {
+            bestIndex = i;
+            continue;
+        }
+        const auto &best = buffer.at(*bestIndex);
+        const bool earlier =
+            candidate.captureTick < best.captureTick ||
+            (candidate.captureTick == best.captureTick &&
+             candidate.enqueueTick < best.enqueueTick);
+        if (earlier != newestFirst)
+            bestIndex = i;
+    }
+    if (!bestIndex)
+        return std::nullopt;
+
+    const auto &chosen = buffer.at(*bestIndex);
+    core::SchedulerDecision decision;
+    decision.jobId = chosen.jobId;
+    decision.bufferIndex = *bestIndex;
+    // Order-based policies do not *use* E[S], but reporting it keeps
+    // the prediction-error feedback meaningful for the IBO engine
+    // variants of Figure 12.
+    decision.expectedServiceSeconds = std::max(
+        0.0, system.expectedJobService(system.job(chosen.jobId),
+                                       estimator, power) + pidCorrection);
+    return decision;
+}
+
+} // namespace
+
+std::optional<core::SchedulerDecision>
+FcfsPolicy::select(const core::TaskSystem &system,
+                   const queueing::InputBuffer &buffer,
+                   const core::ServiceTimeEstimator &estimator,
+                   const core::PowerReading &power,
+                   double pidCorrection) const
+{
+    return selectByOrder(system, buffer, estimator, power, pidCorrection,
+                         false);
+}
+
+std::optional<core::SchedulerDecision>
+LcfsPolicy::select(const core::TaskSystem &system,
+                   const queueing::InputBuffer &buffer,
+                   const core::ServiceTimeEstimator &estimator,
+                   const core::PowerReading &power,
+                   double pidCorrection) const
+{
+    return selectByOrder(system, buffer, estimator, power, pidCorrection,
+                         true);
+}
+
+} // namespace baselines
+} // namespace quetzal

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Comparison scheduling policies (paper sections 6.1 and 7.3):
+ * First-Come-First-Served and Last-Come-First-Served. The paper uses
+ * these to motivate Energy-aware SJF — both pick by arrival order,
+ * blind to per-job service times, so neither reduces mean wait when
+ * service times diverge under changing input power.
+ */
+
+#ifndef QUETZAL_BASELINES_POLICIES_HPP
+#define QUETZAL_BASELINES_POLICIES_HPP
+
+#include "core/scheduler.hpp"
+
+namespace quetzal {
+namespace baselines {
+
+/**
+ * FCFS: process inputs in capture order (what the paper's NoAdapt
+ * hardware implementation does, section 6.2).
+ */
+class FcfsPolicy : public core::SchedulerPolicy
+{
+  public:
+    std::optional<core::SchedulerDecision>
+    select(const core::TaskSystem &system,
+           const queueing::InputBuffer &buffer,
+           const core::ServiceTimeEstimator &estimator,
+           const core::PowerReading &power,
+           double pidCorrection) const override;
+
+    std::string name() const override { return "fcfs"; }
+};
+
+/**
+ * LCFS: process the most recently captured input first.
+ */
+class LcfsPolicy : public core::SchedulerPolicy
+{
+  public:
+    std::optional<core::SchedulerDecision>
+    select(const core::TaskSystem &system,
+           const queueing::InputBuffer &buffer,
+           const core::ServiceTimeEstimator &estimator,
+           const core::PowerReading &power,
+           double pidCorrection) const override;
+
+    std::string name() const override { return "lcfs"; }
+};
+
+} // namespace baselines
+} // namespace quetzal
+
+#endif // QUETZAL_BASELINES_POLICIES_HPP

@@ -1,0 +1,114 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace core {
+
+Controller::Controller(std::string name,
+                       std::unique_ptr<SchedulerPolicy> scheduler,
+                       std::unique_ptr<AdaptationPolicy> adaptation,
+                       std::unique_ptr<ServiceTimeEstimator> estimator,
+                       std::optional<PidConfig> pidConfig)
+    : controllerName(std::move(name)), schedPolicy(std::move(scheduler)),
+      adaptPolicy(std::move(adaptation)),
+      serviceEstimator(std::move(estimator))
+{
+    if (!schedPolicy || !adaptPolicy || !serviceEstimator)
+        util::fatal("controller requires scheduler, adaptation and "
+                    "estimator");
+    if (pidConfig)
+        pid.emplace(*pidConfig);
+}
+
+std::optional<JobSelection>
+Controller::selectJob(TaskSystem &system,
+                      const queueing::InputBuffer &buffer, Watts truePower)
+{
+    ++runStats.invocations;
+    const PowerReading power = system.measureInputPower(truePower);
+    const double correction = pidCorrection();
+
+    const auto decision = schedPolicy->select(system, buffer,
+                                              *serviceEstimator, power,
+                                              correction);
+    if (!decision)
+        return std::nullopt;
+
+    const Job &job = system.job(decision->jobId);
+    const AdaptationDecision adapted = adaptPolicy->adapt(
+        system, job, buffer, *serviceEstimator, power, correction);
+
+    JobSelection selection;
+    selection.jobId = decision->jobId;
+    selection.bufferIndex = decision->bufferIndex;
+    selection.optionPerTask = adapted.optionPerTask;
+    if (selection.optionPerTask.empty())
+        selection.optionPerTask.assign(job.tasks.size(), 0);
+    selection.predictedServiceSeconds =
+        adapted.predictedServiceSeconds > 0.0 ?
+        adapted.predictedServiceSeconds : decision->expectedServiceSeconds;
+    selection.iboPredicted = adapted.iboPredicted;
+    selection.degraded = adapted.degraded;
+
+    if (adapted.iboPredicted)
+        ++runStats.iboPredictions;
+    if (adapted.degraded)
+        ++runStats.degradedJobs;
+    return selection;
+}
+
+void
+Controller::onTaskComplete(const TaskSystem &system, TaskId task,
+                           std::size_t optionIndex, double observedSeconds)
+{
+    const DegradationOption &option =
+        system.task(task).option(optionIndex);
+    serviceEstimator->recordObservation(option, observedSeconds);
+}
+
+void
+Controller::onJobComplete(TaskSystem &system, const JobSelection &selection,
+                          const std::vector<bool> &executedPerTask,
+                          double observedSeconds)
+{
+    ++runStats.jobsCompleted;
+    const Job &job = system.job(selection.jobId);
+    system.recordJobCompletion(job, executedPerTask);
+
+    if (selection.predictedServiceSeconds > 0.0) {
+        // Section 4.3: error = observed - predicted. Positive error
+        // means the job ran longer than modeled, so future E[S]
+        // predictions are inflated (degrade sooner).
+        const double error =
+            observedSeconds - selection.predictedServiceSeconds;
+        runStats.predictionError.add(error);
+        if (pid) {
+            const double dt = std::max(observedSeconds, 1e-3);
+            pid->update(error, dt);
+        }
+    }
+}
+
+double
+Controller::pidCorrection() const
+{
+    return pid ? pid->output() : 0.0;
+}
+
+std::unique_ptr<Controller>
+makeQuetzalController(const QuetzalOptions &options)
+{
+    return std::make_unique<Controller>(
+        "Quetzal",
+        std::make_unique<EnergyAwareSjfPolicy>(),
+        std::make_unique<IboReactionEngine>(),
+        std::make_unique<EnergyAwareEstimator>(options.useCircuit),
+        options.usePid ? std::optional<PidConfig>(options.pidConfig)
+                       : std::nullopt);
+}
+
+} // namespace core
+} // namespace quetzal

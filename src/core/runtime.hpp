@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Controller: the runtime object that glues a scheduling policy, an
+ * adaptation policy, a service-time estimator and (optionally) the
+ * PID error-mitigation loop into the decision pipeline of Figure 5:
+ *
+ *   input leaves queue -> scheduler selects job -> adaptation picks
+ *   degradation options -> job runs -> completion feeds the trackers,
+ *   the estimator and the PID controller.
+ *
+ * Quetzal itself is one Controller configuration (Energy-aware SJF +
+ * IBO engine + energy-aware estimator + PID); every baseline in the
+ * paper is another configuration of the same machinery, which is what
+ * makes the head-to-head experiments apples-to-apples.
+ */
+
+#ifndef QUETZAL_CORE_RUNTIME_HPP
+#define QUETZAL_CORE_RUNTIME_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ibo_engine.hpp"
+#include "core/pid.hpp"
+#include "core/scheduler.hpp"
+#include "core/system.hpp"
+#include "util/stats.hpp"
+
+namespace quetzal {
+namespace core {
+
+/** The full decision for one job execution. */
+struct JobSelection
+{
+    JobId jobId = 0;
+    std::size_t bufferIndex = 0;
+    std::vector<std::size_t> optionPerTask;
+    double predictedServiceSeconds = 0.0;
+    bool iboPredicted = false;
+    bool degraded = false;
+};
+
+/** Aggregate counters a controller accumulates over a run. */
+struct ControllerStats
+{
+    std::uint64_t invocations = 0;
+    std::uint64_t iboPredictions = 0;
+    std::uint64_t degradedJobs = 0;
+    std::uint64_t jobsCompleted = 0;
+    /** observed - predicted E[S] (only when a prediction was made). */
+    util::RunningStats predictionError;
+};
+
+/**
+ * Policy bundle + runtime feedback loops.
+ */
+class Controller
+{
+  public:
+    /**
+     * @param pidConfig enable the section-4.3 PID loop when present
+     */
+    Controller(std::string name,
+               std::unique_ptr<SchedulerPolicy> scheduler,
+               std::unique_ptr<AdaptationPolicy> adaptation,
+               std::unique_ptr<ServiceTimeEstimator> estimator,
+               std::optional<PidConfig> pidConfig = std::nullopt);
+
+    /** Display name (used in benchmark tables). */
+    const std::string &name() const { return controllerName; }
+
+    /**
+     * Run one scheduling round: measure power, select a job, choose
+     * degradation options. Returns nullopt when nothing is queued.
+     */
+    std::optional<JobSelection>
+    selectJob(TaskSystem &system, const queueing::InputBuffer &buffer,
+              Watts truePower);
+
+    /**
+     * Report one task execution's observed end-to-end time (feeds
+     * history-based estimators).
+     */
+    void onTaskComplete(const TaskSystem &system, TaskId task,
+                        std::size_t optionIndex, double observedSeconds);
+
+    /**
+     * Report job completion: updates execution-probability windows
+     * and advances the PID loop with the prediction error.
+     * @param executedPerTask which of the job's tasks actually ran
+     */
+    void onJobComplete(TaskSystem &system, const JobSelection &selection,
+                       const std::vector<bool> &executedPerTask,
+                       double observedSeconds);
+
+    /** Current PID output (0 when the loop is disabled). */
+    double pidCorrection() const;
+
+    /** Counters accumulated so far. */
+    const ControllerStats &stats() const { return runStats; }
+
+    /** Collaborator access (tests and benches). */
+    const SchedulerPolicy &scheduler() const { return *schedPolicy; }
+    const AdaptationPolicy &adaptation() const { return *adaptPolicy; }
+    ServiceTimeEstimator &estimator() { return *serviceEstimator; }
+
+  private:
+    std::string controllerName;
+    std::unique_ptr<SchedulerPolicy> schedPolicy;
+    std::unique_ptr<AdaptationPolicy> adaptPolicy;
+    std::unique_ptr<ServiceTimeEstimator> serviceEstimator;
+    std::optional<PidController> pid;
+    ControllerStats runStats;
+};
+
+/** Options for the stock Quetzal controller. */
+struct QuetzalOptions
+{
+    bool useCircuit = true; ///< Alg. 3 codes vs exact float power
+    bool usePid = true;     ///< section 4.3 error mitigation
+    PidConfig pidConfig;    ///< Table 1 gains by default
+};
+
+/**
+ * The paper's Quetzal: Energy-aware SJF + IBO engine + energy-aware
+ * estimator + PID.
+ */
+std::unique_ptr<Controller>
+makeQuetzalController(const QuetzalOptions &options = {});
+
+} // namespace core
+} // namespace quetzal
+
+#endif // QUETZAL_CORE_RUNTIME_HPP

@@ -1,0 +1,45 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+namespace quetzal {
+namespace core {
+
+std::optional<SchedulerDecision>
+EnergyAwareSjfPolicy::select(const TaskSystem &system,
+                             const queueing::InputBuffer &buffer,
+                             const ServiceTimeEstimator &estimator,
+                             const PowerReading &power,
+                             double pidCorrection) const
+{
+    std::optional<SchedulerDecision> best;
+    Tick bestCaptureTick = kTickNever;
+
+    for (const Job &job : system.jobs()) {
+        const auto index = buffer.oldestIndexForJob(job.id);
+        if (!index)
+            continue;
+
+        // Alg. 1 lines 5-8: E[S] = sum of per-task S_e2e weighted by
+        // execution probability, at the highest-quality options (the
+        // IBO engine degrades afterwards if needed). A deflating PID
+        // correction cannot push a prediction below zero.
+        const double expected = std::max(
+            0.0, system.expectedJobService(job, estimator, power) +
+                     pidCorrection);
+
+        const Tick captureTick = buffer.at(*index).captureTick;
+        const bool better = !best ||
+            expected < best->expectedServiceSeconds ||
+            (expected == best->expectedServiceSeconds &&
+             captureTick < bestCaptureTick);
+        if (better) {
+            best = SchedulerDecision{job.id, *index, expected};
+            bestCaptureTick = captureTick;
+        }
+    }
+    return best;
+}
+
+} // namespace core
+} // namespace quetzal

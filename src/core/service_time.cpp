@@ -1,0 +1,79 @@
+#include "core/service_time.hpp"
+
+#include <cmath>
+
+#include "hw/ratio_engine.hpp"
+
+namespace quetzal {
+namespace core {
+
+EnergyAwareEstimator::EnergyAwareEstimator(bool useCircuit)
+    : circuitPath(useCircuit)
+{
+}
+
+double
+EnergyAwareEstimator::estimate(const DegradationOption &option,
+                               const PowerReading &power) const
+{
+    if (circuitPath) {
+        const Tick ticks =
+            hw::RatioEngine::serviceTicks(option.hwProfile, power.code);
+        if (ticks == kTickNever) {
+            // Saturated shift: effectively no harvestable power.
+            return 1e9;
+        }
+        return ticksToSeconds(ticks);
+    }
+    const double exact = hw::RatioEngine::exactServiceSeconds(
+        option.exeSeconds(), option.execPower, power.watts);
+    return std::isinf(exact) ? 1e9 : exact;
+}
+
+std::string
+EnergyAwareEstimator::name() const
+{
+    return circuitPath ? "energy-aware(circuit)" : "energy-aware(exact)";
+}
+
+AverageServiceTimeEstimator::Key
+AverageServiceTimeEstimator::keyFor(const DegradationOption &option)
+{
+    return {option.exeTicks,
+            static_cast<long long>(std::llround(option.execPower * 1e9))};
+}
+
+double
+AverageServiceTimeEstimator::estimate(const DegradationOption &option,
+                                      const PowerReading &power) const
+{
+    (void)power; // deliberately power-blind (the paper's Avg. S_e2e)
+    const auto it = history.find(keyFor(option));
+    if (it == history.end() || it->second.count() == 0)
+        return option.exeSeconds();
+    return it->second.mean();
+}
+
+void
+AverageServiceTimeEstimator::recordObservation(
+        const DegradationOption &option, double observedSeconds)
+{
+    history[keyFor(option)].add(observedSeconds);
+}
+
+std::string
+AverageServiceTimeEstimator::name() const
+{
+    return "avg-se2e";
+}
+
+std::size_t
+AverageServiceTimeEstimator::observationCount(
+        const DegradationOption &option) const
+{
+    const auto it = history.find(keyFor(option));
+    return it == history.end() ? 0 : it->second.count();
+}
+
+} // namespace core
+} // namespace quetzal

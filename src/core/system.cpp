@@ -1,0 +1,166 @@
+#include "core/system.hpp"
+
+#include "hw/ratio_engine.hpp"
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace core {
+
+TaskSystem::TaskSystem(const SystemConfig &config)
+    : cfg(config), monitor(config.circuit),
+      arrivalTracker(config.arrivalWindow, config.captureHz)
+{
+}
+
+TaskId
+TaskSystem::addTask(const std::string &name,
+                    const std::vector<DegradationOptionSpec> &options)
+{
+    if (taskList.size() >= kMaxTasks)
+        util::fatal(util::msg("task limit of ", kMaxTasks, " exceeded"));
+    if (options.empty())
+        util::fatal(util::msg("task '", name, "' needs options"));
+
+    std::vector<DegradationOption> profiled;
+    profiled.reserve(options.size());
+    for (const auto &spec : options) {
+        DegradationOption opt;
+        opt.name = spec.name;
+        opt.exeTicks = spec.exeTicks;
+        opt.execPower = spec.execPower;
+        // Profile phase (paper section 4.1): run the option while the
+        // circuit measures its execution power; record the ADC code
+        // and fill the premultiplied latency table.
+        monitor.setExecutionPower(spec.execPower);
+        const std::uint8_t code = monitor.measureExecutionCode();
+        opt.hwProfile = hw::RatioEngine::makeProfile(spec.exeTicks, code);
+        profiled.push_back(std::move(opt));
+    }
+
+    const auto id = static_cast<TaskId>(taskList.size());
+    taskList.emplace_back(id, name, std::move(profiled));
+    probTrackers.emplace_back(cfg.taskWindow);
+    return id;
+}
+
+JobId
+TaskSystem::addJob(const std::string &name,
+                   const std::vector<TaskId> &tasks,
+                   std::optional<JobId> onPositive)
+{
+    if (tasks.empty())
+        util::fatal(util::msg("job '", name, "' needs tasks"));
+
+    Job job;
+    job.id = static_cast<JobId>(jobList.size());
+    job.name = name;
+    job.tasks = tasks;
+    job.onPositive = onPositive;
+
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (tasks[i] >= taskList.size())
+            util::fatal(util::msg("job '", name, "' references unknown "
+                                  "task ", tasks[i]));
+        if (taskList[tasks[i]].degradable()) {
+            if (job.degradableIndex)
+                util::fatal(util::msg("job '", name, "' has more than "
+                                      "one degradable task"));
+            job.degradableIndex = i;
+        }
+    }
+
+    jobList.push_back(std::move(job));
+    return jobList.back().id;
+}
+
+const Task &
+TaskSystem::task(TaskId id) const
+{
+    if (id >= taskList.size())
+        util::panic(util::msg("unknown task id ", id));
+    return taskList[id];
+}
+
+const Job &
+TaskSystem::job(JobId id) const
+{
+    if (id >= jobList.size())
+        util::panic(util::msg("unknown job id ", id));
+    return jobList[id];
+}
+
+void
+TaskSystem::recordCapture(bool stored)
+{
+    arrivalTracker.recordCapture(stored);
+}
+
+void
+TaskSystem::recordSpawn()
+{
+    arrivalTracker.recordInsertion();
+}
+
+double
+TaskSystem::arrivalsPerSecond() const
+{
+    return arrivalTracker.arrivalsPerSecond();
+}
+
+void
+TaskSystem::recordJobCompletion(const Job &job,
+                                const std::vector<bool> &executedPerTask)
+{
+    if (executedPerTask.size() != job.tasks.size())
+        util::panic("executed flags do not match job task count");
+
+    // Atomic window update (paper section 5.1): one bit per task of
+    // the completed job. The estimate is the probability a task runs
+    // *given its job was scheduled* — exactly the weight Alg. 1 needs
+    // (conditional tasks inside a job dilute its E[S]; tasks of other
+    // jobs are not diluted by this job's completions).
+    for (std::size_t i = 0; i < job.tasks.size(); ++i)
+        probTrackers[job.tasks[i]].recordExecution(executedPerTask[i]);
+}
+
+double
+TaskSystem::executionProbability(TaskId id) const
+{
+    if (id >= probTrackers.size())
+        util::panic(util::msg("unknown task id ", id));
+    return probTrackers[id].probability();
+}
+
+PowerReading
+TaskSystem::measureInputPower(Watts truePower)
+{
+    monitor.setInputPower(truePower);
+    PowerReading reading;
+    reading.watts = truePower;
+    reading.code = monitor.measureInputCode();
+    return reading;
+}
+
+double
+TaskSystem::expectedJobService(const Job &job,
+                               const ServiceTimeEstimator &estimator,
+                               const PowerReading &power,
+                               const std::vector<std::size_t>
+                                   &optionPerTask) const
+{
+    if (!optionPerTask.empty() && optionPerTask.size() != job.tasks.size())
+        util::panic("option choices do not match job task count");
+
+    double expected = 0.0;
+    for (std::size_t i = 0; i < job.tasks.size(); ++i) {
+        const Task &t = task(job.tasks[i]);
+        const std::size_t optIdx =
+            optionPerTask.empty() ? 0 : optionPerTask[i];
+        expected += executionProbability(t.id()) *
+            estimator.estimate(t.option(optIdx), power);
+    }
+    return expected;
+}
+
+} // namespace core
+} // namespace quetzal

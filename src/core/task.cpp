@@ -1,0 +1,49 @@
+#include "core/task.hpp"
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace core {
+
+Task::Task(TaskId id, std::string name,
+           std::vector<DegradationOption> options)
+    : taskId(id), taskName(std::move(name)), opts(std::move(options))
+{
+    if (opts.empty())
+        util::fatal(util::msg("task '", taskName,
+                              "' needs at least one option"));
+    if (opts.size() > kMaxOptionsPerTask)
+        util::fatal(util::msg("task '", taskName, "' exceeds ",
+                              kMaxOptionsPerTask, " degradation options"));
+    for (const auto &opt : opts) {
+        if (opt.exeTicks <= 0)
+            util::fatal(util::msg("task '", taskName, "' option '",
+                                  opt.name, "' has non-positive latency"));
+        if (opt.execPower <= 0.0)
+            util::fatal(util::msg("task '", taskName, "' option '",
+                                  opt.name, "' has non-positive power"));
+    }
+}
+
+const DegradationOption &
+Task::option(std::size_t index) const
+{
+    if (index >= opts.size())
+        util::panic(util::msg("task '", taskName, "' option index ",
+                              index, " out of range"));
+    return opts[index];
+}
+
+std::size_t
+Task::fastestOptionIndex() const
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < opts.size(); ++i) {
+        if (opts[i].exeTicks < opts[best].exeTicks)
+            best = i;
+    }
+    return best;
+}
+
+} // namespace core
+} // namespace quetzal

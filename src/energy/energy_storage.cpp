@@ -1,0 +1,76 @@
+#include "energy/energy_storage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace energy {
+
+Joules
+StorageConfig::capacity() const
+{
+    return 0.5 * capacitance * (vMax * vMax - vOff * vOff);
+}
+
+Joules
+StorageConfig::restartEnergy() const
+{
+    return 0.5 * capacitance * (vOn * vOn - vOff * vOff);
+}
+
+EnergyStorage::EnergyStorage(const StorageConfig &config, bool startFull)
+    : cfg(config), cap(config.capacity()),
+      stored(startFull ? cap : 0.0)
+{
+    if (cfg.capacitance <= 0.0)
+        util::fatal("storage capacitance must be positive");
+    if (!(cfg.vOff < cfg.vOn && cfg.vOn <= cfg.vMax))
+        util::fatal(util::msg("storage voltage window invalid: vOff=",
+                              cfg.vOff, " vOn=", cfg.vOn, " vMax=",
+                              cfg.vMax));
+}
+
+Volts
+EnergyStorage::voltage() const
+{
+    // E = C/2 (V^2 - vOff^2)  =>  V = sqrt(2E/C + vOff^2)
+    return std::sqrt(2.0 * stored / cfg.capacitance +
+                     cfg.vOff * cfg.vOff);
+}
+
+Joules
+EnergyStorage::harvest(Joules amount)
+{
+    if (amount < 0.0)
+        util::panic("EnergyStorage::harvest of negative energy");
+    const Joules accepted = std::min(amount, cap - stored);
+    stored += accepted;
+    return accepted;
+}
+
+Joules
+EnergyStorage::draw(Joules amount)
+{
+    if (amount < 0.0)
+        util::panic("EnergyStorage::draw of negative energy");
+    const Joules delivered = std::min(amount, stored);
+    stored -= delivered;
+    return delivered;
+}
+
+Joules
+EnergyStorage::deficitToRestart() const
+{
+    return std::max(0.0, cfg.restartEnergy() - stored);
+}
+
+void
+EnergyStorage::reset(bool startFull)
+{
+    stored = startFull ? cap : 0.0;
+}
+
+} // namespace energy
+} // namespace quetzal

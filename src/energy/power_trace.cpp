@@ -1,0 +1,161 @@
+#include "energy/power_trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace energy {
+
+PowerTrace::PowerTrace(std::vector<Segment> segments_)
+    : segments(std::move(segments_))
+{
+    for (std::size_t i = 1; i < segments.size(); ++i) {
+        if (segments[i].start <= segments[i - 1].start)
+            util::panic("PowerTrace segments must be strictly sorted");
+    }
+}
+
+PowerTrace
+PowerTrace::fromSamples(const std::vector<double> &samples, Tick interval)
+{
+    if (interval <= 0)
+        util::panic("PowerTrace sample interval must be positive");
+    std::vector<Segment> segments;
+    segments.reserve(samples.size());
+    Tick start = 0;
+    for (double sample : samples) {
+        // Merge runs of equal values to keep segment queries cheap.
+        if (segments.empty() || segments.back().value != sample)
+            segments.push_back({start, sample});
+        start += interval;
+    }
+    return PowerTrace(std::move(segments));
+}
+
+PowerTrace
+PowerTrace::constant(double value)
+{
+    return PowerTrace({{0, value}});
+}
+
+void
+PowerTrace::append(Tick start, double value)
+{
+    if (!segments.empty() && start <= segments.back().start)
+        util::panic(util::msg("PowerTrace::append out of order: ", start));
+    segments.push_back({start, value});
+}
+
+double
+PowerTrace::valueAt(Tick tick) const
+{
+    if (segments.empty())
+        return 0.0;
+    // First segment starting after tick; the one before it holds.
+    auto it = std::upper_bound(
+        segments.begin(), segments.end(), tick,
+        [](Tick t, const Segment &seg) { return t < seg.start; });
+    if (it == segments.begin())
+        return segments.front().value;
+    return std::prev(it)->value;
+}
+
+Tick
+PowerTrace::nextChangeAfter(Tick tick) const
+{
+    const double current = valueAt(tick);
+    auto it = std::upper_bound(
+        segments.begin(), segments.end(), tick,
+        [](Tick t, const Segment &seg) { return t < seg.start; });
+    // Skip forward over segments that do not actually change the value
+    // (possible when a trace was built via append with equal values).
+    while (it != segments.end() && it->value == current)
+        ++it;
+    if (it == segments.end())
+        return kTickNever;
+    return it->start;
+}
+
+double
+PowerTrace::maxValue() const
+{
+    double best = 0.0;
+    for (const auto &seg : segments)
+        best = std::max(best, seg.value);
+    return best;
+}
+
+double
+PowerTrace::minValue() const
+{
+    if (segments.empty())
+        return 0.0;
+    double best = segments.front().value;
+    for (const auto &seg : segments)
+        best = std::min(best, seg.value);
+    return best;
+}
+
+double
+PowerTrace::meanValue(Tick horizon) const
+{
+    if (horizon <= 0 || segments.empty())
+        return 0.0;
+    // The first segment's value extends backward to tick 0; the last
+    // segment's value extends forward forever.
+    double weighted = 0.0;
+    Tick covered = 0;
+    double value = segments.front().value;
+    for (const auto &seg : segments) {
+        const Tick end = std::min(seg.start, horizon);
+        if (end > covered) {
+            weighted += value * static_cast<double>(end - covered);
+            covered = end;
+        }
+        value = seg.value;
+        if (covered >= horizon)
+            break;
+    }
+    if (horizon > covered)
+        weighted += value * static_cast<double>(horizon - covered);
+    return weighted / static_cast<double>(horizon);
+}
+
+PowerTrace
+PowerTrace::scaled(double factor) const
+{
+    std::vector<Segment> copy = segments;
+    for (auto &seg : copy)
+        seg.value *= factor;
+    return PowerTrace(std::move(copy));
+}
+
+void
+PowerTrace::writeCsv(std::ostream &out) const
+{
+    util::CsvWriter writer(out);
+    writer.comment("time_seconds,value");
+    for (const auto &seg : segments)
+        writer.row(std::vector<double>{ticksToSeconds(seg.start),
+                                       seg.value});
+}
+
+PowerTrace
+PowerTrace::readCsv(std::istream &in)
+{
+    std::vector<Segment> segments;
+    for (const auto &row : util::readCsv(in)) {
+        if (row.size() != 2)
+            util::fatal("power trace CSV rows must be time,value");
+        segments.push_back({secondsToTicks(util::parseDouble(row[0])),
+                            util::parseDouble(row[1])});
+    }
+    return PowerTrace(std::move(segments));
+}
+
+} // namespace energy
+} // namespace quetzal

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Piecewise-constant scalar traces over simulated time.
+ *
+ * The environment side of every experiment is a trace: solar
+ * irradiance (dimensionless, [0,1]) produced by energy::SolarModel,
+ * or absolute harvested power in watts after scaling through
+ * energy::Harvester. Traces support O(log n) point queries plus the
+ * segment-boundary query the segment-batched simulator needs to
+ * advance in O(1) through constant-power stretches.
+ */
+
+#ifndef QUETZAL_ENERGY_POWER_TRACE_HPP
+#define QUETZAL_ENERGY_POWER_TRACE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace energy {
+
+/**
+ * A right-open piecewise-constant function of time. The value before
+ * the first segment and after the last segment's start is the nearest
+ * segment's value (the trace extends its final value forever).
+ */
+class PowerTrace
+{
+  public:
+    /** One segment: the value holds from start until the next start. */
+    struct Segment
+    {
+        Tick start = 0;
+        double value = 0.0;
+    };
+
+    /** Empty trace; valueAt() returns 0 until segments are added. */
+    PowerTrace() = default;
+
+    /** Construct from pre-sorted segments (panics if unsorted). */
+    explicit PowerTrace(std::vector<Segment> segments);
+
+    /**
+     * Construct from uniformly spaced samples starting at tick 0.
+     * @param samples one value per interval
+     * @param interval ticks between samples (> 0)
+     */
+    static PowerTrace fromSamples(const std::vector<double> &samples,
+                                  Tick interval);
+
+    /** Constant-valued trace. */
+    static PowerTrace constant(double value);
+
+    /** Append a segment; start must exceed the previous start. */
+    void append(Tick start, double value);
+
+    /** Value at the given tick. */
+    double valueAt(Tick tick) const;
+
+    /**
+     * First tick strictly after `tick` at which the value changes,
+     * or kTickNever if the value is constant from `tick` onward.
+     */
+    Tick nextChangeAfter(Tick tick) const;
+
+    /** Number of segments. */
+    std::size_t segmentCount() const { return segments.size(); }
+
+    /** Read-only access to segments. */
+    const std::vector<Segment> &data() const { return segments; }
+
+    /** Largest value over all segments (0 for an empty trace). */
+    double maxValue() const;
+
+    /** Smallest value over all segments (0 for an empty trace). */
+    double minValue() const;
+
+    /**
+     * Time-weighted mean value over [0, horizon).
+     */
+    double meanValue(Tick horizon) const;
+
+    /** Return a copy with every value multiplied by factor. */
+    PowerTrace scaled(double factor) const;
+
+    /**
+     * Serialize as CSV rows "time_seconds,value".
+     */
+    void writeCsv(std::ostream &out) const;
+
+    /**
+     * Parse from CSV rows "time_seconds,value" (comments allowed).
+     * Calls fatal() on malformed input.
+     */
+    static PowerTrace readCsv(std::istream &in);
+
+  private:
+    std::vector<Segment> segments;
+};
+
+} // namespace energy
+} // namespace quetzal
+
+#endif // QUETZAL_ENERGY_POWER_TRACE_HPP

@@ -1,0 +1,85 @@
+#include "energy/solar_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace quetzal {
+namespace energy {
+
+SolarModel::SolarModel(const SolarConfig &config) : cfg(config)
+{
+    if (cfg.sampleSeconds <= 0.0)
+        util::fatal("solar sample period must be positive");
+    if (cfg.dayLengthSeconds <= 0.0)
+        util::fatal("solar day length must be positive");
+    if (cfg.dayFraction <= 0.0 || cfg.dayFraction > 1.0)
+        util::fatal("solar day fraction must be in (0, 1]");
+    if (cfg.ambientFloor < 0.0 || cfg.peakIrradiance <= cfg.ambientFloor)
+        util::fatal("solar irradiance bounds invalid");
+    if (cfg.cloudDepth < 0.0 || cfg.cloudDepth >= 1.0)
+        util::fatal("cloud depth must be in [0, 1)");
+    if (cfg.cloudPersistence < 0.0 || cfg.cloudPersistence >= 1.0)
+        util::fatal("cloud persistence must be in [0, 1)");
+}
+
+PowerTrace
+SolarModel::generate(Tick duration) const
+{
+    if (duration <= 0)
+        util::fatal("solar trace duration must be positive");
+
+    util::Rng rng(cfg.seed);
+    const auto sampleTicks = secondsToTicks(cfg.sampleSeconds);
+    const auto samples = static_cast<std::size_t>(
+        (duration + sampleTicks - 1) / sampleTicks);
+
+    std::vector<double> values;
+    values.reserve(samples);
+
+    // Cloud attenuation state: 1 == clear, (1 - cloudDepth) == fully
+    // occluded. A persistence-smoothed walk toward occasionally
+    // re-drawn targets gives minute-scale correlated fluctuation.
+    double cloud = 1.0;
+    double cloudTarget = 1.0;
+
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double t = static_cast<double>(i) * cfg.sampleSeconds +
+            cfg.startOffsetSeconds;
+        const double dayPos = std::fmod(t, cfg.dayLengthSeconds) /
+            cfg.dayLengthSeconds;
+
+        // Clear-sky diurnal arc: zero at night, a raised sine across
+        // the daylight window centered on local noon (dayPos 0.5).
+        // The 1.5 exponent narrows the midday peak the way real
+        // insolation curves do.
+        double clearSky = 0.0;
+        const double sunrise = 0.5 - cfg.dayFraction / 2.0;
+        if (dayPos >= sunrise && dayPos < sunrise + cfg.dayFraction) {
+            const double arc = std::sin(
+                M_PI * (dayPos - sunrise) / cfg.dayFraction);
+            clearSky = cfg.peakIrradiance * std::pow(arc, 1.5);
+        }
+
+        if (rng.bernoulli(cfg.cloudChangeProb)) {
+            // New cloud target; biased draw so deep occlusions are
+            // common but not permanent.
+            const double occlusion = rng.uniform01();
+            cloudTarget = 1.0 - cfg.cloudDepth * occlusion * occlusion;
+        }
+        cloud = cfg.cloudPersistence * cloud +
+            (1.0 - cfg.cloudPersistence) * cloudTarget;
+
+        const double irradiance =
+            std::max(cfg.ambientFloor, clearSky * cloud);
+        values.push_back(irradiance);
+    }
+
+    return PowerTrace::fromSamples(values, sampleTicks);
+}
+
+} // namespace energy
+} // namespace quetzal

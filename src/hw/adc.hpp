@@ -1,0 +1,64 @@
+/**
+ * @file
+ * 8-bit analog-to-digital converter model.
+ *
+ * The paper's circuit reads diode voltages through a low-power 8-bit
+ * ADC with V_ADCMax = 0.6 V, chosen so that one ADC code corresponds
+ * to almost exactly 1/8 of a binary order of magnitude of current
+ * ratio for junction temperatures between 25 and 50 C (section 5.1).
+ */
+
+#ifndef QUETZAL_HW_ADC_HPP
+#define QUETZAL_HW_ADC_HPP
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace hw {
+
+/** Configuration for an Adc8. */
+struct AdcConfig
+{
+    Volts vRef = 0.6;       ///< full-scale voltage (paper's V_ADCMax)
+    double noiseLsb = 0.0;  ///< std-dev of additive noise, in LSBs
+};
+
+/**
+ * An 8-bit ADC: quantizes [0, vRef] to codes 0..255 with optional
+ * Gaussian code noise (used by robustness tests).
+ */
+class Adc8
+{
+  public:
+    explicit Adc8(const AdcConfig &config = {});
+
+    /** Static configuration. */
+    const AdcConfig &config() const { return cfg; }
+
+    /** Volts represented by one code step. */
+    Volts lsbVolts() const;
+
+    /** Quantize a voltage to a code (saturating at 0 and 255). */
+    std::uint8_t sample(Volts voltage) const;
+
+    /**
+     * Quantize with additive Gaussian noise of cfg.noiseLsb LSBs;
+     * noise is drawn from the provided value in [-0.5, 0.5) scaled —
+     * caller supplies the noise draw so the ADC itself stays
+     * deterministic and easily testable.
+     */
+    std::uint8_t sampleNoisy(Volts voltage, double noiseDraw) const;
+
+    /** Reconstruct the voltage a code represents (bin center). */
+    Volts voltageForCode(std::uint8_t code) const;
+
+  private:
+    AdcConfig cfg;
+};
+
+} // namespace hw
+} // namespace quetzal
+
+#endif // QUETZAL_HW_ADC_HPP

@@ -1,0 +1,131 @@
+#include "hw/mcu_model.hpp"
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace hw {
+
+McuProfile
+msp430fr5994Profile()
+{
+    McuProfile mcu;
+    mcu.name = "MSP430FR5994";
+    // Low-power operating point (the paper's overhead figures are
+    // consistent with a ~1 MHz DCO clock, the MSP430's low-power
+    // default: 10 inv/s x 36 ratio ops x 158 cycles ~= 6 % of 1 MHz).
+    mcu.clockHz = 1e6;
+    mcu.hasHardwareDivider = false;
+    mcu.activePower = 0.9e-3;
+    mcu.softwareDivision = {158, 49.37}; // paper section 5.1
+    mcu.hardwareDivider = {0, 0.0};      // absent
+    mcu.quetzalModule = {12, 3.75};      // paper section 5.1
+    mcu.perRatioOverheadCycles = 0;      // paper counts the op alone
+    return mcu;
+}
+
+McuProfile
+apollo4Profile()
+{
+    McuProfile mcu;
+    mcu.name = "Apollo4";
+    mcu.clockHz = 192e6;
+    mcu.hasHardwareDivider = true;
+    mcu.activePower = 15e-3;
+    mcu.softwareDivision = {120, 3.8};   // unused in practice (hw div)
+    mcu.hardwareDivider = {13, 0.4};     // paper section 5.1
+    mcu.quetzalModule = {5, 0.16};       // paper section 5.1
+    // Bookkeeping (loads, window updates, branches) dominates the
+    // 5-cycle module op on a 192 MHz core; 100 cycles/ratio lands the
+    // total at the paper's 0.02 % overhead figure.
+    mcu.perRatioOverheadCycles = 100;
+    return mcu;
+}
+
+McuModel::McuModel(McuProfile profile) : mcu(std::move(profile))
+{
+    if (mcu.clockHz <= 0.0)
+        util::fatal("MCU clock must be positive");
+}
+
+OpCost
+McuModel::ratioCost(RatioStrategy strategy) const
+{
+    switch (strategy) {
+      case RatioStrategy::SoftwareDivision:
+        return mcu.softwareDivision;
+      case RatioStrategy::HardwareDivider:
+        if (!mcu.hasHardwareDivider)
+            util::fatal(util::msg(mcu.name, " has no hardware divider"));
+        return mcu.hardwareDivider;
+      case RatioStrategy::QuetzalModule:
+        return mcu.quetzalModule;
+    }
+    util::panic("unknown ratio strategy");
+}
+
+std::uint32_t
+McuModel::ratiosPerInvocation(std::uint32_t tasks,
+                              std::uint32_t optionsPerTask)
+{
+    // Alg. 1 evaluates one S_e2e per task; Alg. 2 re-evaluates one
+    // per degradation option of the selected job's degradable task.
+    return tasks + optionsPerTask;
+}
+
+std::uint64_t
+McuModel::cyclesPerInvocation(RatioStrategy strategy, std::uint32_t tasks,
+                              std::uint32_t optionsPerTask) const
+{
+    const std::uint64_t perRatio =
+        ratioCost(strategy).cycles + mcu.perRatioOverheadCycles;
+    return perRatio * ratiosPerInvocation(tasks, optionsPerTask);
+}
+
+double
+McuModel::overheadFraction(RatioStrategy strategy, std::uint32_t tasks,
+                           std::uint32_t optionsPerTask,
+                           double invocationsPerSecond) const
+{
+    const double cyclesPerSecond = invocationsPerSecond *
+        static_cast<double>(
+            cyclesPerInvocation(strategy, tasks, optionsPerTask));
+    return cyclesPerSecond / mcu.clockHz;
+}
+
+Joules
+McuModel::ratioEnergyPerInvocation(RatioStrategy strategy,
+                                   std::uint32_t tasks,
+                                   std::uint32_t optionsPerTask) const
+{
+    return ratioCost(strategy).nanojoules * 1e-9 *
+        ratiosPerInvocation(tasks, optionsPerTask);
+}
+
+double
+McuModel::secondsPerInvocation(RatioStrategy strategy,
+                               std::uint32_t tasks,
+                               std::uint32_t optionsPerTask) const
+{
+    return static_cast<double>(
+        cyclesPerInvocation(strategy, tasks, optionsPerTask)) /
+        mcu.clockHz;
+}
+
+std::size_t
+McuModel::footprintBytes(std::uint32_t tasks, std::uint32_t optionsPerTask,
+                         std::uint32_t taskWindowBits,
+                         std::uint32_t arrivalWindowBits)
+{
+    // On-device widths: premult table entries are uint16 ticks
+    // (premult[0] doubles as t_exe), power codes are uint8.
+    const std::size_t perOption = 8 * 2 + 1;
+    // Per task: execution-history bit window plus a uint8 1s-counter.
+    const std::size_t perTask = taskWindowBits / 8 + 1;
+    const std::size_t arrival = arrivalWindowBits / 8 + 2;
+    const std::size_t engineState = 16; // PID state, cursors, lambda
+    return static_cast<std::size_t>(tasks) * optionsPerTask * perOption +
+        static_cast<std::size_t>(tasks) * perTask + arrival + engineState;
+}
+
+} // namespace hw
+} // namespace quetzal

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Microcontroller cost models (paper section 5.1 "Costs and
+ * Overheads").
+ *
+ * Quetzal is evaluated on two MCUs: the TI MSP430FR5994 (no hardware
+ * divider; a software 32-bit division costs hundreds of cycles) and
+ * the Ambiq Apollo 4 (Cortex-M4F with a hardware divider). The model
+ * carries the paper's per-operation cycle and energy costs verbatim
+ * and derives (a) the runtime overhead fraction of each ratio-
+ * computation strategy and (b) the on-device memory footprint of the
+ * Quetzal runtime state.
+ */
+
+#ifndef QUETZAL_HW_MCU_MODEL_HPP
+#define QUETZAL_HW_MCU_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace hw {
+
+/** How the runtime evaluates the P_exe/P_in ratio. */
+enum class RatioStrategy {
+    SoftwareDivision, ///< compiler-emitted division routine
+    HardwareDivider,  ///< native divide instruction (if present)
+    QuetzalModule,    ///< Alg. 3: subtract/lookup/shift/multiply
+};
+
+/** Cost of one ratio evaluation under some strategy. */
+struct OpCost
+{
+    std::uint32_t cycles = 0;  ///< core cycles per evaluation
+    double nanojoules = 0.0;   ///< energy per evaluation
+};
+
+/** A microcontroller's static cost parameters. */
+struct McuProfile
+{
+    std::string name;
+    double clockHz = 16e6;
+    bool hasHardwareDivider = false;
+    /** Average active-mode power while computing. */
+    Watts activePower = 3e-3;
+    /** Cost of one ratio evaluation via software division. */
+    OpCost softwareDivision;
+    /** Cost via the native divider (zeroed when absent). */
+    OpCost hardwareDivider;
+    /** Cost via the Quetzal hardware module (Alg. 3). */
+    OpCost quetzalModule;
+    /**
+     * Fixed bookkeeping cycles per ratio evaluation (loads, window
+     * updates, compare/branch) independent of the strategy. Chosen so
+     * the derived overhead fractions land on the paper's reported
+     * figures (6.2 % -> 0.4 % on MSP430 at 10 invocations/s with 32
+     * tasks x 4 options; 0.02 % on Apollo 4).
+     */
+    std::uint32_t perRatioOverheadCycles = 0;
+};
+
+/** The paper's two evaluation MCUs. */
+McuProfile msp430fr5994Profile();
+McuProfile apollo4Profile();
+
+/**
+ * Analytic overhead/footprint model over an McuProfile.
+ */
+class McuModel
+{
+  public:
+    explicit McuModel(McuProfile profile);
+
+    /** Static profile. */
+    const McuProfile &profile() const { return mcu; }
+
+    /** Cost of one ratio evaluation under a strategy. */
+    OpCost ratioCost(RatioStrategy strategy) const;
+
+    /**
+     * Ratio evaluations per scheduler invocation: one per task plus
+     * one per degradation option considered (paper: "num_tasks +
+     * num_degradation_options" divisions per invocation, with 32
+     * tasks x 4 options in the costing scenario).
+     */
+    static std::uint32_t ratiosPerInvocation(std::uint32_t tasks,
+                                             std::uint32_t optionsPerTask);
+
+    /** Core cycles consumed by one scheduler invocation. */
+    std::uint64_t cyclesPerInvocation(RatioStrategy strategy,
+                                      std::uint32_t tasks,
+                                      std::uint32_t optionsPerTask) const;
+
+    /**
+     * Fraction of the MCU's cycle budget spent in Quetzal at the
+     * given invocation rate (paper: 10 invocations/s).
+     */
+    double overheadFraction(RatioStrategy strategy, std::uint32_t tasks,
+                            std::uint32_t optionsPerTask,
+                            double invocationsPerSecond) const;
+
+    /** Energy per invocation spent on ratio evaluations (joules). */
+    Joules ratioEnergyPerInvocation(RatioStrategy strategy,
+                                    std::uint32_t tasks,
+                                    std::uint32_t optionsPerTask) const;
+
+    /** Wall-clock time of one invocation at the core clock. */
+    double secondsPerInvocation(RatioStrategy strategy,
+                                std::uint32_t tasks,
+                                std::uint32_t optionsPerTask) const;
+
+    /**
+     * On-device memory footprint (bytes) of the Quetzal runtime state
+     * for a task/option population, using MCU-width fields: per
+     * option an 8-entry uint16 premult table, uint16 t_exe and uint8
+     * power code; per task a <task-window>-bit execution history; one
+     * <arrival-window>-bit arrival history; fixed engine state.
+     * With 32 tasks x 4 options and the paper's windows this lands at
+     * the paper's reported 2,360 B scale.
+     */
+    static std::size_t footprintBytes(std::uint32_t tasks,
+                                      std::uint32_t optionsPerTask,
+                                      std::uint32_t taskWindowBits,
+                                      std::uint32_t arrivalWindowBits);
+
+  private:
+    McuProfile mcu;
+};
+
+} // namespace hw
+} // namespace quetzal
+
+#endif // QUETZAL_HW_MCU_MODEL_HPP

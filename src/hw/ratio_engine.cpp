@@ -1,0 +1,72 @@
+#include "hw/ratio_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace hw {
+
+TaskPowerProfile
+RatioEngine::makeProfile(Tick exeTicks, std::uint8_t execCode)
+{
+    if (exeTicks <= 0)
+        util::panic(util::msg("task latency must be positive: ",
+                              exeTicks));
+    if (exeTicks > 0xffffffffll)
+        util::panic("task latency exceeds 32-bit tick budget");
+
+    TaskPowerProfile profile;
+    profile.exeTicks = static_cast<std::uint32_t>(exeTicks);
+    profile.execCode = execCode;
+    for (std::size_t k = 0; k < profile.premultTicks.size(); ++k) {
+        const double scaled = static_cast<double>(exeTicks) *
+            std::pow(2.0, static_cast<double>(k) / 8.0);
+        profile.premultTicks[k] =
+            static_cast<std::uint32_t>(std::lround(scaled));
+    }
+    return profile;
+}
+
+Tick
+RatioEngine::serviceTicks(const TaskPowerProfile &profile,
+                          std::uint8_t inputCode)
+{
+    // Hot path: subtraction, mask, shifts, lookup. No division.
+    if (inputCode >= profile.execCode)
+        return static_cast<Tick>(profile.premultTicks[0]);
+
+    const std::uint8_t delta =
+        static_cast<std::uint8_t>(profile.execCode - inputCode);
+    const unsigned shift = delta >> 3;
+    const std::uint32_t base = profile.premultTicks[delta & 0x07];
+
+    if (shift >= 62)
+        return kTickNever;
+    const std::uint64_t result = static_cast<std::uint64_t>(base) << shift;
+    // Anything beyond 2^62 ticks (~146 million years) is "never".
+    if (result >= (std::uint64_t{1} << 62))
+        return kTickNever;
+    return static_cast<Tick>(result);
+}
+
+double
+RatioEngine::impliedRatio(std::uint8_t delta)
+{
+    return std::pow(2.0, static_cast<double>(delta) / 8.0);
+}
+
+double
+RatioEngine::exactServiceSeconds(double exeSeconds, Watts pExe, Watts pIn)
+{
+    if (exeSeconds < 0.0)
+        util::panic("negative execution time");
+    if (pIn <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return std::max(exeSeconds, exeSeconds * pExe / pIn);
+}
+
+} // namespace hw
+} // namespace quetzal

@@ -1,0 +1,89 @@
+#include "queueing/bitvector_window.hpp"
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace queueing {
+
+BitVectorWindow::BitVectorWindow(std::uint32_t windowBits_)
+    : windowBits(windowBits_), words((windowBits_ + 63) / 64, 0)
+{
+    if (windowBits == 0)
+        util::fatal("bit-vector window size must be positive");
+    if ((windowBits & (windowBits - 1)) == 0) {
+        int log2 = 0;
+        for (std::uint32_t w = windowBits; w > 1; w >>= 1)
+            ++log2;
+        log2Window = log2;
+    }
+}
+
+bool
+BitVectorWindow::getBit(std::uint32_t index) const
+{
+    return (words[index / 64] >> (index % 64)) & 1u;
+}
+
+void
+BitVectorWindow::setBit(std::uint32_t index, bool bit)
+{
+    const std::uint64_t mask = std::uint64_t{1} << (index % 64);
+    if (bit)
+        words[index / 64] |= mask;
+    else
+        words[index / 64] &= ~mask;
+}
+
+void
+BitVectorWindow::append(bool bit)
+{
+    if (filledBits == windowBits) {
+        // Evict the bit the cursor is about to overwrite.
+        if (getBit(cursor))
+            --onesCount;
+    } else {
+        ++filledBits;
+    }
+    setBit(cursor, bit);
+    if (bit)
+        ++onesCount;
+    cursor = (cursor + 1) % windowBits;
+}
+
+double
+BitVectorWindow::fraction(double fallback) const
+{
+    if (filledBits == 0)
+        return fallback;
+    return static_cast<double>(onesCount) /
+        static_cast<double>(filledBits);
+}
+
+util::Fixed
+BitVectorWindow::fractionFixed(util::Fixed fallback) const
+{
+    if (filledBits == 0)
+        return fallback;
+    if (warm() && log2Window >= 0) {
+        return util::fixedFractionPow2(
+            static_cast<std::int32_t>(onesCount), log2Window);
+    }
+    // Warm-up (or non-power-of-two window): one integer division,
+    // off the steady-state hot path.
+    return static_cast<util::Fixed>(
+        (static_cast<std::int64_t>(onesCount) << util::kFixedShift) /
+        filledBits);
+}
+
+void
+BitVectorWindow::clear()
+{
+    filledBits = 0;
+    onesCount = 0;
+    cursor = 0;
+    for (auto &word : words)
+        word = 0;
+}
+
+} // namespace queueing
+} // namespace quetzal

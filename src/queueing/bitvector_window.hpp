@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sliding bit-vector history window with a maintained ones-counter.
+ *
+ * The paper's software library (section 5.1) tracks task execution
+ * probability and input-arrival rate with bit-vectors of size
+ * <task-window> and <arrival-window>: a 1 records "task executed" /
+ * "input stored", a 0 the opposite. A separate 1s-counter is updated
+ * only on modification so reading a rate never scans the vector —
+ * and because the window sizes are powers of two, converting the
+ * count to a fraction is a shift, keeping the hot path division-free.
+ */
+
+#ifndef QUETZAL_QUEUEING_BITVECTOR_WINDOW_HPP
+#define QUETZAL_QUEUEING_BITVECTOR_WINDOW_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/fixed_point.hpp"
+
+namespace quetzal {
+namespace queueing {
+
+/**
+ * Fixed-size circular bit window.
+ */
+class BitVectorWindow
+{
+  public:
+    /** Construct with a window size in bits (> 0). */
+    explicit BitVectorWindow(std::uint32_t windowBits);
+
+    /** Window capacity in bits. */
+    std::uint32_t window() const { return windowBits; }
+
+    /** Bits recorded so far, saturating at window(). */
+    std::uint32_t filled() const { return filledBits; }
+
+    /** Current number of 1s among the filled bits. */
+    std::uint32_t ones() const { return onesCount; }
+
+    /** True once the window has wrapped at least once. */
+    bool warm() const { return filledBits == windowBits; }
+
+    /**
+     * Append one observation, evicting the oldest once the window is
+     * full. O(1); maintains the ones-counter incrementally.
+     */
+    void append(bool bit);
+
+    /**
+     * Fraction of 1s among filled bits, as a double in [0, 1].
+     * Returns fallback when nothing has been recorded yet.
+     */
+    double fraction(double fallback = 0.0) const;
+
+    /**
+     * Fraction of 1s as Q16.16. Division-free when the window is a
+     * warm power of two (shift); falls back to one integer division
+     * during warm-up, matching the paper's profile-phase allowance.
+     */
+    util::Fixed fractionFixed(util::Fixed fallback = 0) const;
+
+    /** Reset to empty. */
+    void clear();
+
+  private:
+    std::uint32_t windowBits;
+    std::uint32_t filledBits = 0;
+    std::uint32_t onesCount = 0;
+    std::uint32_t cursor = 0;
+    int log2Window = -1; ///< >= 0 iff windowBits is a power of two
+    std::vector<std::uint64_t> words;
+
+    bool getBit(std::uint32_t index) const;
+    void setBit(std::uint32_t index, bool bit);
+};
+
+} // namespace queueing
+} // namespace quetzal
+
+#endif // QUETZAL_QUEUEING_BITVECTOR_WINDOW_HPP

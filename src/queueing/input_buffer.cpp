@@ -1,0 +1,113 @@
+#include "queueing/input_buffer.hpp"
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace queueing {
+
+InputBuffer::InputBuffer(std::size_t capacity) : entries(capacity)
+{
+}
+
+double
+InputBuffer::occupancyFraction() const
+{
+    return static_cast<double>(size()) / static_cast<double>(capacity());
+}
+
+bool
+InputBuffer::tryPush(const InputRecord &record)
+{
+    if (record.inFlight)
+        util::panic("cannot push an in-flight record");
+    if (!entries.pushBack(record)) {
+        ++overflowCounts.total;
+        if (record.interesting)
+            ++overflowCounts.interesting;
+        return false;
+    }
+    return true;
+}
+
+std::size_t
+InputBuffer::countForJob(JobId job) const
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const InputRecord &record = entries.at(i);
+        if (record.jobId == job && !record.inFlight)
+            ++count;
+    }
+    return count;
+}
+
+bool
+InputBuffer::hasSchedulable() const
+{
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!entries.at(i).inFlight)
+            return true;
+    }
+    return false;
+}
+
+std::optional<std::size_t>
+InputBuffer::oldestIndexForJob(JobId job) const
+{
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const InputRecord &record = entries.at(i);
+        if (record.jobId == job && !record.inFlight)
+            return i;
+    }
+    return std::nullopt;
+}
+
+const InputRecord &
+InputBuffer::at(std::size_t index) const
+{
+    return entries.at(index);
+}
+
+InputRecord
+InputBuffer::markInFlight(std::size_t index)
+{
+    InputRecord &record = entries.at(index);
+    if (record.inFlight)
+        util::panic("input already in flight");
+    record.inFlight = true;
+    return record;
+}
+
+void
+InputBuffer::release(std::uint64_t id)
+{
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (entries.at(i).id == id) {
+            if (!entries.at(i).inFlight)
+                util::panic("releasing an input that is not in flight");
+            entries.removeAt(i);
+            return;
+        }
+    }
+    util::panic(util::msg("release of unknown input id ", id));
+}
+
+void
+InputBuffer::retag(std::uint64_t id, JobId nextJob, Tick enqueueTick)
+{
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        InputRecord &record = entries.at(i);
+        if (record.id == id) {
+            if (!record.inFlight)
+                util::panic("retagging an input that is not in flight");
+            record.inFlight = false;
+            record.jobId = nextJob;
+            record.enqueueTick = enqueueTick;
+            return;
+        }
+    }
+    util::panic(util::msg("retag of unknown input id ", id));
+}
+
+} // namespace queueing
+} // namespace quetzal

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The bounded input buffer — the queue at the center of the paper.
+ *
+ * Captured inputs that survive the cheap pre-filter are stored here
+ * (a few images' worth of memory on a real device; the paper uses 10
+ * entries). Jobs consume entries; a job may re-insert its input
+ * tagged for a successor job (the spawn mechanism of section 3.1).
+ * Inserts into a full buffer are input buffer overflows — the events
+ * Quetzal exists to prevent — and are counted by ground-truth
+ * interestingness so experiments can report exactly the paper's
+ * metrics.
+ */
+
+#ifndef QUETZAL_QUEUEING_INPUT_BUFFER_HPP
+#define QUETZAL_QUEUEING_INPUT_BUFFER_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "util/ring_buffer.hpp"
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace queueing {
+
+/** Identifies which job class must process an input next. */
+using JobId = std::uint32_t;
+
+/** One buffered input (e.g. a compressed image). */
+struct InputRecord
+{
+    std::uint64_t id = 0;      ///< unique per captured input
+    Tick captureTick = 0;      ///< when the camera captured it
+    Tick enqueueTick = 0;      ///< when it (re-)entered the buffer
+    JobId jobId = 0;           ///< job class that processes it next
+    bool interesting = false;  ///< ground truth (hidden from jobs)
+    /**
+     * True while a job is processing this input. An in-flight input
+     * still occupies its memory slot (the image has not left the
+     * device), so it counts toward occupancy and cannot be selected
+     * again; job completion either releases the slot or retags the
+     * record for a successor job (the spawn of section 3.1).
+     */
+    bool inFlight = false;
+};
+
+/** Overflow statistics, split by ground-truth interestingness. */
+struct OverflowCounts
+{
+    std::uint64_t total = 0;
+    std::uint64_t interesting = 0;
+};
+
+/**
+ * Bounded FIFO of InputRecords with per-job queries.
+ *
+ * Invariant: size() <= capacity() always; the only way an input is
+ * lost is an explicit rejected push, which is recorded.
+ */
+class InputBuffer
+{
+  public:
+    /** @param capacity maximum buffered inputs (paper: 10 images) */
+    explicit InputBuffer(std::size_t capacity);
+
+    std::size_t capacity() const { return entries.capacity(); }
+    std::size_t size() const { return entries.size(); }
+    bool empty() const { return entries.empty(); }
+    bool full() const { return entries.full(); }
+
+    /** Occupancy as a fraction of capacity, in [0, 1]. */
+    double occupancyFraction() const;
+
+    /**
+     * Insert an input. On a full buffer the input is dropped, the
+     * overflow counters advance, and false is returned.
+     */
+    bool tryPush(const InputRecord &record);
+
+    /** Number of schedulable (not in-flight) inputs awaiting a job. */
+    std::size_t countForJob(JobId job) const;
+
+    /** True when any schedulable input exists. */
+    bool hasSchedulable() const;
+
+    /**
+     * Logical index (0 == oldest overall) of the oldest schedulable
+     * input for the given job, or nullopt when none is queued.
+     */
+    std::optional<std::size_t> oldestIndexForJob(JobId job) const;
+
+    /** Input at a logical index (0 == oldest). */
+    const InputRecord &at(std::size_t index) const;
+
+    /**
+     * Mark the input at a logical index in-flight and return a copy.
+     * The slot stays occupied until release() or retag().
+     */
+    InputRecord markInFlight(std::size_t index);
+
+    /** Release (remove) the in-flight input with the given id. */
+    void release(std::uint64_t id);
+
+    /**
+     * Retag the in-flight input for a successor job (spawn): clears
+     * the in-flight mark and stamps the re-enqueue time. Never
+     * overflows — the input already owns its slot.
+     */
+    void retag(std::uint64_t id, JobId nextJob, Tick enqueueTick);
+
+    /** Cumulative overflow counts since construction. */
+    const OverflowCounts &overflows() const { return overflowCounts; }
+
+    /** Remove everything (does not touch overflow counters). */
+    void clear() { entries.clear(); }
+
+  private:
+    util::RingBuffer<InputRecord> entries;
+    OverflowCounts overflowCounts;
+};
+
+} // namespace queueing
+} // namespace quetzal
+
+#endif // QUETZAL_QUEUEING_INPUT_BUFFER_HPP

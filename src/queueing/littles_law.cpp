@@ -1,0 +1,26 @@
+#include "queueing/littles_law.hpp"
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace queueing {
+
+double
+expectedArrivals(double arrivalsPerSecond, double serviceSeconds)
+{
+    if (arrivalsPerSecond < 0.0 || serviceSeconds < 0.0)
+        util::panic("Little's Law inputs must be non-negative");
+    return arrivalsPerSecond * serviceSeconds;
+}
+
+bool
+iboPredicted(double arrivalsPerSecond, double serviceSeconds,
+             std::size_t capacity, std::size_t occupancy)
+{
+    const double headroom = occupancy >= capacity ? 0.0 :
+        static_cast<double>(capacity - occupancy);
+    return expectedArrivals(arrivalsPerSecond, serviceSeconds) >= headroom;
+}
+
+} // namespace queueing
+} // namespace quetzal

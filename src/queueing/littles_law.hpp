@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Little's-Law occupancy prediction (paper Eq. 2 and Alg. 2 line 6).
+ *
+ * E[N] = lambda * S_e2e gives the expected number of new arrivals
+ * over the service of the scheduled job; if it meets or exceeds the
+ * remaining buffer headroom, an input buffer overflow is imminent.
+ */
+
+#ifndef QUETZAL_QUEUEING_LITTLES_LAW_HPP
+#define QUETZAL_QUEUEING_LITTLES_LAW_HPP
+
+#include <cstddef>
+
+namespace quetzal {
+namespace queueing {
+
+/**
+ * Expected arrivals over a service interval.
+ * @param arrivalsPerSecond lambda
+ * @param serviceSeconds    expected E[S] of the scheduled job
+ */
+double expectedArrivals(double arrivalsPerSecond, double serviceSeconds);
+
+/**
+ * The paper's IBO predicate (Alg. 2 line 6):
+ * lambda * E[S] >= capacity - occupancy.
+ *
+ * @param arrivalsPerSecond lambda
+ * @param serviceSeconds    E[S] of the job under consideration
+ * @param capacity          input buffer capacity
+ * @param occupancy         inputs currently buffered
+ * @return true when an overflow is predicted during the job
+ */
+bool iboPredicted(double arrivalsPerSecond, double serviceSeconds,
+                  std::size_t capacity, std::size_t occupancy);
+
+} // namespace queueing
+} // namespace quetzal
+
+#endif // QUETZAL_QUEUEING_LITTLES_LAW_HPP

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The capture pipeline of Figure 1: periodic capture -> pixel diff ->
+ * (for "different" frames) JPEG compress -> input-buffer insert.
+ * Split from simulator.cpp for readability; these are Simulator
+ * member definitions.
+ */
+
+#include "sim/simulator.hpp"
+
+#include <ostream>
+
+namespace quetzal {
+namespace sim {
+
+void
+Simulator::processCapture(Tick now)
+{
+    ++metrics.captures;
+
+    // Ground truth from the event trace: an active event makes the
+    // frame "different" from its predecessor; the second I/O pin of
+    // the paper's rig marks it interesting (section 6.2).
+    const trace::SensingEvent *event = events.eventAt(now);
+    const bool different = event != nullptr;
+    const bool interesting = different && event->interesting;
+
+    if (interesting)
+        ++metrics.interestingCaptured;
+    else if (different)
+        ++metrics.uninterestingCaptured;
+
+    // Capture + diff cost is paid for every frame.
+    device.drawInstantaneous(appModel.camera.captureEnergy());
+
+    // Arrival-rate window: a 1 records "stored into the queue"
+    // (section 5.1), i.e. the frame survived the diff pre-filter.
+    system.recordCapture(different);
+
+    if (!different)
+        return;
+
+    // All systems compress before buffering (section 6.4).
+    device.drawInstantaneous(appModel.compression.energy());
+
+    queueing::InputRecord record;
+    record.id = nextInputId++;
+    record.captureTick = now;
+    record.enqueueTick = now;
+    record.jobId = appModel.classifyJob;
+    record.interesting = interesting;
+
+    if (buffer.tryPush(record)) {
+        ++metrics.storedInputs;
+    } else {
+        if (interesting)
+            ++metrics.iboDropsInteresting;
+        else
+            ++metrics.iboDropsUninteresting;
+        if (cfg.debugLog) {
+            *cfg.debugLog << "t=" << ticksToSeconds(now)
+                << " DROP interesting=" << interesting << "\n";
+        }
+    }
+}
+
+} // namespace sim
+} // namespace quetzal

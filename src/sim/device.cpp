@@ -1,0 +1,201 @@
+#include "sim/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace sim {
+
+Device::Device(const app::DeviceProfile &profile_,
+               const energy::PowerTrace &watts_)
+    : profile(profile_), watts(watts_), storage(profile_.storage)
+{
+}
+
+void
+Device::startTask(Watts power, Tick exeTicks)
+{
+    if (taskActive())
+        util::panic("Device::startTask while a task is active");
+    if (power <= 0.0 || exeTicks <= 0)
+        util::panic("Device::startTask with non-positive cost");
+    taskPower = power;
+    remainingTaskTicks = exeTicks;
+    // A depleted device must recharge before it can begin.
+    currentPhase = storage.depleted() ? DevicePhase::Recharging
+                                      : DevicePhase::Running;
+}
+
+void
+Device::onPowerFailure()
+{
+    if (profile.checkpoint.policy == app::CheckpointPolicy::JustInTime) {
+        // Save exactly now (the voltage-warning margin funds it),
+        // then recharge with no work lost.
+        currentPhase = DevicePhase::CheckpointSave;
+        remainingPhaseTicks = profile.checkpoint.saveTicks;
+        return;
+    }
+    // Periodic policy: state was last persisted progressSinceSave
+    // ticks ago; that work re-executes after restart.
+    remainingTaskTicks += progressSinceSave;
+    deviceStats.rolledBackTicks += progressSinceSave;
+    progressSinceSave = 0;
+    ++deviceStats.powerFailures;
+    currentPhase = DevicePhase::Recharging;
+}
+
+void
+Device::drawInstantaneous(Joules amount)
+{
+    storage.draw(amount);
+    if (storage.depleted() && currentPhase == DevicePhase::Running) {
+        // The draw brown-outs a running task.
+        onPowerFailure();
+    }
+}
+
+void
+Device::applyNet(Watts net, Tick span)
+{
+    const Joules delta = energyOver(net, span);
+    if (delta >= 0.0)
+        storage.harvest(delta);
+    else
+        storage.draw(-delta);
+}
+
+Tick
+Device::step(Tick now, Tick span)
+{
+    const Watts pin = watts.valueAt(now);
+
+    switch (currentPhase) {
+      case DevicePhase::Idle: {
+        applyNet(pin - profile.sleepPower, span);
+        return span;
+      }
+
+      case DevicePhase::Running: {
+        const bool periodic = profile.checkpoint.policy ==
+            app::CheckpointPolicy::Periodic;
+        Tick run = std::min(span, remainingTaskTicks);
+        if (periodic) {
+            // Stop at the next scheduled checkpoint.
+            run = std::min(run, profile.checkpoint.periodicInterval -
+                                    progressSinceSave);
+        }
+        const Watts net = pin - taskPower;
+        if (net < 0.0) {
+            // Ticks until the store can no longer fund a whole tick.
+            const Joules perTick = energyOver(-net, 1);
+            const auto fundable =
+                static_cast<Tick>(std::floor(storage.energy() / perTick));
+            run = std::min(run, fundable);
+        }
+        if (run <= 0) {
+            // Cannot fund the next tick: power failure.
+            onPowerFailure();
+            return 0;
+        }
+        applyNet(net, run);
+        remainingTaskTicks -= run;
+        deviceStats.activeTicks += run;
+        if (periodic)
+            progressSinceSave += run;
+        if (remainingTaskTicks == 0) {
+            taskPower = 0.0;
+            progressSinceSave = 0;
+            currentPhase = DevicePhase::Idle;
+        } else if (periodic && progressSinceSave >=
+                                   profile.checkpoint.periodicInterval) {
+            periodicSaveInProgress = true;
+            currentPhase = DevicePhase::CheckpointSave;
+            remainingPhaseTicks = profile.checkpoint.saveTicks;
+        }
+        return run;
+      }
+
+      case DevicePhase::CheckpointSave: {
+        const Tick run = std::min(span, remainingPhaseTicks);
+        applyNet(pin - profile.checkpoint.savePower, run);
+        remainingPhaseTicks -= run;
+        if (remainingPhaseTicks == 0) {
+            ++deviceStats.checkpointSaves;
+            if (periodicSaveInProgress) {
+                // Proactive save: progress is persisted, keep going.
+                periodicSaveInProgress = false;
+                progressSinceSave = 0;
+                currentPhase = DevicePhase::Running;
+            } else {
+                ++deviceStats.powerFailures;
+                currentPhase = DevicePhase::Recharging;
+            }
+        }
+        return run;
+      }
+
+      case DevicePhase::Recharging: {
+        const Joules deficit = storage.deficitToRestart();
+        if (deficit <= 0.0) {
+            currentPhase = DevicePhase::Restoring;
+            remainingPhaseTicks = profile.checkpoint.restoreTicks;
+            return 0;
+        }
+        Tick run = span;
+        if (pin > 0.0) {
+            const Joules perTick = energyOver(pin, 1);
+            const auto needed = static_cast<Tick>(
+                std::ceil(deficit / perTick));
+            run = std::min(run, std::max<Tick>(needed, 1));
+        }
+        applyNet(pin, run);
+        deviceStats.rechargeTicks += run;
+        if (storage.deficitToRestart() <= 0.0) {
+            currentPhase = DevicePhase::Restoring;
+            remainingPhaseTicks = profile.checkpoint.restoreTicks;
+        }
+        return run;
+      }
+
+      case DevicePhase::Restoring: {
+        const Tick run = std::min(span, remainingPhaseTicks);
+        applyNet(pin - profile.checkpoint.restorePower, run);
+        remainingPhaseTicks -= run;
+        if (remainingPhaseTicks == 0)
+            currentPhase = DevicePhase::Running;
+        return run;
+      }
+    }
+    util::panic("invalid device phase");
+}
+
+Tick
+Device::advance(Tick now, Tick limit)
+{
+    while (now < limit) {
+        const bool wasActive = taskActive();
+        const Tick segmentEnd =
+            std::min(limit, watts.nextChangeAfter(now));
+        const Tick span = segmentEnd - now;
+
+        const Tick consumed = step(now, span);
+        now += consumed;
+
+        // Stop exactly at task completion so the caller can observe
+        // the completion tick.
+        if (wasActive && !taskActive())
+            return now;
+
+        // A zero-consumption step is a pure phase transition
+        // (Running -> CheckpointSave, Recharging -> Restoring); the
+        // next iteration makes time progress in the new phase.
+        (void)consumed;
+    }
+    return now;
+}
+
+} // namespace sim
+} // namespace quetzal

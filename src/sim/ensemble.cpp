@@ -1,0 +1,58 @@
+#include "sim/ensemble.hpp"
+
+#include <numeric>
+#include <ostream>
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace sim {
+
+void
+EnsembleResult::printSummary(std::ostream &out,
+                             const std::string &label) const
+{
+    out << label << ": disc " << discardedPct.mean() << "% (sd "
+        << discardedPct.stddev() << ", range ["
+        << discardedPct.min() << ", " << discardedPct.max()
+        << "]), ibo " << iboPct.mean() << "%, fn " << fnPct.mean()
+        << "%, HQ share " << 100.0 * highQualityShare.mean()
+        << "% (sd " << 100.0 * highQualityShare.stddev() << ") over "
+        << runs << " seeds\n";
+}
+
+EnsembleResult
+runEnsemble(const ExperimentConfig &config,
+            const std::vector<std::uint64_t> &seeds)
+{
+    if (seeds.empty())
+        util::fatal("ensemble needs at least one seed");
+
+    EnsembleResult result;
+    for (const std::uint64_t seed : seeds) {
+        ExperimentConfig cfg = config;
+        cfg.seed = seed;
+        const Metrics m = runExperiment(cfg);
+        result.discardedPct.add(m.interestingDiscardedPct());
+        result.iboPct.add(m.iboDiscardedPct());
+        result.fnPct.add(m.fnDiscardedPct());
+        result.highQualityShare.add(m.highQualityShare());
+        result.reportedInputs.add(
+            static_cast<double>(m.txInterestingTotal()));
+        result.jobsCompleted.add(
+            static_cast<double>(m.jobsCompleted));
+        ++result.runs;
+    }
+    return result;
+}
+
+EnsembleResult
+runEnsemble(const ExperimentConfig &config, std::size_t runs)
+{
+    std::vector<std::uint64_t> seeds(runs);
+    std::iota(seeds.begin(), seeds.end(), 1);
+    return runEnsemble(config, seeds);
+}
+
+} // namespace sim
+} // namespace quetzal

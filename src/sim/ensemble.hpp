@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Seed-ensemble experiment runs: repeat one configuration over N
+ * seeds and report mean / stddev / min / max of the headline
+ * metrics. The paper reports single runs from its repeatable rig;
+ * an open-source reproduction should show seed robustness too.
+ */
+
+#ifndef QUETZAL_SIM_ENSEMBLE_HPP
+#define QUETZAL_SIM_ENSEMBLE_HPP
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "util/stats.hpp"
+
+namespace quetzal {
+namespace sim {
+
+/** Aggregated headline metrics over an ensemble of seeds. */
+struct EnsembleResult
+{
+    std::size_t runs = 0;
+    util::RunningStats discardedPct;      ///< % of nominal interesting
+    util::RunningStats iboPct;            ///< IBO-only %
+    util::RunningStats fnPct;             ///< false-negative %
+    util::RunningStats highQualityShare;  ///< HQ fraction of tx
+    util::RunningStats reportedInputs;    ///< interesting tx count
+    util::RunningStats jobsCompleted;
+
+    /** One-line summary ("disc 5.1±0.8% hq 63±4%"). */
+    void printSummary(std::ostream &out,
+                      const std::string &label) const;
+};
+
+/**
+ * Run the configuration once per seed (config.seed is overridden by
+ * each entry) and aggregate.
+ */
+EnsembleResult runEnsemble(const ExperimentConfig &config,
+                           const std::vector<std::uint64_t> &seeds);
+
+/** Convenience: seeds 1..runs. */
+EnsembleResult runEnsemble(const ExperimentConfig &config,
+                           std::size_t runs);
+
+} // namespace sim
+} // namespace quetzal
+
+#endif // QUETZAL_SIM_ENSEMBLE_HPP

@@ -1,0 +1,198 @@
+#include "sim/experiment.hpp"
+
+#include <fstream>
+#include <memory>
+
+#include "app/person_detection.hpp"
+#include "baselines/controllers.hpp"
+#include "core/runtime.hpp"
+#include "energy/harvester.hpp"
+#include "energy/solar_model.hpp"
+#include "hw/mcu_model.hpp"
+#include "sim/simulator.hpp"
+#include "trace/event_generator.hpp"
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace sim {
+
+namespace {
+
+/** Is this configuration a Quetzal variant (IBO engine + PID)? */
+bool
+isQuetzalVariant(ControllerKind kind)
+{
+    switch (kind) {
+      case ControllerKind::Quetzal:
+      case ControllerKind::QuetzalFcfs:
+      case ControllerKind::QuetzalLcfs:
+      case ControllerKind::QuetzalAvgSe2e:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::unique_ptr<core::Controller>
+buildController(const ExperimentConfig &cfg,
+                const energy::Harvester &harvester,
+                const energy::PowerTrace &watts)
+{
+    using baselines::SchedulerKind;
+    switch (cfg.controller) {
+      case ControllerKind::Quetzal:
+        return baselines::makeQuetzalVariantController(
+            SchedulerKind::EnergyAwareSjf, cfg.useCircuit, cfg.usePid);
+      case ControllerKind::QuetzalFcfs:
+        return baselines::makeQuetzalVariantController(
+            SchedulerKind::Fcfs, cfg.useCircuit, cfg.usePid);
+      case ControllerKind::QuetzalLcfs:
+        return baselines::makeQuetzalVariantController(
+            SchedulerKind::Lcfs, cfg.useCircuit, cfg.usePid);
+      case ControllerKind::QuetzalAvgSe2e:
+        return baselines::makeQuetzalVariantController(
+            SchedulerKind::AvgSe2e, cfg.useCircuit, cfg.usePid);
+      case ControllerKind::NoAdapt:
+      case ControllerKind::Ideal:
+        return baselines::makeNoAdaptController();
+      case ControllerKind::AlwaysDegrade:
+        return baselines::makeAlwaysDegradeController();
+      case ControllerKind::CatNap:
+        return baselines::makeCatNapController();
+      case ControllerKind::BufferThreshold:
+        return baselines::makeBufferThresholdController(
+            cfg.bufferThreshold);
+      case ControllerKind::Zgo:
+        // Threshold from the harvester *datasheet* maximum — real
+        // traces rarely approach it (section 6.1).
+        return baselines::makePowerThresholdController(
+            cfg.powerThresholdFraction * harvester.datasheetMaxPower(),
+            "ZGO");
+      case ControllerKind::Zgi:
+        // Oracle variant: threshold from the maximum power actually
+        // observed in this experiment's trace.
+        return baselines::makePowerThresholdController(
+            cfg.powerThresholdFraction * watts.maxValue(), "ZGI");
+    }
+    util::panic("unknown controller kind");
+}
+
+} // namespace
+
+std::string
+controllerKindName(ControllerKind kind)
+{
+    switch (kind) {
+      case ControllerKind::Quetzal: return "QZ";
+      case ControllerKind::QuetzalFcfs: return "QZ-FCFS";
+      case ControllerKind::QuetzalLcfs: return "QZ-LCFS";
+      case ControllerKind::QuetzalAvgSe2e: return "QZ-AvgSe2e";
+      case ControllerKind::NoAdapt: return "NA";
+      case ControllerKind::AlwaysDegrade: return "AD";
+      case ControllerKind::CatNap: return "CN";
+      case ControllerKind::BufferThreshold: return "THR";
+      case ControllerKind::Zgo: return "PZO";
+      case ControllerKind::Zgi: return "PZI";
+      case ControllerKind::Ideal: return "Ideal";
+    }
+    util::panic("unknown controller kind");
+}
+
+std::string
+experimentLabel(const ExperimentConfig &config)
+{
+    if (config.controller == ControllerKind::BufferThreshold) {
+        return util::msg("THR-",
+                         static_cast<int>(config.bufferThreshold * 100.0),
+                         "%");
+    }
+    return controllerKindName(config.controller);
+}
+
+Metrics
+runExperiment(const ExperimentConfig &config)
+{
+    // --- Environment --------------------------------------------------
+    const auto eventCfg = trace::EventGeneratorConfig::forPreset(
+        config.environment, config.eventCount, config.seed);
+    const trace::EventTrace events =
+        trace::EventGenerator(eventCfg).generate();
+
+    const Tick horizon = events.endTime() + config.drainTicks +
+        kTicksPerSecond;
+
+    energy::HarvesterConfig harvesterCfg;
+    harvesterCfg.cellCount = config.harvesterCells;
+    const energy::Harvester harvester(harvesterCfg);
+
+    energy::PowerTrace watts;
+    if (config.powerTraceCsv.empty()) {
+        energy::SolarConfig solarCfg;
+        solarCfg.seed = config.seed ^ 0x5eedf00dull;
+        watts = harvester.powerTrace(
+            energy::SolarModel(solarCfg).generate(horizon * 5));
+    } else {
+        // Replay a measured trace (paper section 6.2 methodology).
+        std::ifstream in(config.powerTraceCsv);
+        if (!in)
+            util::fatal(util::msg("cannot open power trace: ",
+                                  config.powerTraceCsv));
+        watts = energy::PowerTrace::readCsv(in);
+    }
+
+    // --- Device + application -----------------------------------------
+    app::DeviceProfile deviceProfile = app::deviceProfile(config.device);
+    deviceProfile.checkpoint.policy = config.checkpointPolicy;
+    deviceProfile.checkpoint.periodicInterval =
+        config.checkpointIntervalTicks;
+
+    core::SystemConfig systemCfg;
+    systemCfg.taskWindow = config.taskWindow;
+    systemCfg.arrivalWindow = config.arrivalWindow;
+    systemCfg.captureHz = static_cast<double>(kTicksPerSecond) /
+        static_cast<double>(config.capturePeriod);
+    core::TaskSystem system(systemCfg);
+    const app::ApplicationModel appModel =
+        app::buildPersonDetectionApp(system, deviceProfile);
+
+    // --- Controller -----------------------------------------------------
+    auto controller = buildController(config, harvester, watts);
+
+    // --- Simulation -----------------------------------------------------
+    SimulationConfig simCfg;
+    simCfg.capturePeriod = config.capturePeriod;
+    simCfg.bufferCapacity = config.bufferCapacity;
+    simCfg.infiniteBuffer = config.controller == ControllerKind::Ideal;
+    simCfg.drainToEmpty = simCfg.infiniteBuffer;
+    simCfg.drainTicks = config.drainTicks;
+    simCfg.outcomeSeed = config.seed ^ 0xc0ffee5ull;
+    simCfg.schedulerPower = deviceProfile.mcu.activePower;
+    simCfg.executionJitterSigma = config.executionJitterSigma;
+
+    if (isQuetzalVariant(config.controller)) {
+        // Charge the modeled invocation cost of Alg. 1 + Alg. 2 on
+        // this MCU (section 5.1 cost model).
+        const hw::McuModel mcu(deviceProfile.mcu);
+        const auto strategy = config.useCircuit ?
+            hw::RatioStrategy::QuetzalModule :
+            (deviceProfile.mcu.hasHardwareDivider ?
+             hw::RatioStrategy::HardwareDivider :
+             hw::RatioStrategy::SoftwareDivision);
+        const auto tasks =
+            static_cast<std::uint32_t>(system.taskCount());
+        const std::uint32_t options = 2; // per-task options registered
+        simCfg.schedulerOverheadSeconds =
+            mcu.secondsPerInvocation(strategy, tasks, options);
+        simCfg.schedulerOverheadEnergy =
+            mcu.ratioEnergyPerInvocation(strategy, tasks, options) +
+            deviceProfile.mcu.activePower *
+            simCfg.schedulerOverheadSeconds;
+    }
+
+    Simulator simulator(simCfg, deviceProfile, appModel, system,
+                        *controller, watts, events);
+    return simulator.run();
+}
+
+} // namespace sim
+} // namespace quetzal

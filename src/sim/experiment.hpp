@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Turn-key experiment runner: builds the environment (seeded solar +
+ * event traces), the device, the application, and one of the paper's
+ * controller configurations, runs the simulator and returns metrics.
+ * Every benchmark binary in bench/ is a thin sweep over
+ * ExperimentConfig.
+ */
+
+#ifndef QUETZAL_SIM_EXPERIMENT_HPP
+#define QUETZAL_SIM_EXPERIMENT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "app/device_profiles.hpp"
+#include "sim/metrics.hpp"
+#include "trace/event_generator.hpp"
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace sim {
+
+/** Every system configuration the paper evaluates. */
+enum class ControllerKind {
+    Quetzal,        ///< EA-SJF + IBO engine + PID (the paper's system)
+    QuetzalFcfs,    ///< Fig. 12: FCFS + IBO engine
+    QuetzalLcfs,    ///< Fig. 12: LCFS + IBO engine
+    QuetzalAvgSe2e, ///< Fig. 12: power-blind Avg. S_e2e estimator
+    NoAdapt,        ///< NA
+    AlwaysDegrade,  ///< AD
+    CatNap,         ///< CN: degrade at 100 % occupancy [62]
+    BufferThreshold,///< Fig. 11: degrade at a fixed occupancy
+    Zgo,            ///< Zygarde/Protean, datasheet-max threshold [44, 7]
+    Zgi,            ///< idealized (oracle observed-max) variant
+    Ideal,          ///< infinite buffer, never degrades
+};
+
+/** Short display name ("QZ", "NA", ...) matching the paper's bars. */
+std::string controllerKindName(ControllerKind kind);
+
+/** Full experiment description (paper Table 1 defaults). */
+struct ExperimentConfig
+{
+    app::DeviceKind device = app::DeviceKind::Apollo4;
+    trace::EnvironmentPreset environment =
+        trace::EnvironmentPreset::Crowded;
+    std::size_t eventCount = 1000;  ///< 1000 sim / 100 "hardware"
+    std::uint64_t seed = 42;
+    std::size_t bufferCapacity = 10;
+    Tick capturePeriod = 1000;      ///< 1 FPS
+    int harvesterCells = 6;
+    std::uint32_t taskWindow = 64;
+    std::uint32_t arrivalWindow = 256;
+    ControllerKind controller = ControllerKind::Quetzal;
+    double bufferThreshold = 0.5;        ///< for BufferThreshold
+    double powerThresholdFraction = 0.35; ///< for ZGO / ZGI
+    bool usePid = true;    ///< section 4.3 loop (Quetzal variants)
+    bool useCircuit = true; ///< Alg. 3 codes vs exact float power
+    Tick drainTicks = 600 * kTicksPerSecond;
+    /**
+     * Optional harvested-power CSV ("time_seconds,watts") replayed
+     * instead of the synthetic solar model — the paper's methodology
+     * of replaying a measured trace (section 6.2). The final value
+     * extends past the file's end; harvesterCells is ignored for
+     * replayed traces (the file is already electrical power).
+     */
+    std::string powerTraceCsv;
+    /**
+     * Multiplicative execution-time jitter (log-normal sigma) applied
+     * per task execution. 0 = the paper's consistent-cost assumption
+     * (section 5.2); >0 exercises the future-work regime of variable
+     * execution costs, where the PID loop earns its keep.
+     */
+    double executionJitterSigma = 0.0;
+    /** Intermittent checkpointing policy (DESIGN.md section 7). */
+    app::CheckpointPolicy checkpointPolicy =
+        app::CheckpointPolicy::JustInTime;
+    /** Checkpoint interval for the Periodic policy. */
+    Tick checkpointIntervalTicks = 1000;
+};
+
+/** Build everything per the config, run, and return the metrics. */
+Metrics runExperiment(const ExperimentConfig &config);
+
+/** The config's controller display name with parameters applied. */
+std::string experimentLabel(const ExperimentConfig &config);
+
+} // namespace sim
+} // namespace quetzal
+
+#endif // QUETZAL_SIM_EXPERIMENT_HPP

@@ -1,0 +1,100 @@
+#include "sim/metrics.hpp"
+
+#include <ostream>
+
+namespace quetzal {
+namespace sim {
+
+std::uint64_t
+Metrics::interestingMissedAtCapture() const
+{
+    return interestingInputsNominal > interestingCaptured ?
+        interestingInputsNominal - interestingCaptured : 0;
+}
+
+std::uint64_t
+Metrics::interestingDiscardedTotal() const
+{
+    return iboDropsInteresting + fnDiscards + unprocessedInteresting;
+}
+
+double
+Metrics::interestingDiscardedPct() const
+{
+    if (interestingInputsNominal == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(interestingDiscardedTotal()) /
+        static_cast<double>(interestingInputsNominal);
+}
+
+double
+Metrics::iboDiscardedPct() const
+{
+    if (interestingInputsNominal == 0)
+        return 0.0;
+    return 100.0 *
+        static_cast<double>(iboDropsInteresting + unprocessedInteresting) /
+        static_cast<double>(interestingInputsNominal);
+}
+
+double
+Metrics::fnDiscardedPct() const
+{
+    if (interestingInputsNominal == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(fnDiscards) /
+        static_cast<double>(interestingInputsNominal);
+}
+
+std::uint64_t
+Metrics::txInterestingTotal() const
+{
+    return txInterestingHq + txInterestingLq;
+}
+
+double
+Metrics::highQualityShare() const
+{
+    const std::uint64_t total = txInterestingTotal();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(txInterestingHq) /
+        static_cast<double>(total);
+}
+
+void
+Metrics::printReport(std::ostream &out, const std::string &label) const
+{
+    out << "== " << label << " ==\n"
+        << "  events: " << eventsTotal << " (" << eventsInteresting
+        << " interesting)\n"
+        << "  interesting inputs (nominal 1 FPS): "
+        << interestingInputsNominal << "\n"
+        << "  captures: " << captures << " (interesting "
+        << interestingCaptured << ", missed-at-capture "
+        << interestingMissedAtCapture() << ")\n"
+        << "  stored inputs: " << storedInputs << "\n"
+        << "  IBO drops: interesting " << iboDropsInteresting
+        << ", uninteresting " << iboDropsUninteresting
+        << ", unprocessed-at-end " << unprocessedInteresting << "\n"
+        << "  false negatives: " << fnDiscards
+        << ", false positives: " << fpPositives << "\n"
+        << "  interesting discarded: " << interestingDiscardedTotal()
+        << " (" << interestingDiscardedPct() << "% of nominal)\n"
+        << "  tx interesting: HQ " << txInterestingHq << ", LQ "
+        << txInterestingLq << " | tx uninteresting: HQ "
+        << txUninterestingHq << ", LQ " << txUninterestingLq << "\n"
+        << "  jobs: " << jobsCompleted << " (degraded " << degradedJobs
+        << ", IBO predictions " << iboPredictions << ")\n"
+        << "  power failures: " << powerFailures << " (saves "
+        << checkpointSaves << ", rolled-back "
+        << ticksToSeconds(rolledBackTicks) << " s), recharge "
+        << ticksToSeconds(rechargeTicks) << " s, active "
+        << ticksToSeconds(activeTicks) << " s of "
+        << ticksToSeconds(simulatedTicks) << " s\n"
+        << "  scheduler overhead: " << schedulerOverheadSeconds
+        << " s, " << schedulerOverheadEnergy << " J\n";
+}
+
+} // namespace sim
+} // namespace quetzal

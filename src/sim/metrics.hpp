@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Experiment metrics — exactly the quantities the paper's figures
+ * report: interesting inputs discarded (split into IBO drops and ML
+ * false negatives), radio packets by quality and ground-truth
+ * interestingness, adaptation/dynamics counters, and capture-side
+ * accounting for the capture-rate study (Figure 2b).
+ */
+
+#ifndef QUETZAL_SIM_METRICS_HPP
+#define QUETZAL_SIM_METRICS_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace sim {
+
+/** All counters collected over one experiment run. */
+struct Metrics
+{
+    /** @name Environment ground truth */
+    /// @{
+    std::uint64_t eventsTotal = 0;
+    std::uint64_t eventsInteresting = 0;
+    /** Interesting inputs available at the nominal 1 FPS rate —
+     *  the denominator of "% of all interesting inputs". */
+    std::uint64_t interestingInputsNominal = 0;
+    /// @}
+
+    /** @name Capture side */
+    /// @{
+    std::uint64_t captures = 0;
+    std::uint64_t interestingCaptured = 0;
+    std::uint64_t uninterestingCaptured = 0;
+    std::uint64_t storedInputs = 0;
+    /// @}
+
+    /** @name Losses */
+    /// @{
+    std::uint64_t iboDropsInteresting = 0;
+    std::uint64_t iboDropsUninteresting = 0;
+    std::uint64_t fnDiscards = 0;       ///< interesting judged negative
+    std::uint64_t fpPositives = 0;      ///< uninteresting judged positive
+    std::uint64_t unprocessedInteresting = 0; ///< left in buffer at end
+    /// @}
+
+    /** @name Transmissions */
+    /// @{
+    std::uint64_t txInterestingHq = 0;
+    std::uint64_t txInterestingLq = 0;
+    std::uint64_t txUninterestingHq = 0;
+    std::uint64_t txUninterestingLq = 0;
+    /// @}
+
+    /** @name Dynamics */
+    /// @{
+    std::uint64_t jobsCompleted = 0;
+    std::uint64_t degradedJobs = 0;
+    std::uint64_t iboPredictions = 0;
+    std::uint64_t powerFailures = 0;
+    std::uint64_t checkpointSaves = 0;
+    Tick rechargeTicks = 0;
+    Tick activeTicks = 0;
+    Tick rolledBackTicks = 0; ///< re-executed work (Periodic policy)
+    Tick simulatedTicks = 0;
+    double schedulerOverheadSeconds = 0.0;
+    Joules schedulerOverheadEnergy = 0.0;
+    util::RunningStats jobServiceSeconds;
+    util::RunningStats predictionErrorSeconds;
+    /// @}
+
+    /** @name Derived quantities (the figures' axes) */
+    /// @{
+    /** Interesting inputs missed before buffering (capture-rate
+     *  degradation, Figure 2b). */
+    std::uint64_t interestingMissedAtCapture() const;
+
+    /** Interesting inputs discarded: IBO + FN + unprocessed. */
+    std::uint64_t interestingDiscardedTotal() const;
+
+    /** Discarded as % of all (nominal) interesting inputs. */
+    double interestingDiscardedPct() const;
+
+    /** IBO-only discards as % of all interesting inputs. */
+    double iboDiscardedPct() const;
+
+    /** FN-only discards as % of all interesting inputs. */
+    double fnDiscardedPct() const;
+
+    /** Total interesting transmissions. */
+    std::uint64_t txInterestingTotal() const;
+
+    /** Fraction of interesting transmissions at high quality. */
+    double highQualityShare() const;
+    /// @}
+
+    /** Multi-line human-readable report. */
+    void printReport(std::ostream &out, const std::string &label) const;
+};
+
+} // namespace sim
+} // namespace quetzal
+
+#endif // QUETZAL_SIM_METRICS_HPP

@@ -1,0 +1,308 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace sim {
+
+namespace {
+
+/** Input-buffer capacity for a run (bounded even when "infinite"). */
+std::size_t
+effectiveCapacity(const SimulationConfig &cfg, Tick horizon)
+{
+    if (!cfg.infiniteBuffer)
+        return cfg.bufferCapacity;
+    // Large enough that it can never fill: one slot per capture that
+    // could ever occur, plus re-insertions.
+    return static_cast<std::size_t>(horizon / cfg.capturePeriod) * 2 + 64;
+}
+
+/** Nominal (1 FPS) interesting-input count of an event trace. */
+std::uint64_t
+nominalInterestingInputs(const trace::EventTrace &events)
+{
+    std::uint64_t count = 0;
+    for (const auto &event : events.data()) {
+        if (!event.interesting)
+            continue;
+        // Capture instants are the ticks k * 1000, k >= 1.
+        const Tick first =
+            std::max<Tick>(((event.start + kTicksPerSecond - 1) /
+                            kTicksPerSecond) * kTicksPerSecond,
+                           kTicksPerSecond);
+        if (first >= event.end())
+            continue;
+        count += static_cast<std::uint64_t>(
+            (event.end() - 1 - first) / kTicksPerSecond) + 1;
+    }
+    return count;
+}
+
+} // namespace
+
+Simulator::Simulator(const SimulationConfig &config,
+                     const app::DeviceProfile &deviceProfile,
+                     const app::ApplicationModel &application,
+                     core::TaskSystem &system_,
+                     core::Controller &controller_,
+                     const energy::PowerTrace &watts_,
+                     const trace::EventTrace &events_)
+    : cfg(config), appModel(application), system(system_),
+      controller(controller_), watts(watts_), events(events_),
+      device(deviceProfile, watts_),
+      buffer(effectiveCapacity(config,
+                               events_.endTime() + config.drainTicks)),
+      outcomeRng(config.outcomeSeed),
+      jitterRng(config.outcomeSeed ^ 0x9177e2ull)
+{
+    if (cfg.executionJitterSigma < 0.0)
+        util::fatal("execution jitter sigma must be non-negative");
+    if (cfg.capturePeriod <= 0)
+        util::fatal("capture period must be positive");
+}
+
+Metrics
+Simulator::run()
+{
+    metrics.eventsTotal = events.size();
+    metrics.eventsInteresting = events.interestingCount();
+    metrics.interestingInputsNominal = nominalInterestingInputs(events);
+
+    const Tick horizon = events.endTime() + cfg.drainTicks;
+    // Safety cap for drain-to-empty runs: beyond this we account the
+    // backlog as unprocessed rather than simulating forever.
+    const Tick hardCap = horizon * 4 + 3600 * kTicksPerSecond;
+
+    Tick now = 0;
+    Tick nextCapture = cfg.capturePeriod;
+
+    while (true) {
+        const bool capturing = now < horizon;
+        if (!capturing) {
+            const bool pendingWork = activeJob.has_value() ||
+                !buffer.empty();
+            if (!pendingWork || !cfg.drainToEmpty || now >= hardCap)
+                break;
+        }
+
+        if (capturing && now == nextCapture) {
+            processCapture(now);
+            nextCapture += cfg.capturePeriod;
+        }
+
+        if (!activeJob)
+            tryBeginJob(now);
+
+        const Tick limit = capturing ? std::min(nextCapture, horizon)
+                                     : hardCap;
+        const bool hadTask = device.taskActive();
+        const Tick reached = device.advance(now, limit);
+        now = reached;
+
+        if (hadTask && !device.taskActive() && activeJob) {
+            onTaskFinished(now);
+        } else if (!activeJob && buffer.empty() && !capturing) {
+            break;
+        }
+    }
+
+    accountLeftovers();
+
+    metrics.simulatedTicks = now;
+    metrics.powerFailures = device.stats().powerFailures;
+    metrics.checkpointSaves = device.stats().checkpointSaves;
+    metrics.rechargeTicks = device.stats().rechargeTicks;
+    metrics.activeTicks = device.stats().activeTicks;
+    metrics.rolledBackTicks = device.stats().rolledBackTicks;
+
+    const core::ControllerStats &cs = controller.stats();
+    metrics.degradedJobs = cs.degradedJobs;
+    metrics.iboPredictions = cs.iboPredictions;
+    metrics.predictionErrorSeconds = cs.predictionError;
+
+    return metrics;
+}
+
+void
+Simulator::tryBeginJob(Tick now)
+{
+    if (buffer.empty())
+        return;
+
+    const auto selection =
+        controller.selectJob(system, buffer, watts.valueAt(now));
+    if (!selection)
+        return;
+
+    if (cfg.debugLog) {
+        *cfg.debugLog << "t=" << ticksToSeconds(now) << " select job="
+            << system.job(selection->jobId).name << " occ="
+            << buffer.size() << " lam=" << system.arrivalsPerSecond()
+            << " P=" << watts.valueAt(now) * 1e3 << "mW E[S]="
+            << selection->predictedServiceSeconds << " ibo="
+            << selection->iboPredicted << " deg="
+            << selection->degraded << " opts=";
+        for (auto o : selection->optionPerTask)
+            *cfg.debugLog << o;
+        *cfg.debugLog << "\n";
+    }
+
+    ActiveJob job;
+    job.selection = *selection;
+    job.input = buffer.markInFlight(selection->bufferIndex);
+    job.jobStart = now;
+    job.executed.assign(
+        system.job(selection->jobId).tasks.size(), true);
+    activeJob = std::move(job);
+
+    // Charge the controller's modeled invocation cost (section 6.3:
+    // "we evaluated any scheduling policy and degradation-logic ...
+    // incurring its overheads").
+    metrics.schedulerOverheadSeconds += cfg.schedulerOverheadSeconds;
+    metrics.schedulerOverheadEnergy += cfg.schedulerOverheadEnergy;
+    device.drawInstantaneous(cfg.schedulerOverheadEnergy);
+
+    overheadCarrySeconds += cfg.schedulerOverheadSeconds;
+    const auto overheadTicks = static_cast<Tick>(
+        std::floor(overheadCarrySeconds *
+                   static_cast<double>(kTicksPerSecond)));
+    if (overheadTicks > 0) {
+        overheadCarrySeconds -=
+            ticksToSeconds(overheadTicks);
+        inOverheadPhase = true;
+        device.startTask(cfg.schedulerPower, overheadTicks);
+        return;
+    }
+    startNextTask(now);
+}
+
+void
+Simulator::startNextTask(Tick now)
+{
+    const core::Job &job = system.job(activeJob->selection.jobId);
+    if (activeJob->taskPos >= job.tasks.size()) {
+        finishJob(now);
+        return;
+    }
+    const core::Task &task = system.task(job.tasks[activeJob->taskPos]);
+    const std::size_t optionIndex =
+        activeJob->selection.optionPerTask[activeJob->taskPos];
+    const core::DegradationOption &option = task.option(optionIndex);
+    activeJob->taskStart = now;
+    Tick exeTicks = option.exeTicks;
+    if (cfg.executionJitterSigma > 0.0) {
+        // Variable execution costs: the profiled latency is only the
+        // median of a log-normal (paper section 5.2 future work).
+        const double factor =
+            jitterRng.lognormal(0.0, cfg.executionJitterSigma);
+        exeTicks = std::max<Tick>(
+            static_cast<Tick>(std::llround(
+                static_cast<double>(exeTicks) * factor)),
+            1);
+    }
+    device.startTask(option.execPower, exeTicks);
+}
+
+void
+Simulator::onTaskFinished(Tick now)
+{
+    if (inOverheadPhase) {
+        inOverheadPhase = false;
+        startNextTask(now);
+        return;
+    }
+
+    const core::Job &job = system.job(activeJob->selection.jobId);
+    const core::TaskId taskId = job.tasks[activeJob->taskPos];
+    const std::size_t optionIndex =
+        activeJob->selection.optionPerTask[activeJob->taskPos];
+    const double observed = ticksToSeconds(now - activeJob->taskStart);
+    controller.onTaskComplete(system, taskId, optionIndex, observed);
+
+    ++activeJob->taskPos;
+    startNextTask(now);
+}
+
+void
+Simulator::finishJob(Tick now)
+{
+    const core::Job &job = system.job(activeJob->selection.jobId);
+    const double observedJob = ticksToSeconds(now - activeJob->jobStart);
+    controller.onJobComplete(system, activeJob->selection,
+                             activeJob->executed, observedJob);
+    ++metrics.jobsCompleted;
+    metrics.jobServiceSeconds.add(observedJob);
+
+    const queueing::InputRecord &input = activeJob->input;
+
+    if (job.id == appModel.classifyJob) {
+        // Which option the (degradable) inference task ran at.
+        std::size_t mlOption = 0;
+        for (std::size_t i = 0; i < job.tasks.size(); ++i) {
+            if (job.tasks[i] == appModel.inferenceTask)
+                mlOption = activeJob->selection.optionPerTask[i];
+        }
+        const bool positive = appModel.classifyPositive(
+            outcomeRng, mlOption, input.interesting);
+        if (positive) {
+            if (!input.interesting)
+                ++metrics.fpPositives;
+            if (job.onPositive) {
+                // Spawn (section 3.1): the input already owns its
+                // memory slot; it is retagged, never re-inserted —
+                // but it is a fresh queue arrival for lambda.
+                buffer.retag(input.id, *job.onPositive, now);
+                system.recordSpawn();
+            } else {
+                buffer.release(input.id);
+            }
+        } else {
+            if (input.interesting)
+                ++metrics.fnDiscards;
+            buffer.release(input.id);
+        }
+    } else if (job.id == appModel.transmitJob) {
+        std::size_t radioOption = 0;
+        for (std::size_t i = 0; i < job.tasks.size(); ++i) {
+            if (job.tasks[i] == appModel.radioTask)
+                radioOption = activeJob->selection.optionPerTask[i];
+        }
+        const bool highQuality = radioOption == 0;
+        if (input.interesting) {
+            if (highQuality)
+                ++metrics.txInterestingHq;
+            else
+                ++metrics.txInterestingLq;
+        } else {
+            if (highQuality)
+                ++metrics.txUninterestingHq;
+            else
+                ++metrics.txUninterestingLq;
+        }
+        buffer.release(input.id);
+    } else {
+        // Unknown terminal job: the input leaves the system.
+        buffer.release(input.id);
+    }
+
+    activeJob.reset();
+}
+
+void
+Simulator::accountLeftovers()
+{
+    // In-flight records still live in the buffer, so this single
+    // scan covers a job interrupted by the horizon as well.
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+        if (buffer.at(i).interesting)
+            ++metrics.unprocessedInteresting;
+    }
+}
+
+} // namespace sim
+} // namespace quetzal

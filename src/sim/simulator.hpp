@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The experiment simulator (paper section 6.3).
+ *
+ * Fixed-increment (1 ms tick) co-simulation of the environment
+ * (harvested-power trace + sensing-event trace) and the device
+ * (capture pipeline, input buffer, controller, intermittent task
+ * execution). Captures occur strictly periodically regardless of
+ * device state — the paper's premise — and are charged to the energy
+ * store at the capture instant; "different" frames are compressed
+ * and inserted into the input buffer (inserts into a full buffer are
+ * IBO drops). Whenever the device is idle and the buffer is
+ * non-empty, the controller is invoked (its modeled overhead charged
+ * first, as in section 6.3), the selected job's tasks execute
+ * through the intermittent device model, and completion feeds the
+ * trackers, estimator and PID loop.
+ */
+
+#ifndef QUETZAL_SIM_SIMULATOR_HPP
+#define QUETZAL_SIM_SIMULATOR_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+
+#include "app/application.hpp"
+#include "app/device_profiles.hpp"
+#include "core/runtime.hpp"
+#include "energy/power_trace.hpp"
+#include "queueing/input_buffer.hpp"
+#include "sim/device.hpp"
+#include "sim/metrics.hpp"
+#include "trace/event_trace.hpp"
+#include "util/random.hpp"
+
+namespace quetzal {
+namespace sim {
+
+/** Run-level knobs. */
+struct SimulationConfig
+{
+    Tick capturePeriod = 1000;      ///< paper: 1 FPS
+    std::size_t bufferCapacity = 10; ///< paper Table 1: 10 images
+    /** Model the paper's infinite-memory Ideal baseline. */
+    bool infiniteBuffer = false;
+    /** Extra simulated time after the last event, to drain. */
+    Tick drainTicks = 600 * kTicksPerSecond;
+    /** Keep simulating (without captures) until the buffer empties. */
+    bool drainToEmpty = false;
+    /** Controller invocation cost, charged per scheduling round. */
+    double schedulerOverheadSeconds = 0.0;
+    Joules schedulerOverheadEnergy = 0.0;
+    /** Power drawn while the scheduler computes. */
+    Watts schedulerPower = 5e-3;
+    /** Seed for classification-outcome draws. */
+    std::uint64_t outcomeSeed = 99;
+    /**
+     * Multiplicative execution-time jitter (log-normal sigma) per
+     * task execution. 0 models the paper's consistent profiled
+     * costs; >0 models variable execution costs (the paper's
+     * future-work regime), which the PID loop compensates for.
+     */
+    double executionJitterSigma = 0.0;
+    /** Optional diagnostic stream: one line per capture/selection. */
+    std::ostream *debugLog = nullptr;
+};
+
+/**
+ * One experiment run. Construct, call run() once.
+ */
+class Simulator
+{
+  public:
+    /**
+     * All references must outlive the simulator; the TaskSystem must
+     * already have the application registered on it.
+     */
+    Simulator(const SimulationConfig &config,
+              const app::DeviceProfile &deviceProfile,
+              const app::ApplicationModel &application,
+              core::TaskSystem &system, core::Controller &controller,
+              const energy::PowerTrace &watts,
+              const trace::EventTrace &events);
+
+    /** Execute the full run and return its metrics. */
+    Metrics run();
+
+  private:
+    /** In-flight job bookkeeping. */
+    struct ActiveJob
+    {
+        core::JobSelection selection;
+        queueing::InputRecord input;
+        std::size_t taskPos = 0;
+        Tick jobStart = 0;
+        Tick taskStart = 0;
+        std::vector<bool> executed;
+    };
+
+    void processCapture(Tick now);
+    void tryBeginJob(Tick now);
+    void startNextTask(Tick now);
+    void onTaskFinished(Tick now);
+    void finishJob(Tick now);
+    void accountLeftovers();
+
+    SimulationConfig cfg;
+    const app::ApplicationModel &appModel;
+    core::TaskSystem &system;
+    core::Controller &controller;
+    const energy::PowerTrace &watts;
+    const trace::EventTrace &events;
+
+    Device device;
+    queueing::InputBuffer buffer;
+    Metrics metrics;
+    util::Rng outcomeRng;
+
+    std::optional<ActiveJob> activeJob;
+    bool inOverheadPhase = false;
+    double overheadCarrySeconds = 0.0;
+    std::uint64_t nextInputId = 1;
+    util::Rng jitterRng;
+};
+
+} // namespace sim
+} // namespace quetzal
+
+#endif // QUETZAL_SIM_SIMULATOR_HPP

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Sensing-event representation.
+ *
+ * The paper models the environment as a sequence of events with
+ * durations and interarrival times drawn from a surveillance dataset
+ * (section 6.4); an event is either 'interesting' (contains what the
+ * application looks for, e.g. a person) or 'uninteresting' (activity
+ * that changes pixels but carries nothing reportable, e.g. a passing
+ * car). Captures that overlap an event are "different" from the
+ * previous frame and therefore enter the input buffer.
+ */
+
+#ifndef QUETZAL_TRACE_EVENT_HPP
+#define QUETZAL_TRACE_EVENT_HPP
+
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace trace {
+
+/** One environmental activity interval. */
+struct SensingEvent
+{
+    Tick start = 0;       ///< event onset
+    Tick duration = 0;    ///< activity length (> 0)
+    bool interesting = false; ///< carries reportable content
+
+    /** First tick after the event ends. */
+    Tick end() const { return start + duration; }
+
+    /** True when the event is active at the given tick. */
+    bool
+    activeAt(Tick tick) const
+    {
+        return tick >= start && tick < end();
+    }
+};
+
+} // namespace trace
+} // namespace quetzal
+
+#endif // QUETZAL_TRACE_EVENT_HPP

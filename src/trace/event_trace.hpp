@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Container and queries over a sequence of sensing events.
+ */
+
+#ifndef QUETZAL_TRACE_EVENT_TRACE_HPP
+#define QUETZAL_TRACE_EVENT_TRACE_HPP
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace trace {
+
+/**
+ * An ordered, non-overlapping sequence of sensing events. Supports
+ * the point queries the capture pipeline issues once per capture
+ * period, amortized O(1) via a monotone cursor (captures scan the
+ * trace in time order).
+ */
+class EventTrace
+{
+  public:
+    EventTrace() = default;
+
+    /**
+     * Construct from events; panics if events overlap or are not
+     * sorted by start time.
+     */
+    explicit EventTrace(std::vector<SensingEvent> events);
+
+    /** Number of events. */
+    std::size_t size() const { return events.size(); }
+
+    bool empty() const { return events.empty(); }
+
+    /** Read-only event access. */
+    const std::vector<SensingEvent> &data() const { return events; }
+
+    /** Event by index. */
+    const SensingEvent &at(std::size_t index) const;
+
+    /** First tick after the final event ends (0 when empty). */
+    Tick endTime() const;
+
+    /** Number of interesting events. */
+    std::size_t interestingCount() const;
+
+    /**
+     * Query the event active at the given tick, or nullptr if none.
+     * O(log n).
+     */
+    const SensingEvent *eventAt(Tick tick) const;
+
+    /** True when any event is active at the given tick. */
+    bool activeAt(Tick tick) const { return eventAt(tick) != nullptr; }
+
+    /**
+     * True when an interesting event is active at the given tick.
+     */
+    bool interestingAt(Tick tick) const;
+
+    /** Serialize as CSV rows "start_s,duration_s,interesting". */
+    void writeCsv(std::ostream &out) const;
+
+    /** Parse from CSV (see writeCsv). Calls fatal() on bad input. */
+    static EventTrace readCsv(std::istream &in);
+
+  private:
+    std::vector<SensingEvent> events;
+};
+
+} // namespace trace
+} // namespace quetzal
+
+#endif // QUETZAL_TRACE_EVENT_TRACE_HPP

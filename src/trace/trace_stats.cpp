@@ -1,0 +1,48 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+
+namespace quetzal {
+namespace trace {
+
+double
+TraceStats::expectedStoredInputs(double captureHz) const
+{
+    return activityDutyCycle * spanSeconds * captureHz;
+}
+
+TraceStats
+computeStats(const EventTrace &trace)
+{
+    TraceStats stats;
+    stats.eventCount = trace.size();
+    stats.interestingCount = trace.interestingCount();
+    if (trace.empty())
+        return stats;
+
+    Tick activeTicks = 0;
+    Tick maxDuration = 0;
+    Tick gapTicks = 0;
+    const auto &events = trace.data();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        activeTicks += events[i].duration;
+        maxDuration = std::max(maxDuration, events[i].duration);
+        if (i > 0)
+            gapTicks += events[i].start - events[i - 1].end();
+    }
+
+    const Tick span = trace.endTime() - events.front().start;
+    stats.meanDurationSeconds = ticksToSeconds(activeTicks) /
+        static_cast<double>(events.size());
+    stats.maxDurationSeconds = ticksToSeconds(maxDuration);
+    stats.meanGapSeconds = events.size() > 1 ?
+        ticksToSeconds(gapTicks) / static_cast<double>(events.size() - 1) :
+        0.0;
+    stats.spanSeconds = ticksToSeconds(span);
+    stats.activityDutyCycle = span > 0 ?
+        static_cast<double>(activeTicks) / static_cast<double>(span) : 0.0;
+    return stats;
+}
+
+} // namespace trace
+} // namespace quetzal

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Summary statistics over event traces, used by tests to validate
+ * generator behaviour and by benches to report workload properties.
+ */
+
+#ifndef QUETZAL_TRACE_TRACE_STATS_HPP
+#define QUETZAL_TRACE_TRACE_STATS_HPP
+
+#include <cstddef>
+
+#include "trace/event_trace.hpp"
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace trace {
+
+/** Aggregate description of an event trace. */
+struct TraceStats
+{
+    std::size_t eventCount = 0;
+    std::size_t interestingCount = 0;
+    double meanDurationSeconds = 0.0;
+    double maxDurationSeconds = 0.0;
+    double meanGapSeconds = 0.0;
+    double activityDutyCycle = 0.0; ///< active time / total span
+    double spanSeconds = 0.0;       ///< first start to last end
+
+    /**
+     * Expected number of "different" captures: active seconds times
+     * the capture rate (1 FPS by default).
+     */
+    double expectedStoredInputs(double captureHz = 1.0) const;
+};
+
+/** Compute statistics over a trace. */
+TraceStats computeStats(const EventTrace &trace);
+
+} // namespace trace
+} // namespace quetzal
+
+#endif // QUETZAL_TRACE_TRACE_STATS_HPP

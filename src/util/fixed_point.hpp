@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Q16.16 fixed-point arithmetic helpers.
+ *
+ * The on-device side of Quetzal targets MCUs without floating-point
+ * units (MSP430) and, per the paper, must avoid integer division on
+ * its hot path. The runtime's rate and probability bookkeeping is
+ * expressed in Q16.16 so the implementation mirrors what would run on
+ * the device: multiplications, shifts and table lookups only.
+ */
+
+#ifndef QUETZAL_UTIL_FIXED_POINT_HPP
+#define QUETZAL_UTIL_FIXED_POINT_HPP
+
+#include <cstdint>
+
+namespace quetzal {
+namespace util {
+
+/** Q16.16 fixed-point value stored in a 32-bit signed integer. */
+using Fixed = std::int32_t;
+
+/** Number of fractional bits in a Fixed. */
+inline constexpr int kFixedShift = 16;
+
+/** The Fixed representation of 1.0. */
+inline constexpr Fixed kFixedOne = Fixed{1} << kFixedShift;
+
+/** Convert an integer to Fixed. */
+constexpr Fixed
+fixedFromInt(std::int32_t value)
+{
+    return value << kFixedShift;
+}
+
+/** Convert a double to Fixed (round to nearest). */
+constexpr Fixed
+fixedFromDouble(double value)
+{
+    const double scaled = value * static_cast<double>(kFixedOne);
+    return static_cast<Fixed>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5);
+}
+
+/** Convert a Fixed to double. */
+constexpr double
+fixedToDouble(Fixed value)
+{
+    return static_cast<double>(value) / static_cast<double>(kFixedOne);
+}
+
+/** Fixed multiply with 64-bit intermediate. */
+constexpr Fixed
+fixedMul(Fixed a, Fixed b)
+{
+    const std::int64_t wide =
+        static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b);
+    return static_cast<Fixed>(wide >> kFixedShift);
+}
+
+/**
+ * Multiply a Fixed fraction by an integer count, returning an
+ * integer (floor). This is the only "scaling" operation the runtime
+ * hot path needs; there is deliberately no fixedDiv here — Quetzal's
+ * claim is that the hot path is division-free (divisions happen only
+ * at profile time or via the hardware ratio engine).
+ */
+constexpr std::int64_t
+fixedScale(Fixed fraction, std::int64_t count)
+{
+    const std::int64_t wide = static_cast<std::int64_t>(fraction) * count;
+    return wide >> kFixedShift;
+}
+
+/**
+ * Reciprocal table for window sizes that are powers of two: 1/w is a
+ * shift, so converting a ones-count into a Q16.16 fraction costs one
+ * shift. Windows in Quetzal (<task-window>=64, <arrival-window>=256)
+ * are powers of two for exactly this reason.
+ */
+constexpr Fixed
+fixedFractionPow2(std::int32_t ones, int log2Window)
+{
+    return static_cast<Fixed>(
+        (static_cast<std::int64_t>(ones) << kFixedShift) >> log2Window);
+}
+
+} // namespace util
+} // namespace quetzal
+
+#endif // QUETZAL_UTIL_FIXED_POINT_HPP

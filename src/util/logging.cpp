@@ -1,0 +1,63 @@
+#include "util/logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace quetzal {
+namespace util {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Normal;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+panic(const std::string &message)
+{
+    std::cerr << "panic: " << message << std::endl;
+    std::abort();
+}
+
+void
+fatal(const std::string &message)
+{
+    std::cerr << "fatal: " << message << std::endl;
+    std::exit(1);
+}
+
+void
+warn(const std::string &message)
+{
+    if (globalLevel != LogLevel::Silent)
+        std::cerr << "warn: " << message << std::endl;
+}
+
+void
+inform(const std::string &message)
+{
+    if (globalLevel != LogLevel::Silent)
+        std::cout << "info: " << message << std::endl;
+}
+
+void
+debug(const std::string &message)
+{
+    if (globalLevel == LogLevel::Verbose)
+        std::cout << "debug: " << message << std::endl;
+}
+
+} // namespace util
+} // namespace quetzal

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Logging and error-termination helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a Quetzal bug; aborts), fatal() is for unrecoverable
+ * user/configuration errors (clean exit with an error code), warn()
+ * and inform() are non-terminating status channels.
+ */
+
+#ifndef QUETZAL_UTIL_LOGGING_HPP
+#define QUETZAL_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace quetzal {
+namespace util {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel {
+    Silent,  ///< suppress warn/inform output (fatal/panic still print)
+    Normal,  ///< print warnings and informational messages
+    Verbose, ///< additionally print debug traces
+};
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide log level. */
+LogLevel logLevel();
+
+/**
+ * Terminate with an internal-error diagnostic. Call when an invariant
+ * that no configuration should be able to violate has been violated.
+ * Never returns.
+ */
+[[noreturn]] void panic(const std::string &message);
+
+/**
+ * Terminate with a user-error diagnostic (bad configuration, invalid
+ * arguments). Never returns.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/** Print a warning about suspicious but survivable conditions. */
+void warn(const std::string &message);
+
+/** Print an informational status message. */
+void inform(const std::string &message);
+
+/** Print a debug trace (only at LogLevel::Verbose). */
+void debug(const std::string &message);
+
+/**
+ * Build a message from stream-insertable pieces, e.g.
+ * `fatal(msg("bad cell count ", cells))`.
+ */
+template <typename... Args>
+std::string
+msg(Args &&...args)
+{
+    std::ostringstream out;
+    (out << ... << args);
+    return out.str();
+}
+
+} // namespace util
+} // namespace quetzal
+
+#endif // QUETZAL_UTIL_LOGGING_HPP

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Fixed-capacity ring buffer template.
+ *
+ * Used wherever the runtime needs bounded FIFO storage with O(1)
+ * push/pop and stable indices-from-front iteration (input buffer
+ * entries, recent-observation windows).
+ */
+
+#ifndef QUETZAL_UTIL_RING_BUFFER_HPP
+#define QUETZAL_UTIL_RING_BUFFER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace util {
+
+/**
+ * Bounded FIFO with O(1) pushBack/popFront and random access by
+ * logical index (0 == oldest element).
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    /** Construct with a fixed capacity (> 0). */
+    explicit RingBuffer(std::size_t capacity)
+        : slots(capacity), cap(capacity)
+    {
+        if (capacity == 0)
+            panic("RingBuffer capacity must be positive");
+    }
+
+    /** Maximum number of elements. */
+    std::size_t capacity() const { return cap; }
+
+    /** Current number of elements. */
+    std::size_t size() const { return count; }
+
+    bool empty() const { return count == 0; }
+    bool full() const { return count == cap; }
+
+    /**
+     * Append to the back. Returns false (and drops the value) when
+     * full — the caller decides whether that constitutes an overflow
+     * event worth recording.
+     */
+    bool
+    pushBack(T value)
+    {
+        if (full())
+            return false;
+        slots[(head + count) % cap] = std::move(value);
+        ++count;
+        return true;
+    }
+
+    /** Remove and return the oldest element. Panics when empty. */
+    T
+    popFront()
+    {
+        if (empty())
+            panic("RingBuffer::popFront on empty buffer");
+        T value = std::move(slots[head]);
+        head = (head + 1) % cap;
+        --count;
+        return value;
+    }
+
+    /** Oldest element. Panics when empty. */
+    const T &
+    front() const
+    {
+        if (empty())
+            panic("RingBuffer::front on empty buffer");
+        return slots[head];
+    }
+
+    /** Newest element. Panics when empty. */
+    const T &
+    back() const
+    {
+        if (empty())
+            panic("RingBuffer::back on empty buffer");
+        return slots[(head + count - 1) % cap];
+    }
+
+    /** Element at logical index (0 == oldest). Panics out of range. */
+    const T &
+    at(std::size_t index) const
+    {
+        if (index >= count)
+            panic(msg("RingBuffer index out of range: ", index,
+                      " >= ", count));
+        return slots[(head + index) % cap];
+    }
+
+    /** Mutable access at logical index. Panics out of range. */
+    T &
+    at(std::size_t index)
+    {
+        return const_cast<T &>(
+            static_cast<const RingBuffer &>(*this).at(index));
+    }
+
+    /**
+     * Remove the element at logical index, preserving the order of
+     * the others. O(n); used only on small buffers (<= tens of
+     * entries) where the scheduler removes a non-head input.
+     */
+    T
+    removeAt(std::size_t index)
+    {
+        T value = std::move(at(index));
+        for (std::size_t i = index; i + 1 < count; ++i)
+            at(i) = std::move(at(i + 1));
+        --count;
+        return value;
+    }
+
+    /** Discard all contents. */
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    std::vector<T> slots;
+    std::size_t cap;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace util
+} // namespace quetzal
+
+#endif // QUETZAL_UTIL_RING_BUFFER_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fundamental unit types and conversion helpers shared by all Quetzal
+ * modules.
+ *
+ * Simulated time is discretized to 1 ms ticks (the paper's
+ * fixed-increment simulator, section 6.3). Physical quantities
+ * (energy, power, voltage, current) use double-precision SI units;
+ * the only place integer arithmetic matters for fidelity is the
+ * on-device runtime hot path, which lives in hw::RatioEngine and
+ * operates on ADC codes and pre-multiplied tick tables.
+ */
+
+#ifndef QUETZAL_UTIL_TYPES_HPP
+#define QUETZAL_UTIL_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace quetzal {
+
+/** Simulated time in ticks. One tick is exactly one millisecond. */
+using Tick = std::int64_t;
+
+/** Number of ticks per simulated second. */
+inline constexpr Tick kTicksPerSecond = 1000;
+
+/** A tick value that compares greater than any reachable time. */
+inline constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/** Energy in joules. */
+using Joules = double;
+
+/** Power in watts. */
+using Watts = double;
+
+/** Electric potential in volts. */
+using Volts = double;
+
+/** Electric current in amperes. */
+using Amperes = double;
+
+/** Capacitance in farads. */
+using Farads = double;
+
+/** Temperature in kelvin. */
+using Kelvin = double;
+
+/** Convert seconds (fractional allowed) to whole ticks, truncating. */
+constexpr Tick
+secondsToTicks(double seconds)
+{
+    return static_cast<Tick>(seconds * static_cast<double>(kTicksPerSecond));
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick ticks)
+{
+    return static_cast<double>(ticks) / static_cast<double>(kTicksPerSecond);
+}
+
+/** Convert milliseconds to ticks (identity under the 1 ms tick). */
+constexpr Tick
+millisecondsToTicks(double ms)
+{
+    return static_cast<Tick>(ms);
+}
+
+/** Energy drawn by a constant power over a tick span. */
+constexpr Joules
+energyOver(Watts power, Tick ticks)
+{
+    return power * ticksToSeconds(ticks);
+}
+
+} // namespace quetzal
+
+#endif // QUETZAL_UTIL_TYPES_HPP

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the application factories (person detection and audio
+ * monitor) and the classification-outcome model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/audio_monitor.hpp"
+#include "app/person_detection.hpp"
+
+namespace quetzal {
+namespace app {
+namespace {
+
+TEST(PersonDetection, RegistersExpectedGraph)
+{
+    core::TaskSystem system;
+    const auto appModel =
+        buildPersonDetectionApp(system, apollo4Device());
+    EXPECT_EQ(system.taskCount(), 2u);
+    EXPECT_EQ(system.jobCount(), 2u);
+
+    const core::Job &classify = system.job(appModel.classifyJob);
+    ASSERT_TRUE(classify.onPositive.has_value());
+    EXPECT_EQ(*classify.onPositive, appModel.transmitJob);
+    EXPECT_EQ(classify.tasks, std::vector<core::TaskId>{
+                                  appModel.inferenceTask});
+
+    const core::Job &transmit = system.job(appModel.transmitJob);
+    EXPECT_FALSE(transmit.onPositive.has_value());
+    EXPECT_EQ(transmit.tasks,
+              std::vector<core::TaskId>{appModel.radioTask});
+}
+
+TEST(PersonDetection, TasksAreDegradable)
+{
+    core::TaskSystem system;
+    const auto appModel =
+        buildPersonDetectionApp(system, apollo4Device());
+    EXPECT_TRUE(system.task(appModel.inferenceTask).degradable());
+    EXPECT_TRUE(system.task(appModel.radioTask).degradable());
+    // Inference options mirror the model zoo ordering.
+    EXPECT_EQ(system.task(appModel.inferenceTask).option(0).name,
+              "MobileNetV2");
+    EXPECT_EQ(system.task(appModel.radioTask).option(1).name,
+              "single-byte");
+}
+
+TEST(PersonDetection, Msp430UsesQuantizedLeNets)
+{
+    core::TaskSystem system;
+    const auto appModel =
+        buildPersonDetectionApp(system, msp430Device());
+    EXPECT_EQ(system.task(appModel.inferenceTask).option(0).name,
+              "LeNet-int16");
+    EXPECT_EQ(system.task(appModel.inferenceTask).option(1).name,
+              "LeNet-int8");
+}
+
+TEST(PersonDetection, StoredImageIsCompressed)
+{
+    core::TaskSystem system;
+    const auto appModel =
+        buildPersonDetectionApp(system, apollo4Device());
+    EXPECT_LT(appModel.storedInputBytes, kRawImageBytes / 10);
+    EXPECT_GT(appModel.storedInputBytes, 0u);
+}
+
+TEST(Application, ClassificationRatesMatchConfiguredModel)
+{
+    core::TaskSystem system;
+    const auto appModel =
+        buildPersonDetectionApp(system, apollo4Device());
+    util::Rng rng(77);
+    const int trials = 200000;
+
+    int falseNegatives = 0;
+    int falsePositives = 0;
+    for (int i = 0; i < trials; ++i) {
+        if (!appModel.classifyPositive(rng, 0, true))
+            ++falseNegatives;
+        if (appModel.classifyPositive(rng, 0, false))
+            ++falsePositives;
+    }
+    const MlModel &model = appModel.inferenceModels[0];
+    EXPECT_NEAR(static_cast<double>(falseNegatives) / trials,
+                model.falseNegativeRate, 0.005);
+    EXPECT_NEAR(static_cast<double>(falsePositives) / trials,
+                model.falsePositiveRate, 0.005);
+}
+
+TEST(Application, DegradedOptionMisclassifiesMore)
+{
+    core::TaskSystem system;
+    const auto appModel =
+        buildPersonDetectionApp(system, apollo4Device());
+    util::Rng rng(78);
+    int fnHigh = 0;
+    int fnLow = 0;
+    for (int i = 0; i < 100000; ++i) {
+        fnHigh += !appModel.classifyPositive(rng, 0, true);
+        fnLow += !appModel.classifyPositive(rng, 1, true);
+    }
+    EXPECT_GT(fnLow, 2 * fnHigh);
+}
+
+TEST(AudioMonitor, RegistersSecondApplication)
+{
+    core::TaskSystem system;
+    const auto appModel = buildAudioMonitorApp(system, apollo4Device());
+    EXPECT_EQ(system.taskCount(), 2u);
+    EXPECT_EQ(system.jobCount(), 2u);
+    EXPECT_EQ(system.task(appModel.inferenceTask).name(),
+              "audio-detect");
+    EXPECT_EQ(system.task(appModel.radioTask).name(), "clip-uplink");
+    EXPECT_TRUE(system.task(appModel.inferenceTask).degradable());
+    const core::Job &detect = system.job(appModel.classifyJob);
+    ASSERT_TRUE(detect.onPositive.has_value());
+    EXPECT_EQ(*detect.onPositive, appModel.transmitJob);
+}
+
+TEST(AudioMonitor, CoexistsWithPersonDetectionOnOneSystem)
+{
+    // Both applications can share one TaskSystem (multi-app device).
+    core::TaskSystem system;
+    const auto camera = buildPersonDetectionApp(system, apollo4Device());
+    const auto audio = buildAudioMonitorApp(system, apollo4Device());
+    EXPECT_EQ(system.taskCount(), 4u);
+    EXPECT_EQ(system.jobCount(), 4u);
+    EXPECT_NE(camera.classifyJob, audio.classifyJob);
+}
+
+} // namespace
+} // namespace app
+} // namespace quetzal

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests for the ML model zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/ml_model.hpp"
+
+namespace quetzal {
+namespace app {
+namespace {
+
+TEST(MlZoo, QualityOrderingPerDevice)
+{
+    for (auto kind : {DeviceKind::Apollo4, DeviceKind::Msp430}) {
+        const auto options = inferenceOptions(kind);
+        ASSERT_GE(options.size(), 2u) << deviceKindName(kind);
+        // Index 0 is highest quality: strictly better accuracy and
+        // strictly higher energy than the degraded option.
+        EXPECT_LT(options[0].falseNegativeRate,
+                  options[1].falseNegativeRate);
+        EXPECT_LT(options[0].falsePositiveRate,
+                  options[1].falsePositiveRate);
+        EXPECT_GT(options[0].energy(), options[1].energy());
+        EXPECT_GT(options[0].exeTicks, options[1].exeTicks);
+    }
+}
+
+TEST(MlZoo, RatesAreProbabilities)
+{
+    for (auto kind : {DeviceKind::Apollo4, DeviceKind::Msp430}) {
+        for (const auto &model : inferenceOptions(kind)) {
+            EXPECT_GT(model.falsePositiveRate, 0.0);
+            EXPECT_LT(model.falsePositiveRate, 0.5);
+            EXPECT_GT(model.falseNegativeRate, 0.0);
+            EXPECT_LT(model.falseNegativeRate, 0.5);
+        }
+    }
+}
+
+TEST(MlZoo, EnergyMatchesLatencyTimesPower)
+{
+    const MlModel model = mobileNetV2Apollo4();
+    EXPECT_NEAR(model.energy(),
+                model.execPower * ticksToSeconds(model.exeTicks),
+                1e-15);
+    // 350 ms at 20 mW = 7 mJ (DESIGN.md calibration).
+    EXPECT_NEAR(model.energy(), 7e-3, 1e-9);
+}
+
+TEST(MlZoo, Msp430SlowerThanApollo)
+{
+    EXPECT_GT(leNetInt16Msp430().exeTicks,
+              mobileNetV2Apollo4().exeTicks);
+    EXPECT_LT(leNetInt16Msp430().execPower,
+              mobileNetV2Apollo4().execPower);
+}
+
+} // namespace
+} // namespace app
+} // namespace quetzal

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the controller factories: every configuration of the
+ * paper's evaluation assembles and behaves per its policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/controllers.hpp"
+#include "../core/core_test_fixtures.hpp"
+
+namespace quetzal {
+namespace baselines {
+namespace {
+
+using core::testing_fixtures::makeSmallSystem;
+using core::testing_fixtures::pushInput;
+
+TEST(Factories, NamesAndCollaborators)
+{
+    EXPECT_EQ(makeNoAdaptController()->name(), "NoAdapt");
+    EXPECT_EQ(makeAlwaysDegradeController()->name(), "AlwaysDegrade");
+    EXPECT_EQ(makeCatNapController()->name(), "CatNap");
+    EXPECT_EQ(makeBufferThresholdController(0.25)->name(),
+              "Threshold-25%");
+    EXPECT_EQ(makePowerThresholdController(1e-3, "ZGO")->name(), "ZGO");
+
+    auto noAdapt = makeNoAdaptController();
+    EXPECT_EQ(noAdapt->scheduler().name(), "fcfs");
+    EXPECT_EQ(noAdapt->adaptation().name(), "no-adapt");
+}
+
+TEST(Factories, VariantNamesMatchKind)
+{
+    using K = SchedulerKind;
+    EXPECT_EQ(makeQuetzalVariantController(K::EnergyAwareSjf)->name(),
+              "Quetzal(EA-SJF)");
+    EXPECT_EQ(makeQuetzalVariantController(K::Fcfs)->name(),
+              "Quetzal(FCFS)");
+    EXPECT_EQ(makeQuetzalVariantController(K::Lcfs)->name(),
+              "Quetzal(LCFS)");
+    EXPECT_EQ(makeQuetzalVariantController(K::AvgSe2e)->name(),
+              "Quetzal(Avg-Se2e)");
+}
+
+TEST(Factories, AvgVariantUsesAveragingEstimator)
+{
+    auto controller =
+        makeQuetzalVariantController(SchedulerKind::AvgSe2e);
+    EXPECT_EQ(controller->estimator().name(), "avg-se2e");
+    auto sjf =
+        makeQuetzalVariantController(SchedulerKind::EnergyAwareSjf,
+                                     false);
+    EXPECT_EQ(sjf->estimator().name(), "energy-aware(exact)");
+}
+
+TEST(Controllers, NoAdaptNeverDegrades)
+{
+    auto s = makeSmallSystem();
+    auto controller = makeNoAdaptController();
+    queueing::InputBuffer buffer(2);
+    pushInput(buffer, s, 1, 0, s.transmitJob);
+    pushInput(buffer, s, 2, 0, s.transmitJob);
+    const auto selection =
+        controller->selectJob(*s.system, buffer, 1e-6);
+    ASSERT_TRUE(selection.has_value());
+    EXPECT_FALSE(selection->degraded);
+    EXPECT_EQ(selection->optionPerTask, std::vector<std::size_t>{0});
+}
+
+TEST(Controllers, AlwaysDegradeAlwaysDoes)
+{
+    auto s = makeSmallSystem();
+    auto controller = makeAlwaysDegradeController();
+    queueing::InputBuffer buffer(10);
+    pushInput(buffer, s, 1, 0, s.transmitJob);
+    const auto selection =
+        controller->selectJob(*s.system, buffer, 1.0);
+    ASSERT_TRUE(selection.has_value());
+    EXPECT_TRUE(selection->degraded);
+    EXPECT_EQ(selection->optionPerTask, std::vector<std::size_t>{1});
+}
+
+TEST(Controllers, CatNapDegradesOnlyWhenFull)
+{
+    auto s = makeSmallSystem();
+    auto controller = makeCatNapController();
+    queueing::InputBuffer buffer(2);
+    pushInput(buffer, s, 1, 0, s.transmitJob);
+    auto selection = controller->selectJob(*s.system, buffer, 1e-6);
+    ASSERT_TRUE(selection.has_value());
+    EXPECT_FALSE(selection->degraded);
+    pushInput(buffer, s, 2, 0, s.transmitJob);
+    selection = controller->selectJob(*s.system, buffer, 1e-6);
+    ASSERT_TRUE(selection.has_value());
+    EXPECT_TRUE(selection->degraded);
+}
+
+TEST(Controllers, QuetzalVariantsShareIboEngine)
+{
+    for (auto kind : {SchedulerKind::EnergyAwareSjf, SchedulerKind::Fcfs,
+                      SchedulerKind::Lcfs, SchedulerKind::AvgSe2e}) {
+        auto controller = makeQuetzalVariantController(kind);
+        EXPECT_EQ(controller->adaptation().name(), "ibo-engine")
+            << schedulerKindName(kind);
+    }
+}
+
+} // namespace
+} // namespace baselines
+} // namespace quetzal

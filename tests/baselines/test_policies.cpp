@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the FCFS / LCFS comparison scheduling policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/policies.hpp"
+#include "../core/core_test_fixtures.hpp"
+
+namespace quetzal {
+namespace baselines {
+namespace {
+
+using core::testing_fixtures::makeSmallSystem;
+using core::testing_fixtures::pushInput;
+
+TEST(Fcfs, PicksOldestCapture)
+{
+    auto s = makeSmallSystem();
+    queueing::InputBuffer buffer(10);
+    pushInput(buffer, s, 1, 500, s.classifyJob);
+    pushInput(buffer, s, 2, 100, s.transmitJob);
+    pushInput(buffer, s, 3, 300, s.classifyJob);
+    FcfsPolicy policy;
+    core::EnergyAwareEstimator exact(false);
+    const auto decision =
+        policy.select(*s.system, buffer, exact, {1.0, 255}, 0.0);
+    ASSERT_TRUE(decision.has_value());
+    EXPECT_EQ(buffer.at(decision->bufferIndex).id, 2u);
+    EXPECT_EQ(decision->jobId, s.transmitJob);
+}
+
+TEST(Lcfs, PicksNewestCapture)
+{
+    auto s = makeSmallSystem();
+    queueing::InputBuffer buffer(10);
+    pushInput(buffer, s, 1, 500, s.classifyJob);
+    pushInput(buffer, s, 2, 100, s.transmitJob);
+    pushInput(buffer, s, 3, 900, s.classifyJob);
+    LcfsPolicy policy;
+    core::EnergyAwareEstimator exact(false);
+    const auto decision =
+        policy.select(*s.system, buffer, exact, {1.0, 255}, 0.0);
+    ASSERT_TRUE(decision.has_value());
+    EXPECT_EQ(buffer.at(decision->bufferIndex).id, 3u);
+}
+
+TEST(Fcfs, TieBreaksOnEnqueueTime)
+{
+    auto s = makeSmallSystem();
+    queueing::InputBuffer buffer(10);
+    // Same capture tick; the re-enqueued (spawned) one is newer.
+    queueing::InputRecord fresh;
+    fresh.id = 1;
+    fresh.captureTick = 100;
+    fresh.enqueueTick = 100;
+    fresh.jobId = s.classifyJob;
+    queueing::InputRecord respawned;
+    respawned.id = 2;
+    respawned.captureTick = 100;
+    respawned.enqueueTick = 900;
+    respawned.jobId = s.transmitJob;
+    buffer.tryPush(respawned);
+    buffer.tryPush(fresh);
+    FcfsPolicy policy;
+    core::EnergyAwareEstimator exact(false);
+    const auto decision =
+        policy.select(*s.system, buffer, exact, {1.0, 255}, 0.0);
+    ASSERT_TRUE(decision.has_value());
+    EXPECT_EQ(buffer.at(decision->bufferIndex).id, 1u);
+}
+
+TEST(Fcfs, SkipsInFlight)
+{
+    auto s = makeSmallSystem();
+    queueing::InputBuffer buffer(10);
+    pushInput(buffer, s, 1, 100, s.classifyJob);
+    pushInput(buffer, s, 2, 200, s.classifyJob);
+    buffer.markInFlight(0);
+    FcfsPolicy policy;
+    core::EnergyAwareEstimator exact(false);
+    const auto decision =
+        policy.select(*s.system, buffer, exact, {1.0, 255}, 0.0);
+    ASSERT_TRUE(decision.has_value());
+    EXPECT_EQ(buffer.at(decision->bufferIndex).id, 2u);
+}
+
+TEST(Fcfs, EmptyAndAllInFlightGiveNothing)
+{
+    auto s = makeSmallSystem();
+    queueing::InputBuffer buffer(10);
+    FcfsPolicy policy;
+    core::EnergyAwareEstimator exact(false);
+    EXPECT_FALSE(policy.select(*s.system, buffer, exact, {1.0, 255},
+                               0.0)
+                     .has_value());
+    pushInput(buffer, s, 1, 100, s.classifyJob);
+    buffer.markInFlight(0);
+    EXPECT_FALSE(policy.select(*s.system, buffer, exact, {1.0, 255},
+                               0.0)
+                     .has_value());
+}
+
+TEST(Fcfs, ReportsExpectedServiceForBookkeeping)
+{
+    auto s = makeSmallSystem();
+    queueing::InputBuffer buffer(10);
+    pushInput(buffer, s, 1, 100, s.transmitJob);
+    FcfsPolicy policy;
+    core::EnergyAwareEstimator exact(false);
+    const auto decision =
+        policy.select(*s.system, buffer, exact, {1.0, 255}, 0.0);
+    ASSERT_TRUE(decision.has_value());
+    EXPECT_NEAR(decision->expectedServiceSeconds, 0.8, 1e-9);
+}
+
+} // namespace
+} // namespace baselines
+} // namespace quetzal

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the Energy-aware SJF policy (paper Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "core_test_fixtures.hpp"
+
+namespace quetzal {
+namespace core {
+namespace {
+
+using testing_fixtures::makeSmallSystem;
+using testing_fixtures::pushInput;
+
+TEST(EnergyAwareSjf, EmptyBufferGivesNothing)
+{
+    auto s = makeSmallSystem();
+    queueing::InputBuffer buffer(10);
+    EnergyAwareSjfPolicy policy;
+    EnergyAwareEstimator exact(false);
+    EXPECT_FALSE(policy.select(*s.system, buffer, exact,
+                               {10e-3, 0}, 0.0)
+                     .has_value());
+}
+
+TEST(EnergyAwareSjf, PicksShortestJobAtHighPower)
+{
+    auto s = makeSmallSystem();
+    queueing::InputBuffer buffer(10);
+    pushInput(buffer, s, 1, 100, s.classifyJob);
+    pushInput(buffer, s, 2, 200, s.transmitJob);
+    EnergyAwareSjfPolicy policy;
+    EnergyAwareEstimator exact(false);
+    // At 1 W everything is compute bound: ml-high 1.0 s vs
+    // radio-high 0.8 s -> transmit wins.
+    const auto decision =
+        policy.select(*s.system, buffer, exact, {1.0, 255}, 0.0);
+    ASSERT_TRUE(decision.has_value());
+    EXPECT_EQ(decision->jobId, s.transmitJob);
+    EXPECT_NEAR(decision->expectedServiceSeconds, 0.8, 1e-9);
+}
+
+TEST(EnergyAwareSjf, PowerFlipsTheWinner)
+{
+    auto s = makeSmallSystem();
+    queueing::InputBuffer buffer(10);
+    pushInput(buffer, s, 1, 100, s.classifyJob);
+    pushInput(buffer, s, 2, 200, s.transmitJob);
+    EnergyAwareSjfPolicy policy;
+    EnergyAwareEstimator exact(false);
+    // At 25 mW: ml-high stays compute-bound (1.0 s; 20 mJ needs only
+    // 0.8 s of harvesting) while radio-high becomes energy-bound
+    // (80 mJ -> 3.2 s): classify wins. Same buffer state, different
+    // winner — the heart of *energy-aware* SJF.
+    const auto decision =
+        policy.select(*s.system, buffer, exact, {25e-3, 0}, 0.0);
+    ASSERT_TRUE(decision.has_value());
+    EXPECT_EQ(decision->jobId, s.classifyJob);
+    EXPECT_NEAR(decision->expectedServiceSeconds, 1.0, 1e-9);
+}
+
+TEST(EnergyAwareSjf, TieBreaksTowardOlderInput)
+{
+    auto s = makeSmallSystem();
+    // Make two jobs cost exactly the same: two classify-style jobs
+    // over the same task.
+    const JobId other = s.system->addJob("classify2", {s.mlTask});
+    queueing::InputBuffer buffer(10);
+    pushInput(buffer, s, 1, 500, other);
+    pushInput(buffer, s, 2, 100, s.classifyJob); // older capture
+    EnergyAwareSjfPolicy policy;
+    EnergyAwareEstimator exact(false);
+    const auto decision =
+        policy.select(*s.system, buffer, exact, {1.0, 255}, 0.0);
+    ASSERT_TRUE(decision.has_value());
+    EXPECT_EQ(decision->jobId, s.classifyJob);
+}
+
+TEST(EnergyAwareSjf, SelectsOldestInputOfChosenJob)
+{
+    auto s = makeSmallSystem();
+    queueing::InputBuffer buffer(10);
+    pushInput(buffer, s, 1, 300, s.classifyJob);
+    pushInput(buffer, s, 2, 100, s.classifyJob);
+    EnergyAwareSjfPolicy policy;
+    EnergyAwareEstimator exact(false);
+    const auto decision =
+        policy.select(*s.system, buffer, exact, {1.0, 255}, 0.0);
+    ASSERT_TRUE(decision.has_value());
+    // oldestIndexForJob returns the first (oldest-enqueued) entry.
+    EXPECT_EQ(buffer.at(decision->bufferIndex).id, 1u);
+}
+
+TEST(EnergyAwareSjf, PidCorrectionAddsUniformly)
+{
+    auto s = makeSmallSystem();
+    queueing::InputBuffer buffer(10);
+    pushInput(buffer, s, 1, 100, s.classifyJob);
+    EnergyAwareSjfPolicy policy;
+    EnergyAwareEstimator exact(false);
+    const auto base =
+        policy.select(*s.system, buffer, exact, {1.0, 255}, 0.0);
+    const auto corrected =
+        policy.select(*s.system, buffer, exact, {1.0, 255}, 2.5);
+    ASSERT_TRUE(base && corrected);
+    EXPECT_NEAR(corrected->expectedServiceSeconds,
+                base->expectedServiceSeconds + 2.5, 1e-9);
+}
+
+TEST(EnergyAwareSjf, NegativeCorrectionClampsAtZero)
+{
+    auto s = makeSmallSystem();
+    queueing::InputBuffer buffer(10);
+    pushInput(buffer, s, 1, 100, s.classifyJob);
+    EnergyAwareSjfPolicy policy;
+    EnergyAwareEstimator exact(false);
+    const auto decision =
+        policy.select(*s.system, buffer, exact, {1.0, 255}, -100.0);
+    ASSERT_TRUE(decision.has_value());
+    EXPECT_GE(decision->expectedServiceSeconds, 0.0);
+}
+
+TEST(EnergyAwareSjf, SkipsInFlightInputs)
+{
+    auto s = makeSmallSystem();
+    queueing::InputBuffer buffer(10);
+    pushInput(buffer, s, 1, 100, s.classifyJob);
+    buffer.markInFlight(0);
+    EnergyAwareSjfPolicy policy;
+    EnergyAwareEstimator exact(false);
+    EXPECT_FALSE(policy.select(*s.system, buffer, exact, {1.0, 255},
+                               0.0)
+                     .has_value());
+}
+
+} // namespace
+} // namespace core
+} // namespace quetzal

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for energy::PowerTrace.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "energy/power_trace.hpp"
+
+namespace quetzal {
+namespace energy {
+namespace {
+
+TEST(PowerTrace, EmptyTraceIsZero)
+{
+    PowerTrace trace;
+    EXPECT_EQ(trace.valueAt(0), 0.0);
+    EXPECT_EQ(trace.valueAt(12345), 0.0);
+    EXPECT_EQ(trace.nextChangeAfter(0), kTickNever);
+    EXPECT_EQ(trace.maxValue(), 0.0);
+}
+
+TEST(PowerTrace, ConstantTrace)
+{
+    const PowerTrace trace = PowerTrace::constant(5e-3);
+    EXPECT_DOUBLE_EQ(trace.valueAt(0), 5e-3);
+    EXPECT_DOUBLE_EQ(trace.valueAt(1'000'000), 5e-3);
+    EXPECT_EQ(trace.nextChangeAfter(0), kTickNever);
+}
+
+TEST(PowerTrace, PointQueries)
+{
+    PowerTrace trace({{0, 1.0}, {100, 2.0}, {250, 0.5}});
+    EXPECT_DOUBLE_EQ(trace.valueAt(0), 1.0);
+    EXPECT_DOUBLE_EQ(trace.valueAt(99), 1.0);
+    EXPECT_DOUBLE_EQ(trace.valueAt(100), 2.0);
+    EXPECT_DOUBLE_EQ(trace.valueAt(249), 2.0);
+    EXPECT_DOUBLE_EQ(trace.valueAt(250), 0.5);
+    EXPECT_DOUBLE_EQ(trace.valueAt(9999), 0.5);
+}
+
+TEST(PowerTrace, ValueBeforeFirstSegmentExtendsBackward)
+{
+    PowerTrace trace({{50, 3.0}});
+    EXPECT_DOUBLE_EQ(trace.valueAt(0), 3.0);
+    EXPECT_DOUBLE_EQ(trace.valueAt(49), 3.0);
+}
+
+TEST(PowerTrace, NextChangeAfter)
+{
+    PowerTrace trace({{0, 1.0}, {100, 2.0}, {250, 0.5}});
+    EXPECT_EQ(trace.nextChangeAfter(0), 100);
+    EXPECT_EQ(trace.nextChangeAfter(99), 100);
+    EXPECT_EQ(trace.nextChangeAfter(100), 250);
+    EXPECT_EQ(trace.nextChangeAfter(250), kTickNever);
+}
+
+TEST(PowerTrace, NextChangeSkipsEqualValues)
+{
+    PowerTrace trace;
+    trace.append(0, 1.0);
+    trace.append(10, 1.0); // no actual change
+    trace.append(20, 2.0);
+    EXPECT_EQ(trace.nextChangeAfter(0), 20);
+}
+
+TEST(PowerTrace, FromSamplesMergesRuns)
+{
+    const PowerTrace trace =
+        PowerTrace::fromSamples({1.0, 1.0, 1.0, 2.0, 2.0, 3.0}, 10);
+    EXPECT_EQ(trace.segmentCount(), 3u);
+    EXPECT_DOUBLE_EQ(trace.valueAt(29), 1.0);
+    EXPECT_DOUBLE_EQ(trace.valueAt(30), 2.0);
+    EXPECT_DOUBLE_EQ(trace.valueAt(50), 3.0);
+}
+
+TEST(PowerTrace, MinMaxMean)
+{
+    PowerTrace trace({{0, 1.0}, {100, 3.0}});
+    EXPECT_DOUBLE_EQ(trace.maxValue(), 3.0);
+    EXPECT_DOUBLE_EQ(trace.minValue(), 1.0);
+    // Over [0, 200): 100 ticks at 1.0 + 100 ticks at 3.0 -> mean 2.0.
+    EXPECT_DOUBLE_EQ(trace.meanValue(200), 2.0);
+    // Over [0, 100): only the first value.
+    EXPECT_DOUBLE_EQ(trace.meanValue(100), 1.0);
+    // Over [0, 400): 100 at 1.0, 300 at 3.0 -> 2.5.
+    EXPECT_DOUBLE_EQ(trace.meanValue(400), 2.5);
+}
+
+TEST(PowerTrace, Scaled)
+{
+    PowerTrace trace({{0, 1.0}, {100, 3.0}});
+    const PowerTrace doubled = trace.scaled(2.0);
+    EXPECT_DOUBLE_EQ(doubled.valueAt(0), 2.0);
+    EXPECT_DOUBLE_EQ(doubled.valueAt(100), 6.0);
+}
+
+TEST(PowerTrace, CsvRoundTrip)
+{
+    PowerTrace trace({{0, 1.5}, {10'000, 0.25}});
+    std::ostringstream out;
+    trace.writeCsv(out);
+    std::istringstream in(out.str());
+    const PowerTrace parsed = PowerTrace::readCsv(in);
+    EXPECT_EQ(parsed.segmentCount(), 2u);
+    EXPECT_DOUBLE_EQ(parsed.valueAt(0), 1.5);
+    EXPECT_DOUBLE_EQ(parsed.valueAt(10'000), 0.25);
+}
+
+TEST(PowerTraceDeathTest, UnsortedSegmentsPanic)
+{
+    EXPECT_DEATH(PowerTrace({{100, 1.0}, {50, 2.0}}), "sorted");
+}
+
+} // namespace
+} // namespace energy
+} // namespace quetzal

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the MCU cost model against the paper's section-5.1
+ * numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/mcu_model.hpp"
+
+namespace quetzal {
+namespace hw {
+namespace {
+
+TEST(McuModel, PaperOpCostsVerbatim)
+{
+    const McuModel msp(msp430fr5994Profile());
+    EXPECT_EQ(msp.ratioCost(RatioStrategy::SoftwareDivision).cycles,
+              158u);
+    EXPECT_NEAR(
+        msp.ratioCost(RatioStrategy::SoftwareDivision).nanojoules,
+        49.37, 1e-9);
+    EXPECT_EQ(msp.ratioCost(RatioStrategy::QuetzalModule).cycles, 12u);
+    EXPECT_NEAR(msp.ratioCost(RatioStrategy::QuetzalModule).nanojoules,
+                3.75, 1e-9);
+
+    const McuModel apollo(apollo4Profile());
+    EXPECT_EQ(apollo.ratioCost(RatioStrategy::HardwareDivider).cycles,
+              13u);
+    EXPECT_NEAR(
+        apollo.ratioCost(RatioStrategy::HardwareDivider).nanojoules,
+        0.4, 1e-9);
+    EXPECT_EQ(apollo.ratioCost(RatioStrategy::QuetzalModule).cycles, 5u);
+    EXPECT_NEAR(
+        apollo.ratioCost(RatioStrategy::QuetzalModule).nanojoules,
+        0.16, 1e-9);
+}
+
+TEST(McuModel, EnergyReductionsMatchPaper)
+{
+    // MSP430: module vs software division -> 92.5 % less energy.
+    const McuModel msp(msp430fr5994Profile());
+    const double mspReduction = 1.0 - 3.75 / 49.37;
+    EXPECT_NEAR(mspReduction, 0.925, 0.002);
+    EXPECT_NEAR(
+        1.0 - msp.ratioEnergyPerInvocation(RatioStrategy::QuetzalModule,
+                                           32, 4) /
+                  msp.ratioEnergyPerInvocation(
+                      RatioStrategy::SoftwareDivision, 32, 4),
+        0.925, 0.002);
+
+    // Apollo 4: module vs hardware divider -> 60 % less energy.
+    const McuModel apollo(apollo4Profile());
+    EXPECT_NEAR(
+        1.0 - apollo.ratioEnergyPerInvocation(
+                  RatioStrategy::QuetzalModule, 32, 4) /
+                  apollo.ratioEnergyPerInvocation(
+                      RatioStrategy::HardwareDivider, 32, 4),
+        0.60, 0.03);
+}
+
+TEST(McuModel, RatiosPerInvocation)
+{
+    // Paper: num_tasks + num_degradation_options ratio evaluations.
+    EXPECT_EQ(McuModel::ratiosPerInvocation(32, 4), 36u);
+    EXPECT_EQ(McuModel::ratiosPerInvocation(2, 2), 4u);
+}
+
+TEST(McuModel, Msp430OverheadEndpoints)
+{
+    // Paper: 10 invocations/s, 32 tasks x 4 options: 6.2 % -> 0.4 %.
+    const McuModel msp(msp430fr5994Profile());
+    const double withDiv = msp.overheadFraction(
+        RatioStrategy::SoftwareDivision, 32, 4, 10.0);
+    const double withModule = msp.overheadFraction(
+        RatioStrategy::QuetzalModule, 32, 4, 10.0);
+    EXPECT_NEAR(withDiv, 0.062, 0.01);
+    EXPECT_NEAR(withModule, 0.004, 0.001);
+    EXPECT_GT(withDiv / withModule, 10.0); // "over 10x faster"
+}
+
+TEST(McuModel, Apollo4OverheadEndpoint)
+{
+    // Paper: 0.02 % on the Apollo 4.
+    const McuModel apollo(apollo4Profile());
+    const double withModule = apollo.overheadFraction(
+        RatioStrategy::QuetzalModule, 32, 4, 10.0);
+    EXPECT_NEAR(withModule, 0.0002, 0.00005);
+}
+
+TEST(McuModel, OverheadScalesLinearly)
+{
+    const McuModel msp(msp430fr5994Profile());
+    const double base = msp.overheadFraction(
+        RatioStrategy::QuetzalModule, 32, 4, 10.0);
+    EXPECT_NEAR(msp.overheadFraction(RatioStrategy::QuetzalModule, 32, 4,
+                                     20.0),
+                2.0 * base, 1e-12);
+}
+
+TEST(McuModel, FootprintNearPaperBudget)
+{
+    // Paper: 2,360 B for 32 tasks with 4 options each.
+    const auto bytes = McuModel::footprintBytes(32, 4, 64, 256);
+    EXPECT_GT(bytes, 2000u);
+    EXPECT_LT(bytes, 3000u);
+    // Monotone in every dimension.
+    EXPECT_LT(McuModel::footprintBytes(16, 4, 64, 256), bytes);
+    EXPECT_LT(McuModel::footprintBytes(32, 2, 64, 256), bytes);
+    EXPECT_LT(McuModel::footprintBytes(32, 4, 32, 256), bytes);
+    EXPECT_LT(McuModel::footprintBytes(32, 4, 64, 128), bytes);
+}
+
+TEST(McuModelDeathTest, HardwareDividerAbsentIsFatal)
+{
+    const McuModel msp(msp430fr5994Profile());
+    EXPECT_EXIT(msp.ratioCost(RatioStrategy::HardwareDivider),
+                ::testing::ExitedWithCode(1), "divider");
+}
+
+} // namespace
+} // namespace hw
+} // namespace quetzal

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Integration tests over the turn-key experiment runner: determinism,
+ * conservation, and configuration plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace quetzal {
+namespace sim {
+namespace {
+
+ExperimentConfig
+baseConfig(ControllerKind kind)
+{
+    ExperimentConfig cfg;
+    cfg.environment = trace::EnvironmentPreset::Crowded;
+    cfg.eventCount = 120;
+    cfg.controller = kind;
+    cfg.seed = 21;
+    return cfg;
+}
+
+TEST(Experiments, DeterministicAcrossRuns)
+{
+    const Metrics a = runExperiment(baseConfig(ControllerKind::Quetzal));
+    const Metrics b = runExperiment(baseConfig(ControllerKind::Quetzal));
+    EXPECT_EQ(a.interestingDiscardedTotal(),
+              b.interestingDiscardedTotal());
+    EXPECT_EQ(a.txInterestingHq, b.txInterestingHq);
+    EXPECT_EQ(a.jobsCompleted, b.jobsCompleted);
+    EXPECT_EQ(a.powerFailures, b.powerFailures);
+}
+
+TEST(Experiments, SeedChangesOutcome)
+{
+    auto cfg = baseConfig(ControllerKind::Quetzal);
+    const Metrics a = runExperiment(cfg);
+    cfg.seed = 22;
+    const Metrics b = runExperiment(cfg);
+    EXPECT_NE(a.captures, b.captures);
+}
+
+TEST(Experiments, LabelsForEveryKind)
+{
+    EXPECT_EQ(controllerKindName(ControllerKind::Quetzal), "QZ");
+    EXPECT_EQ(controllerKindName(ControllerKind::NoAdapt), "NA");
+    EXPECT_EQ(controllerKindName(ControllerKind::AlwaysDegrade), "AD");
+    EXPECT_EQ(controllerKindName(ControllerKind::CatNap), "CN");
+    EXPECT_EQ(controllerKindName(ControllerKind::Zgo), "PZO");
+    EXPECT_EQ(controllerKindName(ControllerKind::Zgi), "PZI");
+    EXPECT_EQ(controllerKindName(ControllerKind::Ideal), "Ideal");
+    auto cfg = baseConfig(ControllerKind::BufferThreshold);
+    cfg.bufferThreshold = 0.25;
+    EXPECT_EQ(experimentLabel(cfg), "THR-25%");
+}
+
+/** Conservation invariant across every controller configuration. */
+class ExperimentConservation
+    : public ::testing::TestWithParam<ControllerKind>
+{
+};
+
+TEST_P(ExperimentConservation, InterestingInputsAccountedOnce)
+{
+    const Metrics m = runExperiment(baseConfig(GetParam()));
+    EXPECT_EQ(m.interestingCaptured,
+              m.iboDropsInteresting + m.fnDiscards + m.txInterestingHq +
+                  m.txInterestingLq + m.unprocessedInteresting);
+    EXPECT_EQ(m.interestingCaptured, m.interestingInputsNominal);
+    EXPECT_GT(m.jobsCompleted, 0u);
+    EXPECT_GT(m.captures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllControllers, ExperimentConservation,
+    ::testing::Values(ControllerKind::Quetzal, ControllerKind::NoAdapt,
+                      ControllerKind::AlwaysDegrade,
+                      ControllerKind::CatNap,
+                      ControllerKind::BufferThreshold,
+                      ControllerKind::Zgo, ControllerKind::Zgi,
+                      ControllerKind::Ideal,
+                      ControllerKind::QuetzalFcfs,
+                      ControllerKind::QuetzalLcfs,
+                      ControllerKind::QuetzalAvgSe2e),
+    [](const auto &info) {
+        auto name = controllerKindName(info.param);
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Experiments, CapturePeriodReducesCaptures)
+{
+    auto cfg = baseConfig(ControllerKind::NoAdapt);
+    const Metrics fast = runExperiment(cfg);
+    cfg.capturePeriod = 5000;
+    const Metrics slow = runExperiment(cfg);
+    EXPECT_LT(slow.captures, fast.captures / 4);
+    EXPECT_GT(slow.interestingMissedAtCapture(), 0u);
+    EXPECT_EQ(fast.interestingInputsNominal,
+              slow.interestingInputsNominal);
+}
+
+TEST(Experiments, HarvesterCellsChangeEnergyDynamics)
+{
+    auto cfg = baseConfig(ControllerKind::NoAdapt);
+    cfg.harvesterCells = 2;
+    const Metrics few = runExperiment(cfg);
+    cfg.harvesterCells = 12;
+    const Metrics many = runExperiment(cfg);
+    // More cells, more power: fewer discarded interesting inputs.
+    EXPECT_LT(many.interestingDiscardedTotal(),
+              few.interestingDiscardedTotal());
+}
+
+TEST(Experiments, Msp430DeviceRuns)
+{
+    auto cfg = baseConfig(ControllerKind::Quetzal);
+    cfg.device = app::DeviceKind::Msp430;
+    cfg.environment = trace::EnvironmentPreset::Msp430Short;
+    const Metrics m = runExperiment(cfg);
+    EXPECT_GT(m.jobsCompleted, 0u);
+    EXPECT_GT(m.txInterestingHq + m.txInterestingLq, 0u);
+}
+
+TEST(Experiments, IdealNeverOverflows)
+{
+    const Metrics m = runExperiment(baseConfig(ControllerKind::Ideal));
+    EXPECT_EQ(m.iboDropsInteresting, 0u);
+    EXPECT_EQ(m.unprocessedInteresting, 0u);
+}
+
+TEST(Experiments, QuetzalChargesSchedulerOverhead)
+{
+    const Metrics qz =
+        runExperiment(baseConfig(ControllerKind::Quetzal));
+    EXPECT_GT(qz.schedulerOverheadSeconds, 0.0);
+    const Metrics na =
+        runExperiment(baseConfig(ControllerKind::NoAdapt));
+    EXPECT_EQ(na.schedulerOverheadSeconds, 0.0);
+}
+
+} // namespace
+} // namespace sim
+} // namespace quetzal

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Integration tests for the extensions beyond the paper's core
+ * evaluation: measured-trace replay (the paper's §6.2 methodology)
+ * and variable execution costs (the paper's §5.2 future-work
+ * regime, compensated by the PID loop).
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "energy/power_trace.hpp"
+#include "sim/experiment.hpp"
+
+namespace quetzal {
+namespace sim {
+namespace {
+
+/** Temp-file helper: writes content, deletes on destruction. */
+class TempCsv
+{
+  public:
+    explicit TempCsv(const std::string &content)
+        : filePath(std::string(::testing::TempDir()) +
+                   "quetzal_trace_" + std::to_string(::getpid()) +
+                   "_" + std::to_string(counter++) + ".csv")
+    {
+        std::ofstream out(filePath);
+        out << content;
+    }
+
+    ~TempCsv() { std::remove(filePath.c_str()); }
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    static int counter;
+    std::string filePath;
+};
+
+int TempCsv::counter = 0;
+
+ExperimentConfig
+baseConfig()
+{
+    ExperimentConfig cfg;
+    cfg.environment = trace::EnvironmentPreset::Crowded;
+    cfg.eventCount = 120;
+    cfg.controller = ControllerKind::Quetzal;
+    return cfg;
+}
+
+TEST(TraceReplay, ConstantTraceReplays)
+{
+    // A generous constant 80 mW trace: everything is compute-bound,
+    // nothing recharges, so even NoAdapt barely drops.
+    TempCsv trace("# time_seconds,watts\n0,0.08\n");
+    auto cfg = baseConfig();
+    cfg.controller = ControllerKind::NoAdapt;
+    cfg.powerTraceCsv = trace.path();
+    const Metrics m = runExperiment(cfg);
+    EXPECT_EQ(m.powerFailures, 0u);
+    EXPECT_EQ(m.rechargeTicks, 0);
+    EXPECT_GT(m.txInterestingHq, 0u);
+}
+
+TEST(TraceReplay, StarvationTraceForcesRecharge)
+{
+    TempCsv trace("0,0.002\n");
+    auto cfg = baseConfig();
+    cfg.powerTraceCsv = trace.path();
+    const Metrics m = runExperiment(cfg);
+    EXPECT_GT(m.rechargeTicks, 0);
+}
+
+TEST(TraceReplay, ReplayIsDeterministic)
+{
+    TempCsv trace("0,0.01\n3600,0.05\n7200,0.008\n");
+    auto cfg = baseConfig();
+    cfg.powerTraceCsv = trace.path();
+    const Metrics a = runExperiment(cfg);
+    const Metrics b = runExperiment(cfg);
+    EXPECT_EQ(a.interestingDiscardedTotal(),
+              b.interestingDiscardedTotal());
+    EXPECT_EQ(a.jobsCompleted, b.jobsCompleted);
+}
+
+TEST(TraceReplay, DiffersFromSyntheticSolar)
+{
+    TempCsv trace("0,0.015\n");
+    auto cfg = baseConfig();
+    const Metrics synthetic = runExperiment(cfg);
+    cfg.powerTraceCsv = trace.path();
+    const Metrics replayed = runExperiment(cfg);
+    EXPECT_NE(synthetic.powerFailures, replayed.powerFailures);
+}
+
+TEST(TraceReplayDeathTest, MissingFileIsFatal)
+{
+    auto cfg = baseConfig();
+    cfg.powerTraceCsv = "/nonexistent/trace.csv";
+    EXPECT_EXIT(runExperiment(cfg), ::testing::ExitedWithCode(1),
+                "cannot open");
+}
+
+TEST(ExecutionJitter, RunsAndChangesOutcomes)
+{
+    auto cfg = baseConfig();
+    const Metrics steady = runExperiment(cfg);
+    cfg.executionJitterSigma = 0.4;
+    const Metrics jittered = runExperiment(cfg);
+    EXPECT_GT(jittered.jobsCompleted, 0u);
+    // Observed service times now deviate from profiles.
+    EXPECT_NE(steady.jobServiceSeconds.mean(),
+              jittered.jobServiceSeconds.mean());
+}
+
+TEST(ExecutionJitter, PredictionErrorGrowsWithJitter)
+{
+    auto cfg = baseConfig();
+    const Metrics steady = runExperiment(cfg);
+    cfg.executionJitterSigma = 0.5;
+    const Metrics jittered = runExperiment(cfg);
+    EXPECT_GT(jittered.predictionErrorSeconds.stddev(),
+              steady.predictionErrorSeconds.stddev());
+}
+
+TEST(ExecutionJitter, SystemStaysEffectiveUnderJitter)
+{
+    // Even with heavily variable execution costs, Quetzal should
+    // still beat NoAdapt clearly (robustness, not just calibration).
+    auto cfg = baseConfig();
+    cfg.executionJitterSigma = 0.3;
+    const Metrics qz = runExperiment(cfg);
+    cfg.controller = ControllerKind::NoAdapt;
+    const Metrics na = runExperiment(cfg);
+    EXPECT_LT(qz.interestingDiscardedTotal(),
+              na.interestingDiscardedTotal());
+}
+
+} // namespace
+} // namespace sim
+} // namespace quetzal

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests for the Little's-Law overflow predicate (paper Eq. 2 /
+ * Alg. 2 line 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "queueing/littles_law.hpp"
+
+namespace quetzal {
+namespace queueing {
+namespace {
+
+TEST(LittlesLaw, ExpectedArrivals)
+{
+    EXPECT_DOUBLE_EQ(expectedArrivals(0.5, 10.0), 5.0);
+    EXPECT_DOUBLE_EQ(expectedArrivals(0.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(expectedArrivals(2.0, 0.0), 0.0);
+}
+
+TEST(LittlesLaw, PredicateBoundary)
+{
+    // lambda * S = 5 exactly equals headroom 5: predicted (>=).
+    EXPECT_TRUE(iboPredicted(0.5, 10.0, 10, 5));
+    // Just below: not predicted.
+    EXPECT_FALSE(iboPredicted(0.5, 9.9, 10, 5));
+}
+
+TEST(LittlesLaw, FullBufferAlwaysPredicted)
+{
+    EXPECT_TRUE(iboPredicted(0.0, 0.0, 10, 10));
+    EXPECT_TRUE(iboPredicted(0.1, 0.1, 10, 12)); // over-full clamps
+}
+
+TEST(LittlesLaw, EmptyBufferNeedsRealPressure)
+{
+    EXPECT_FALSE(iboPredicted(0.5, 10.0, 10, 0)); // 5 < 10
+    EXPECT_TRUE(iboPredicted(1.5, 10.0, 10, 0));  // 15 >= 10
+}
+
+TEST(LittlesLaw, MonotoneInOccupancy)
+{
+    for (std::size_t occ = 0; occ < 10; ++occ) {
+        if (iboPredicted(0.4, 8.0, 10, occ)) {
+            // Once predicted, stays predicted for fuller buffers.
+            for (std::size_t later = occ; later <= 10; ++later)
+                EXPECT_TRUE(iboPredicted(0.4, 8.0, 10, later));
+            break;
+        }
+    }
+}
+
+TEST(LittlesLawDeathTest, NegativeInputsPanic)
+{
+    EXPECT_DEATH(expectedArrivals(-1.0, 1.0), "non-negative");
+    EXPECT_DEATH(expectedArrivals(1.0, -1.0), "non-negative");
+}
+
+} // namespace
+} // namespace queueing
+} // namespace quetzal

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the intermittent checkpointing policies: JIT (no lost
+ * work, needs a voltage warning) vs Periodic (rollback to the last
+ * save on power failure).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/device.hpp"
+#include "sim/experiment.hpp"
+
+namespace quetzal {
+namespace sim {
+namespace {
+
+app::DeviceProfile
+periodicProfile(Tick interval)
+{
+    app::DeviceProfile dev = app::apollo4Device();
+    dev.checkpoint.policy = app::CheckpointPolicy::Periodic;
+    dev.checkpoint.periodicInterval = interval;
+    return dev;
+}
+
+TEST(PeriodicCheckpoint, ProactiveSavesWhileRunning)
+{
+    // Plenty of power: the task completes without failures but pays
+    // one save per interval crossing.
+    const auto watts = energy::PowerTrace::constant(100e-3);
+    Device device(periodicProfile(500), watts);
+    device.startTask(10e-3, 2'000);
+    device.advance(0, 1'000'000);
+    EXPECT_FALSE(device.taskActive());
+    EXPECT_EQ(device.stats().powerFailures, 0u);
+    // 2000 ticks of work with a 500-tick interval: saves at 500,
+    // 1000, 1500 (the task finishes exactly at the 2000 boundary).
+    EXPECT_EQ(device.stats().checkpointSaves, 3u);
+    EXPECT_EQ(device.stats().rolledBackTicks, 0);
+}
+
+TEST(PeriodicCheckpoint, SaveTimeExtendsCompletion)
+{
+    const auto watts = energy::PowerTrace::constant(100e-3);
+    Device jit(app::apollo4Device(), watts);
+    jit.startTask(10e-3, 2'000);
+    const Tick jitDone = jit.advance(0, 1'000'000);
+
+    Device periodic(periodicProfile(500), watts);
+    periodic.startTask(10e-3, 2'000);
+    const Tick periodicDone = periodic.advance(0, 1'000'000);
+
+    EXPECT_EQ(jitDone, 2'000);
+    EXPECT_EQ(periodicDone,
+              2'000 + 3 * app::apollo4Device().checkpoint.saveTicks);
+}
+
+TEST(PeriodicCheckpoint, PowerFailureRollsBack)
+{
+    // Low power forces failures; rolled-back work must be re-run, so
+    // the periodic device finishes later and reports rollback ticks.
+    // The interval (200 ticks) stays below the per-charge execution
+    // budget so forward progress survives every failure.
+    const auto watts = energy::PowerTrace::constant(5e-3);
+    Device jit(app::apollo4Device(), watts);
+    jit.startTask(100e-3, 5'000);
+    const Tick jitDone = jit.advance(0, 100'000'000);
+
+    Device periodic(periodicProfile(200), watts);
+    periodic.startTask(100e-3, 5'000);
+    const Tick periodicDone = periodic.advance(0, 100'000'000);
+
+    EXPECT_FALSE(jit.taskActive());
+    EXPECT_FALSE(periodic.taskActive());
+    EXPECT_GT(periodic.stats().rolledBackTicks, 0);
+    EXPECT_GT(periodicDone, jitDone);
+    EXPECT_EQ(jit.stats().rolledBackTicks, 0);
+}
+
+TEST(PeriodicCheckpoint, CoarseIntervalCanLivelock)
+{
+    // The classic intermittent-computing non-termination hazard
+    // [8, 90]: when a whole charge cycle funds less work than one
+    // checkpoint interval, every failure rolls back everything and
+    // the task never completes. JIT checkpointing is immune.
+    const auto watts = energy::PowerTrace::constant(5e-3);
+    Device periodic(periodicProfile(2'000), watts);
+    periodic.startTask(100e-3, 5'000);
+    periodic.advance(0, 2'000'000);
+    EXPECT_TRUE(periodic.taskActive());
+    EXPECT_GT(periodic.stats().rolledBackTicks, 10'000);
+}
+
+TEST(PeriodicCheckpoint, ShortIntervalLosesLessWork)
+{
+    const auto watts = energy::PowerTrace::constant(5e-3);
+    Device coarse(periodicProfile(2'000), watts);
+    coarse.startTask(100e-3, 5'000);
+    coarse.advance(0, 100'000'000);
+
+    Device fine(periodicProfile(200), watts);
+    fine.startTask(100e-3, 5'000);
+    fine.advance(0, 100'000'000);
+
+    EXPECT_LT(fine.stats().rolledBackTicks,
+              coarse.stats().rolledBackTicks);
+    EXPECT_GT(fine.stats().checkpointSaves,
+              coarse.stats().checkpointSaves);
+}
+
+TEST(PeriodicCheckpoint, EndToEndExperimentRuns)
+{
+    ExperimentConfig cfg;
+    cfg.environment = trace::EnvironmentPreset::Crowded;
+    cfg.eventCount = 120;
+    cfg.controller = ControllerKind::Quetzal;
+    cfg.checkpointPolicy = app::CheckpointPolicy::Periodic;
+    cfg.checkpointIntervalTicks = 500;
+    const Metrics periodic = runExperiment(cfg);
+    EXPECT_GT(periodic.jobsCompleted, 0u);
+    EXPECT_GT(periodic.checkpointSaves, 0u);
+    EXPECT_GT(periodic.rolledBackTicks, 0);
+
+    cfg.checkpointPolicy = app::CheckpointPolicy::JustInTime;
+    const Metrics jit = runExperiment(cfg);
+    // JIT saves exactly once per failure.
+    EXPECT_EQ(jit.checkpointSaves, jit.powerFailures);
+    EXPECT_EQ(jit.rolledBackTicks, 0);
+}
+
+} // namespace
+} // namespace sim
+} // namespace quetzal

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for seed-ensemble aggregation.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/ensemble.hpp"
+
+namespace quetzal {
+namespace sim {
+namespace {
+
+ExperimentConfig
+smallConfig(ControllerKind kind)
+{
+    ExperimentConfig cfg;
+    cfg.environment = trace::EnvironmentPreset::Crowded;
+    cfg.eventCount = 80;
+    cfg.controller = kind;
+    return cfg;
+}
+
+TEST(Ensemble, AggregatesOverSeeds)
+{
+    const EnsembleResult r =
+        runEnsemble(smallConfig(ControllerKind::Quetzal), 4);
+    EXPECT_EQ(r.runs, 4u);
+    EXPECT_EQ(r.discardedPct.count(), 4u);
+    EXPECT_GT(r.jobsCompleted.mean(), 0.0);
+    // Different seeds produce spread.
+    EXPECT_GT(r.discardedPct.max(), r.discardedPct.min());
+}
+
+TEST(Ensemble, ExplicitSeedsMatchSingleRuns)
+{
+    auto cfg = smallConfig(ControllerKind::NoAdapt);
+    const EnsembleResult r =
+        runEnsemble(cfg, std::vector<std::uint64_t>{7});
+    cfg.seed = 7;
+    const Metrics single = runExperiment(cfg);
+    EXPECT_EQ(r.runs, 1u);
+    EXPECT_DOUBLE_EQ(r.discardedPct.mean(),
+                     single.interestingDiscardedPct());
+    EXPECT_DOUBLE_EQ(r.reportedInputs.mean(),
+                     static_cast<double>(single.txInterestingTotal()));
+}
+
+TEST(Ensemble, QuetzalRobustAcrossSeeds)
+{
+    // The headline win is not a seed artifact: QZ's *worst* seed
+    // discards less than NA's *best* seed.
+    const EnsembleResult qz =
+        runEnsemble(smallConfig(ControllerKind::Quetzal), 5);
+    const EnsembleResult na =
+        runEnsemble(smallConfig(ControllerKind::NoAdapt), 5);
+    EXPECT_LT(qz.discardedPct.max(), na.discardedPct.min());
+}
+
+TEST(Ensemble, SummaryMentionsLabel)
+{
+    const EnsembleResult r =
+        runEnsemble(smallConfig(ControllerKind::Quetzal), 2);
+    std::ostringstream out;
+    r.printSummary(out, "qz-test");
+    EXPECT_NE(out.str().find("qz-test"), std::string::npos);
+    EXPECT_NE(out.str().find("2 seeds"), std::string::npos);
+}
+
+TEST(EnsembleDeathTest, EmptySeedsFatal)
+{
+    EXPECT_EXIT(runEnsemble(smallConfig(ControllerKind::Quetzal),
+                            std::vector<std::uint64_t>{}),
+                ::testing::ExitedWithCode(1), "seed");
+}
+
+} // namespace
+} // namespace sim
+} // namespace quetzal

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for metrics derivations.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+namespace quetzal {
+namespace sim {
+namespace {
+
+Metrics
+sample()
+{
+    Metrics m;
+    m.interestingInputsNominal = 200;
+    m.interestingCaptured = 150;
+    m.iboDropsInteresting = 30;
+    m.fnDiscards = 10;
+    m.unprocessedInteresting = 10;
+    m.txInterestingHq = 60;
+    m.txInterestingLq = 40;
+    m.txUninterestingHq = 5;
+    m.txUninterestingLq = 3;
+    return m;
+}
+
+TEST(Metrics, DiscardAccounting)
+{
+    const Metrics m = sample();
+    EXPECT_EQ(m.interestingDiscardedTotal(), 50u);
+    EXPECT_DOUBLE_EQ(m.interestingDiscardedPct(), 25.0);
+    EXPECT_DOUBLE_EQ(m.iboDiscardedPct(), 20.0);
+    EXPECT_DOUBLE_EQ(m.fnDiscardedPct(), 5.0);
+    EXPECT_EQ(m.interestingMissedAtCapture(), 50u);
+}
+
+TEST(Metrics, TransmissionAccounting)
+{
+    const Metrics m = sample();
+    EXPECT_EQ(m.txInterestingTotal(), 100u);
+    EXPECT_DOUBLE_EQ(m.highQualityShare(), 0.6);
+}
+
+TEST(Metrics, ZeroDenominatorsAreSafe)
+{
+    Metrics m;
+    EXPECT_DOUBLE_EQ(m.interestingDiscardedPct(), 0.0);
+    EXPECT_DOUBLE_EQ(m.highQualityShare(), 0.0);
+    EXPECT_EQ(m.interestingMissedAtCapture(), 0u);
+}
+
+TEST(Metrics, ReportMentionsKeyFigures)
+{
+    std::ostringstream out;
+    sample().printReport(out, "sample-run");
+    const std::string text = out.str();
+    EXPECT_NE(text.find("sample-run"), std::string::npos);
+    EXPECT_NE(text.find("interesting discarded: 50"),
+              std::string::npos);
+    EXPECT_NE(text.find("HQ 60"), std::string::npos);
+}
+
+} // namespace
+} // namespace sim
+} // namespace quetzal

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for Q16.16 fixed-point helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/fixed_point.hpp"
+
+namespace quetzal {
+namespace util {
+namespace {
+
+TEST(FixedPoint, Conversions)
+{
+    EXPECT_EQ(fixedFromInt(1), kFixedOne);
+    EXPECT_DOUBLE_EQ(fixedToDouble(kFixedOne), 1.0);
+    EXPECT_DOUBLE_EQ(fixedToDouble(fixedFromDouble(0.5)), 0.5);
+    EXPECT_NEAR(fixedToDouble(fixedFromDouble(0.1)), 0.1, 1e-4);
+    EXPECT_NEAR(fixedToDouble(fixedFromDouble(-2.25)), -2.25, 1e-4);
+}
+
+TEST(FixedPoint, Multiplication)
+{
+    const Fixed half = fixedFromDouble(0.5);
+    const Fixed three = fixedFromInt(3);
+    EXPECT_NEAR(fixedToDouble(fixedMul(half, three)), 1.5, 1e-4);
+    EXPECT_NEAR(fixedToDouble(fixedMul(half, half)), 0.25, 1e-4);
+}
+
+TEST(FixedPoint, ScaleCounts)
+{
+    const Fixed threeQuarters = fixedFromDouble(0.75);
+    EXPECT_EQ(fixedScale(threeQuarters, 100), 75);
+    EXPECT_EQ(fixedScale(kFixedOne, 12345), 12345);
+    EXPECT_EQ(fixedScale(0, 999), 0);
+}
+
+TEST(FixedPoint, Pow2FractionMatchesDivision)
+{
+    // 48 ones in a 64-bit window: 0.75 exactly, with one shift.
+    const Fixed f = fixedFractionPow2(48, 6);
+    EXPECT_DOUBLE_EQ(fixedToDouble(f), 0.75);
+    // 100 of 256.
+    EXPECT_NEAR(fixedToDouble(fixedFractionPow2(100, 8)), 100.0 / 256.0,
+                1e-9);
+}
+
+TEST(FixedPoint, Pow2FractionSweep)
+{
+    for (int log2w = 0; log2w <= 10; ++log2w) {
+        const std::int32_t window = 1 << log2w;
+        for (std::int32_t ones = 0; ones <= window;
+             ones += window / 8 + 1) {
+            EXPECT_NEAR(fixedToDouble(fixedFractionPow2(ones, log2w)),
+                        static_cast<double>(ones) / window, 1e-4);
+        }
+    }
+}
+
+} // namespace
+} // namespace util
+} // namespace quetzal

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for util::RingBuffer, including property-style sweeps
+ * against a std::deque reference model.
+ */
+
+#include <deque>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace quetzal {
+namespace util {
+namespace {
+
+TEST(RingBuffer, PushPopFifoOrder)
+{
+    RingBuffer<int> buffer(4);
+    EXPECT_TRUE(buffer.pushBack(1));
+    EXPECT_TRUE(buffer.pushBack(2));
+    EXPECT_TRUE(buffer.pushBack(3));
+    EXPECT_EQ(buffer.popFront(), 1);
+    EXPECT_EQ(buffer.popFront(), 2);
+    EXPECT_EQ(buffer.popFront(), 3);
+    EXPECT_TRUE(buffer.empty());
+}
+
+TEST(RingBuffer, RejectsWhenFull)
+{
+    RingBuffer<int> buffer(2);
+    EXPECT_TRUE(buffer.pushBack(1));
+    EXPECT_TRUE(buffer.pushBack(2));
+    EXPECT_TRUE(buffer.full());
+    EXPECT_FALSE(buffer.pushBack(3));
+    EXPECT_EQ(buffer.size(), 2u);
+    EXPECT_EQ(buffer.front(), 1);
+    EXPECT_EQ(buffer.back(), 2);
+}
+
+TEST(RingBuffer, WrapAroundPreservesOrder)
+{
+    RingBuffer<int> buffer(3);
+    buffer.pushBack(1);
+    buffer.pushBack(2);
+    buffer.pushBack(3);
+    EXPECT_EQ(buffer.popFront(), 1);
+    buffer.pushBack(4);
+    EXPECT_EQ(buffer.at(0), 2);
+    EXPECT_EQ(buffer.at(1), 3);
+    EXPECT_EQ(buffer.at(2), 4);
+}
+
+TEST(RingBuffer, RemoveAtMiddleKeepsOrder)
+{
+    RingBuffer<std::string> buffer(5);
+    for (const char *s : {"a", "b", "c", "d"})
+        buffer.pushBack(s);
+    EXPECT_EQ(buffer.removeAt(1), "b");
+    EXPECT_EQ(buffer.size(), 3u);
+    EXPECT_EQ(buffer.at(0), "a");
+    EXPECT_EQ(buffer.at(1), "c");
+    EXPECT_EQ(buffer.at(2), "d");
+}
+
+TEST(RingBuffer, ClearEmpties)
+{
+    RingBuffer<int> buffer(3);
+    buffer.pushBack(1);
+    buffer.clear();
+    EXPECT_TRUE(buffer.empty());
+    EXPECT_TRUE(buffer.pushBack(9));
+    EXPECT_EQ(buffer.front(), 9);
+}
+
+/**
+ * Property sweep: random operations mirrored against std::deque;
+ * the ring buffer must agree on every observable at every step.
+ */
+class RingBufferProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RingBufferProperty, AgreesWithDequeModel)
+{
+    Rng rng(GetParam());
+    const std::size_t capacity = 1 + rng.uniformInt(1, 8);
+    RingBuffer<int> buffer(capacity);
+    std::deque<int> model;
+
+    for (int step = 0; step < 2000; ++step) {
+        const auto op = rng.uniformInt(0, 3);
+        if (op <= 1) {
+            const int value = static_cast<int>(rng.uniformInt(0, 1000));
+            const bool pushed = buffer.pushBack(value);
+            EXPECT_EQ(pushed, model.size() < capacity);
+            if (pushed)
+                model.push_back(value);
+        } else if (op == 2 && !model.empty()) {
+            EXPECT_EQ(buffer.popFront(), model.front());
+            model.pop_front();
+        } else if (op == 3 && !model.empty()) {
+            const auto index = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(
+                                       model.size() - 1)));
+            EXPECT_EQ(buffer.removeAt(index), model[index]);
+            model.erase(model.begin() +
+                        static_cast<std::ptrdiff_t>(index));
+        }
+        ASSERT_EQ(buffer.size(), model.size());
+        for (std::size_t i = 0; i < model.size(); ++i)
+            ASSERT_EQ(buffer.at(i), model[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingBufferProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace util
+} // namespace quetzal

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * quetzal_sim — run any experiment configuration from the command
+ * line and print either the human-readable report or a CSV row
+ * (for scripting sweeps).
+ *
+ * Usage:
+ *   quetzal_sim [--controller QZ|NA|AD|CN|THR|PZO|PZI|Ideal|
+ *                             QZ-FCFS|QZ-LCFS|QZ-AvgSe2e]
+ *               [--env more-crowded|crowded|less-crowded|msp430]
+ *               [--device apollo4|msp430]
+ *               [--events N] [--seed N] [--buffer N] [--cells N]
+ *               [--capture-period-ms N] [--threshold PCT]
+ *               [--arrival-window N] [--task-window N]
+ *               [--power-trace FILE.csv]
+ *               [--no-pid] [--no-circuit] [--csv] [--csv-header]
+ *
+ * Examples:
+ *   quetzal_sim --controller QZ --env crowded --events 1000
+ *   quetzal_sim --controller THR --threshold 75 --csv
+ *   for s in 1 2 3; do quetzal_sim --seed $s --csv; done
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace quetzal;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--controller KIND] [--env ENV] "
+                 "[--device DEV]\n"
+                 "          [--events N] [--seed N] [--buffer N] "
+                 "[--cells N]\n"
+                 "          [--capture-period-ms N] [--threshold PCT]\n"
+                 "          [--arrival-window N] [--task-window N]\n"
+                 "          [--power-trace FILE.csv]\n"
+                 "          [--no-pid] [--no-circuit] [--csv] "
+                 "[--csv-header]\n",
+                 argv0);
+    std::exit(2);
+}
+
+sim::ControllerKind
+parseController(const std::string &name)
+{
+    using K = sim::ControllerKind;
+    if (name == "QZ") return K::Quetzal;
+    if (name == "QZ-FCFS") return K::QuetzalFcfs;
+    if (name == "QZ-LCFS") return K::QuetzalLcfs;
+    if (name == "QZ-AvgSe2e") return K::QuetzalAvgSe2e;
+    if (name == "NA") return K::NoAdapt;
+    if (name == "AD") return K::AlwaysDegrade;
+    if (name == "CN") return K::CatNap;
+    if (name == "THR") return K::BufferThreshold;
+    if (name == "PZO") return K::Zgo;
+    if (name == "PZI") return K::Zgi;
+    if (name == "Ideal") return K::Ideal;
+    util::fatal(util::msg("unknown controller: ", name));
+}
+
+trace::EnvironmentPreset
+parseEnvironment(const std::string &name)
+{
+    using E = trace::EnvironmentPreset;
+    if (name == "more-crowded") return E::MoreCrowded;
+    if (name == "crowded") return E::Crowded;
+    if (name == "less-crowded") return E::LessCrowded;
+    if (name == "msp430") return E::Msp430Short;
+    util::fatal(util::msg("unknown environment: ", name));
+}
+
+void
+csvHeader()
+{
+    std::printf(
+        "controller,environment,device,events,seed,"
+        "nominal_interesting,discarded_total,discarded_pct,"
+        "ibo_interesting,fn_discards,tx_interesting_hq,"
+        "tx_interesting_lq,tx_uninteresting,hq_share,"
+        "jobs,degraded_jobs,power_failures,recharge_s\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::ExperimentConfig cfg;
+    bool csv = false;
+    bool header = false;
+    std::string environment = "crowded";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--controller") {
+            cfg.controller = parseController(value());
+        } else if (arg == "--env") {
+            environment = value();
+            cfg.environment = parseEnvironment(environment);
+        } else if (arg == "--device") {
+            const std::string dev = value();
+            if (dev == "apollo4")
+                cfg.device = app::DeviceKind::Apollo4;
+            else if (dev == "msp430")
+                cfg.device = app::DeviceKind::Msp430;
+            else
+                util::fatal(util::msg("unknown device: ", dev));
+        } else if (arg == "--events") {
+            cfg.eventCount = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--buffer") {
+            cfg.bufferCapacity =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--cells") {
+            cfg.harvesterCells =
+                static_cast<int>(std::strtol(value().c_str(), nullptr,
+                                             10));
+        } else if (arg == "--capture-period-ms") {
+            cfg.capturePeriod = std::strtoll(value().c_str(), nullptr,
+                                             10);
+        } else if (arg == "--threshold") {
+            cfg.bufferThreshold =
+                std::strtod(value().c_str(), nullptr) / 100.0;
+        } else if (arg == "--arrival-window") {
+            cfg.arrivalWindow = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--task-window") {
+            cfg.taskWindow = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--power-trace") {
+            cfg.powerTraceCsv = value();
+        } else if (arg == "--no-pid") {
+            cfg.usePid = false;
+        } else if (arg == "--no-circuit") {
+            cfg.useCircuit = false;
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--csv-header") {
+            csv = true;
+            header = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+            usage(argv[0]);
+        }
+    }
+
+    const sim::Metrics m = sim::runExperiment(cfg);
+
+    if (csv) {
+        if (header)
+            csvHeader();
+        std::printf(
+            "%s,%s,%s,%zu,%llu,%llu,%llu,%.4f,%llu,%llu,%llu,%llu,"
+            "%llu,%.4f,%llu,%llu,%llu,%.1f\n",
+            sim::experimentLabel(cfg).c_str(), environment.c_str(),
+            app::deviceKindName(cfg.device).c_str(), cfg.eventCount,
+            static_cast<unsigned long long>(cfg.seed),
+            static_cast<unsigned long long>(m.interestingInputsNominal),
+            static_cast<unsigned long long>(
+                m.interestingDiscardedTotal()),
+            m.interestingDiscardedPct(),
+            static_cast<unsigned long long>(m.iboDropsInteresting +
+                                            m.unprocessedInteresting),
+            static_cast<unsigned long long>(m.fnDiscards),
+            static_cast<unsigned long long>(m.txInterestingHq),
+            static_cast<unsigned long long>(m.txInterestingLq),
+            static_cast<unsigned long long>(m.txUninterestingHq +
+                                            m.txUninterestingLq),
+            m.highQualityShare(),
+            static_cast<unsigned long long>(m.jobsCompleted),
+            static_cast<unsigned long long>(m.degradedJobs),
+            static_cast<unsigned long long>(m.powerFailures),
+            ticksToSeconds(m.rechargeTicks));
+    } else {
+        m.printReport(std::cout, sim::experimentLabel(cfg));
+    }
+    return 0;
+}
