@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_capture_rate.dir/fig02_capture_rate.cpp.o"
+  "CMakeFiles/fig02_capture_rate.dir/fig02_capture_rate.cpp.o.d"
+  "fig02_capture_rate"
+  "fig02_capture_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_capture_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_naive_solutions.dir/fig03_naive_solutions.cpp.o"
+  "CMakeFiles/fig03_naive_solutions.dir/fig03_naive_solutions.cpp.o.d"
+  "fig03_naive_solutions"
+  "fig03_naive_solutions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_naive_solutions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_naive_solutions.
+# This may be replaced when dependencies are built.

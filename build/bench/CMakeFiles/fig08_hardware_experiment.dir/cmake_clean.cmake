@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_hardware_experiment.dir/fig08_hardware_experiment.cpp.o"
+  "CMakeFiles/fig08_hardware_experiment.dir/fig08_hardware_experiment.cpp.o.d"
+  "fig08_hardware_experiment"
+  "fig08_hardware_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_hardware_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

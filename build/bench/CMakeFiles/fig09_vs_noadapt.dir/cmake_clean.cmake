@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vs_noadapt.dir/fig09_vs_noadapt.cpp.o"
+  "CMakeFiles/fig09_vs_noadapt.dir/fig09_vs_noadapt.cpp.o.d"
+  "fig09_vs_noadapt"
+  "fig09_vs_noadapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vs_noadapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

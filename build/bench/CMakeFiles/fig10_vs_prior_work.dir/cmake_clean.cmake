@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vs_prior_work.dir/fig10_vs_prior_work.cpp.o"
+  "CMakeFiles/fig10_vs_prior_work.dir/fig10_vs_prior_work.cpp.o.d"
+  "fig10_vs_prior_work"
+  "fig10_vs_prior_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vs_prior_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

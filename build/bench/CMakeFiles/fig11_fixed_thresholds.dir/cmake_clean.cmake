@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fixed_thresholds.dir/fig11_fixed_thresholds.cpp.o"
+  "CMakeFiles/fig11_fixed_thresholds.dir/fig11_fixed_thresholds.cpp.o.d"
+  "fig11_fixed_thresholds"
+  "fig11_fixed_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fixed_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

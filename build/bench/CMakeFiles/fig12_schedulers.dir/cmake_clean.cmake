@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_schedulers.dir/fig12_schedulers.cpp.o"
+  "CMakeFiles/fig12_schedulers.dir/fig12_schedulers.cpp.o.d"
+  "fig12_schedulers"
+  "fig12_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_msp430.dir/fig13_msp430.cpp.o"
+  "CMakeFiles/fig13_msp430.dir/fig13_msp430.cpp.o.d"
+  "fig13_msp430"
+  "fig13_msp430.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_msp430.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

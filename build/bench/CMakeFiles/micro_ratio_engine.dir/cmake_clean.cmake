@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ratio_engine.dir/micro_ratio_engine.cpp.o"
+  "CMakeFiles/micro_ratio_engine.dir/micro_ratio_engine.cpp.o.d"
+  "micro_ratio_engine"
+  "micro_ratio_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ratio_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_seed_robustness.dir/tab_seed_robustness.cpp.o"
+  "CMakeFiles/tab_seed_robustness.dir/tab_seed_robustness.cpp.o.d"
+  "tab_seed_robustness"
+  "tab_seed_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_seed_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_calibration.dir/circuit_calibration.cpp.o"
+  "CMakeFiles/circuit_calibration.dir/circuit_calibration.cpp.o.d"
+  "circuit_calibration"
+  "circuit_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

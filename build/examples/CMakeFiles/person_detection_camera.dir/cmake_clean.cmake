@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/person_detection_camera.dir/person_detection_camera.cpp.o"
+  "CMakeFiles/person_detection_camera.dir/person_detection_camera.cpp.o.d"
+  "person_detection_camera"
+  "person_detection_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/person_detection_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

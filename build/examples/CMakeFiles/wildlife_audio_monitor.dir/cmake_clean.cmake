@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wildlife_audio_monitor.dir/wildlife_audio_monitor.cpp.o"
+  "CMakeFiles/wildlife_audio_monitor.dir/wildlife_audio_monitor.cpp.o.d"
+  "wildlife_audio_monitor"
+  "wildlife_audio_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wildlife_audio_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

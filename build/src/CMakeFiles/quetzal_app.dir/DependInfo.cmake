@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/audio_monitor.cpp" "src/CMakeFiles/quetzal_app.dir/app/audio_monitor.cpp.o" "gcc" "src/CMakeFiles/quetzal_app.dir/app/audio_monitor.cpp.o.d"
+  "/root/repo/src/app/camera.cpp" "src/CMakeFiles/quetzal_app.dir/app/camera.cpp.o" "gcc" "src/CMakeFiles/quetzal_app.dir/app/camera.cpp.o.d"
+  "/root/repo/src/app/compression.cpp" "src/CMakeFiles/quetzal_app.dir/app/compression.cpp.o" "gcc" "src/CMakeFiles/quetzal_app.dir/app/compression.cpp.o.d"
+  "/root/repo/src/app/device_profiles.cpp" "src/CMakeFiles/quetzal_app.dir/app/device_profiles.cpp.o" "gcc" "src/CMakeFiles/quetzal_app.dir/app/device_profiles.cpp.o.d"
+  "/root/repo/src/app/ml_model.cpp" "src/CMakeFiles/quetzal_app.dir/app/ml_model.cpp.o" "gcc" "src/CMakeFiles/quetzal_app.dir/app/ml_model.cpp.o.d"
+  "/root/repo/src/app/person_detection.cpp" "src/CMakeFiles/quetzal_app.dir/app/person_detection.cpp.o" "gcc" "src/CMakeFiles/quetzal_app.dir/app/person_detection.cpp.o.d"
+  "/root/repo/src/app/radio.cpp" "src/CMakeFiles/quetzal_app.dir/app/radio.cpp.o" "gcc" "src/CMakeFiles/quetzal_app.dir/app/radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quetzal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

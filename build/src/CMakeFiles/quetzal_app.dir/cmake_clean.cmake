@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quetzal_app.dir/app/audio_monitor.cpp.o"
+  "CMakeFiles/quetzal_app.dir/app/audio_monitor.cpp.o.d"
+  "CMakeFiles/quetzal_app.dir/app/camera.cpp.o"
+  "CMakeFiles/quetzal_app.dir/app/camera.cpp.o.d"
+  "CMakeFiles/quetzal_app.dir/app/compression.cpp.o"
+  "CMakeFiles/quetzal_app.dir/app/compression.cpp.o.d"
+  "CMakeFiles/quetzal_app.dir/app/device_profiles.cpp.o"
+  "CMakeFiles/quetzal_app.dir/app/device_profiles.cpp.o.d"
+  "CMakeFiles/quetzal_app.dir/app/ml_model.cpp.o"
+  "CMakeFiles/quetzal_app.dir/app/ml_model.cpp.o.d"
+  "CMakeFiles/quetzal_app.dir/app/person_detection.cpp.o"
+  "CMakeFiles/quetzal_app.dir/app/person_detection.cpp.o.d"
+  "CMakeFiles/quetzal_app.dir/app/radio.cpp.o"
+  "CMakeFiles/quetzal_app.dir/app/radio.cpp.o.d"
+  "libquetzal_app.a"
+  "libquetzal_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quetzal_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

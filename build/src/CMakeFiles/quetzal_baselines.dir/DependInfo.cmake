@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/adaptation.cpp" "src/CMakeFiles/quetzal_baselines.dir/baselines/adaptation.cpp.o" "gcc" "src/CMakeFiles/quetzal_baselines.dir/baselines/adaptation.cpp.o.d"
+  "/root/repo/src/baselines/controllers.cpp" "src/CMakeFiles/quetzal_baselines.dir/baselines/controllers.cpp.o" "gcc" "src/CMakeFiles/quetzal_baselines.dir/baselines/controllers.cpp.o.d"
+  "/root/repo/src/baselines/policies.cpp" "src/CMakeFiles/quetzal_baselines.dir/baselines/policies.cpp.o" "gcc" "src/CMakeFiles/quetzal_baselines.dir/baselines/policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quetzal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

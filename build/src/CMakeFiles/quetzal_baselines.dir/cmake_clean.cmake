@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quetzal_baselines.dir/baselines/adaptation.cpp.o"
+  "CMakeFiles/quetzal_baselines.dir/baselines/adaptation.cpp.o.d"
+  "CMakeFiles/quetzal_baselines.dir/baselines/controllers.cpp.o"
+  "CMakeFiles/quetzal_baselines.dir/baselines/controllers.cpp.o.d"
+  "CMakeFiles/quetzal_baselines.dir/baselines/policies.cpp.o"
+  "CMakeFiles/quetzal_baselines.dir/baselines/policies.cpp.o.d"
+  "libquetzal_baselines.a"
+  "libquetzal_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quetzal_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

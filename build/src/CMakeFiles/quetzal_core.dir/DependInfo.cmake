@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ibo_engine.cpp" "src/CMakeFiles/quetzal_core.dir/core/ibo_engine.cpp.o" "gcc" "src/CMakeFiles/quetzal_core.dir/core/ibo_engine.cpp.o.d"
+  "/root/repo/src/core/pid.cpp" "src/CMakeFiles/quetzal_core.dir/core/pid.cpp.o" "gcc" "src/CMakeFiles/quetzal_core.dir/core/pid.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/CMakeFiles/quetzal_core.dir/core/runtime.cpp.o" "gcc" "src/CMakeFiles/quetzal_core.dir/core/runtime.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/quetzal_core.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/quetzal_core.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/service_time.cpp" "src/CMakeFiles/quetzal_core.dir/core/service_time.cpp.o" "gcc" "src/CMakeFiles/quetzal_core.dir/core/service_time.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/quetzal_core.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/quetzal_core.dir/core/system.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/CMakeFiles/quetzal_core.dir/core/task.cpp.o" "gcc" "src/CMakeFiles/quetzal_core.dir/core/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quetzal_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quetzal_core.dir/core/ibo_engine.cpp.o"
+  "CMakeFiles/quetzal_core.dir/core/ibo_engine.cpp.o.d"
+  "CMakeFiles/quetzal_core.dir/core/pid.cpp.o"
+  "CMakeFiles/quetzal_core.dir/core/pid.cpp.o.d"
+  "CMakeFiles/quetzal_core.dir/core/runtime.cpp.o"
+  "CMakeFiles/quetzal_core.dir/core/runtime.cpp.o.d"
+  "CMakeFiles/quetzal_core.dir/core/scheduler.cpp.o"
+  "CMakeFiles/quetzal_core.dir/core/scheduler.cpp.o.d"
+  "CMakeFiles/quetzal_core.dir/core/service_time.cpp.o"
+  "CMakeFiles/quetzal_core.dir/core/service_time.cpp.o.d"
+  "CMakeFiles/quetzal_core.dir/core/system.cpp.o"
+  "CMakeFiles/quetzal_core.dir/core/system.cpp.o.d"
+  "CMakeFiles/quetzal_core.dir/core/task.cpp.o"
+  "CMakeFiles/quetzal_core.dir/core/task.cpp.o.d"
+  "libquetzal_core.a"
+  "libquetzal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quetzal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/energy_storage.cpp" "src/CMakeFiles/quetzal_energy.dir/energy/energy_storage.cpp.o" "gcc" "src/CMakeFiles/quetzal_energy.dir/energy/energy_storage.cpp.o.d"
+  "/root/repo/src/energy/harvester.cpp" "src/CMakeFiles/quetzal_energy.dir/energy/harvester.cpp.o" "gcc" "src/CMakeFiles/quetzal_energy.dir/energy/harvester.cpp.o.d"
+  "/root/repo/src/energy/power_trace.cpp" "src/CMakeFiles/quetzal_energy.dir/energy/power_trace.cpp.o" "gcc" "src/CMakeFiles/quetzal_energy.dir/energy/power_trace.cpp.o.d"
+  "/root/repo/src/energy/solar_model.cpp" "src/CMakeFiles/quetzal_energy.dir/energy/solar_model.cpp.o" "gcc" "src/CMakeFiles/quetzal_energy.dir/energy/solar_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quetzal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

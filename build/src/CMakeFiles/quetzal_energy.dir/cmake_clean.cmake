@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quetzal_energy.dir/energy/energy_storage.cpp.o"
+  "CMakeFiles/quetzal_energy.dir/energy/energy_storage.cpp.o.d"
+  "CMakeFiles/quetzal_energy.dir/energy/harvester.cpp.o"
+  "CMakeFiles/quetzal_energy.dir/energy/harvester.cpp.o.d"
+  "CMakeFiles/quetzal_energy.dir/energy/power_trace.cpp.o"
+  "CMakeFiles/quetzal_energy.dir/energy/power_trace.cpp.o.d"
+  "CMakeFiles/quetzal_energy.dir/energy/solar_model.cpp.o"
+  "CMakeFiles/quetzal_energy.dir/energy/solar_model.cpp.o.d"
+  "libquetzal_energy.a"
+  "libquetzal_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quetzal_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

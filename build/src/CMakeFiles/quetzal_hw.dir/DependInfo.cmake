@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/adc.cpp" "src/CMakeFiles/quetzal_hw.dir/hw/adc.cpp.o" "gcc" "src/CMakeFiles/quetzal_hw.dir/hw/adc.cpp.o.d"
+  "/root/repo/src/hw/diode.cpp" "src/CMakeFiles/quetzal_hw.dir/hw/diode.cpp.o" "gcc" "src/CMakeFiles/quetzal_hw.dir/hw/diode.cpp.o.d"
+  "/root/repo/src/hw/mcu_model.cpp" "src/CMakeFiles/quetzal_hw.dir/hw/mcu_model.cpp.o" "gcc" "src/CMakeFiles/quetzal_hw.dir/hw/mcu_model.cpp.o.d"
+  "/root/repo/src/hw/power_monitor_circuit.cpp" "src/CMakeFiles/quetzal_hw.dir/hw/power_monitor_circuit.cpp.o" "gcc" "src/CMakeFiles/quetzal_hw.dir/hw/power_monitor_circuit.cpp.o.d"
+  "/root/repo/src/hw/ratio_engine.cpp" "src/CMakeFiles/quetzal_hw.dir/hw/ratio_engine.cpp.o" "gcc" "src/CMakeFiles/quetzal_hw.dir/hw/ratio_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quetzal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

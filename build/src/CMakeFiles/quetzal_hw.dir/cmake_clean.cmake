@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quetzal_hw.dir/hw/adc.cpp.o"
+  "CMakeFiles/quetzal_hw.dir/hw/adc.cpp.o.d"
+  "CMakeFiles/quetzal_hw.dir/hw/diode.cpp.o"
+  "CMakeFiles/quetzal_hw.dir/hw/diode.cpp.o.d"
+  "CMakeFiles/quetzal_hw.dir/hw/mcu_model.cpp.o"
+  "CMakeFiles/quetzal_hw.dir/hw/mcu_model.cpp.o.d"
+  "CMakeFiles/quetzal_hw.dir/hw/power_monitor_circuit.cpp.o"
+  "CMakeFiles/quetzal_hw.dir/hw/power_monitor_circuit.cpp.o.d"
+  "CMakeFiles/quetzal_hw.dir/hw/ratio_engine.cpp.o"
+  "CMakeFiles/quetzal_hw.dir/hw/ratio_engine.cpp.o.d"
+  "libquetzal_hw.a"
+  "libquetzal_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quetzal_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libquetzal_hw.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/bitvector_window.cpp" "src/CMakeFiles/quetzal_queueing.dir/queueing/bitvector_window.cpp.o" "gcc" "src/CMakeFiles/quetzal_queueing.dir/queueing/bitvector_window.cpp.o.d"
+  "/root/repo/src/queueing/input_buffer.cpp" "src/CMakeFiles/quetzal_queueing.dir/queueing/input_buffer.cpp.o" "gcc" "src/CMakeFiles/quetzal_queueing.dir/queueing/input_buffer.cpp.o.d"
+  "/root/repo/src/queueing/littles_law.cpp" "src/CMakeFiles/quetzal_queueing.dir/queueing/littles_law.cpp.o" "gcc" "src/CMakeFiles/quetzal_queueing.dir/queueing/littles_law.cpp.o.d"
+  "/root/repo/src/queueing/rate_tracker.cpp" "src/CMakeFiles/quetzal_queueing.dir/queueing/rate_tracker.cpp.o" "gcc" "src/CMakeFiles/quetzal_queueing.dir/queueing/rate_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quetzal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

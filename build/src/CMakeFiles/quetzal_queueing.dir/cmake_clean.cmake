@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quetzal_queueing.dir/queueing/bitvector_window.cpp.o"
+  "CMakeFiles/quetzal_queueing.dir/queueing/bitvector_window.cpp.o.d"
+  "CMakeFiles/quetzal_queueing.dir/queueing/input_buffer.cpp.o"
+  "CMakeFiles/quetzal_queueing.dir/queueing/input_buffer.cpp.o.d"
+  "CMakeFiles/quetzal_queueing.dir/queueing/littles_law.cpp.o"
+  "CMakeFiles/quetzal_queueing.dir/queueing/littles_law.cpp.o.d"
+  "CMakeFiles/quetzal_queueing.dir/queueing/rate_tracker.cpp.o"
+  "CMakeFiles/quetzal_queueing.dir/queueing/rate_tracker.cpp.o.d"
+  "libquetzal_queueing.a"
+  "libquetzal_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quetzal_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/capture.cpp" "src/CMakeFiles/quetzal_sim.dir/sim/capture.cpp.o" "gcc" "src/CMakeFiles/quetzal_sim.dir/sim/capture.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/CMakeFiles/quetzal_sim.dir/sim/device.cpp.o" "gcc" "src/CMakeFiles/quetzal_sim.dir/sim/device.cpp.o.d"
+  "/root/repo/src/sim/ensemble.cpp" "src/CMakeFiles/quetzal_sim.dir/sim/ensemble.cpp.o" "gcc" "src/CMakeFiles/quetzal_sim.dir/sim/ensemble.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/quetzal_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/quetzal_sim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/quetzal_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/quetzal_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/quetzal_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/quetzal_sim.dir/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quetzal_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

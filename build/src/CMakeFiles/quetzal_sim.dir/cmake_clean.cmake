@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quetzal_sim.dir/sim/capture.cpp.o"
+  "CMakeFiles/quetzal_sim.dir/sim/capture.cpp.o.d"
+  "CMakeFiles/quetzal_sim.dir/sim/device.cpp.o"
+  "CMakeFiles/quetzal_sim.dir/sim/device.cpp.o.d"
+  "CMakeFiles/quetzal_sim.dir/sim/ensemble.cpp.o"
+  "CMakeFiles/quetzal_sim.dir/sim/ensemble.cpp.o.d"
+  "CMakeFiles/quetzal_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/quetzal_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/quetzal_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/quetzal_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/quetzal_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/quetzal_sim.dir/sim/simulator.cpp.o.d"
+  "libquetzal_sim.a"
+  "libquetzal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quetzal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

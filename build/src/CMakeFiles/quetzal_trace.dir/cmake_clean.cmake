@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quetzal_trace.dir/trace/event_generator.cpp.o"
+  "CMakeFiles/quetzal_trace.dir/trace/event_generator.cpp.o.d"
+  "CMakeFiles/quetzal_trace.dir/trace/event_trace.cpp.o"
+  "CMakeFiles/quetzal_trace.dir/trace/event_trace.cpp.o.d"
+  "CMakeFiles/quetzal_trace.dir/trace/trace_stats.cpp.o"
+  "CMakeFiles/quetzal_trace.dir/trace/trace_stats.cpp.o.d"
+  "libquetzal_trace.a"
+  "libquetzal_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quetzal_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quetzal_util.dir/util/csv.cpp.o"
+  "CMakeFiles/quetzal_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/quetzal_util.dir/util/logging.cpp.o"
+  "CMakeFiles/quetzal_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/quetzal_util.dir/util/random.cpp.o"
+  "CMakeFiles/quetzal_util.dir/util/random.cpp.o.d"
+  "CMakeFiles/quetzal_util.dir/util/stats.cpp.o"
+  "CMakeFiles/quetzal_util.dir/util/stats.cpp.o.d"
+  "libquetzal_util.a"
+  "libquetzal_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quetzal_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app/test_applications.cpp" "tests/CMakeFiles/test_app.dir/app/test_applications.cpp.o" "gcc" "tests/CMakeFiles/test_app.dir/app/test_applications.cpp.o.d"
+  "/root/repo/tests/app/test_ml_model.cpp" "tests/CMakeFiles/test_app.dir/app/test_ml_model.cpp.o" "gcc" "tests/CMakeFiles/test_app.dir/app/test_ml_model.cpp.o.d"
+  "/root/repo/tests/app/test_radio.cpp" "tests/CMakeFiles/test_app.dir/app/test_radio.cpp.o" "gcc" "tests/CMakeFiles/test_app.dir/app/test_radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quetzal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app.dir/app/test_applications.cpp.o"
+  "CMakeFiles/test_app.dir/app/test_applications.cpp.o.d"
+  "CMakeFiles/test_app.dir/app/test_ml_model.cpp.o"
+  "CMakeFiles/test_app.dir/app/test_ml_model.cpp.o.d"
+  "CMakeFiles/test_app.dir/app/test_radio.cpp.o"
+  "CMakeFiles/test_app.dir/app/test_radio.cpp.o.d"
+  "test_app"
+  "test_app.pdb"
+  "test_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

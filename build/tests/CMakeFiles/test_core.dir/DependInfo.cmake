@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_ibo_engine.cpp" "tests/CMakeFiles/test_core.dir/core/test_ibo_engine.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ibo_engine.cpp.o.d"
+  "/root/repo/tests/core/test_ibo_engine_options.cpp" "tests/CMakeFiles/test_core.dir/core/test_ibo_engine_options.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ibo_engine_options.cpp.o.d"
+  "/root/repo/tests/core/test_pid.cpp" "tests/CMakeFiles/test_core.dir/core/test_pid.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pid.cpp.o.d"
+  "/root/repo/tests/core/test_runtime.cpp" "tests/CMakeFiles/test_core.dir/core/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_runtime.cpp.o.d"
+  "/root/repo/tests/core/test_scheduler.cpp" "tests/CMakeFiles/test_core.dir/core/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scheduler.cpp.o.d"
+  "/root/repo/tests/core/test_service_time.cpp" "tests/CMakeFiles/test_core.dir/core/test_service_time.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_service_time.cpp.o.d"
+  "/root/repo/tests/core/test_system.cpp" "tests/CMakeFiles/test_core.dir/core/test_system.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_system.cpp.o.d"
+  "/root/repo/tests/core/test_task.cpp" "tests/CMakeFiles/test_core.dir/core/test_task.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quetzal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_ibo_engine.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ibo_engine.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ibo_engine_options.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ibo_engine_options.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pid.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pid.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_runtime.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_runtime.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scheduler.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_service_time.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_service_time.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_system.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_system.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_task.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_task.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

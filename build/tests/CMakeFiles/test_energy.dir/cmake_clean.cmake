@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy.dir/energy/test_energy_storage.cpp.o"
+  "CMakeFiles/test_energy.dir/energy/test_energy_storage.cpp.o.d"
+  "CMakeFiles/test_energy.dir/energy/test_harvester.cpp.o"
+  "CMakeFiles/test_energy.dir/energy/test_harvester.cpp.o.d"
+  "CMakeFiles/test_energy.dir/energy/test_power_trace.cpp.o"
+  "CMakeFiles/test_energy.dir/energy/test_power_trace.cpp.o.d"
+  "CMakeFiles/test_energy.dir/energy/test_solar_model.cpp.o"
+  "CMakeFiles/test_energy.dir/energy/test_solar_model.cpp.o.d"
+  "test_energy"
+  "test_energy.pdb"
+  "test_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_adc.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_adc.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_circuit.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_circuit.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_diode.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_diode.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_mcu_model.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_mcu_model.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_ratio_engine.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_ratio_engine.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing.dir/queueing/test_bitvector_window.cpp.o"
+  "CMakeFiles/test_queueing.dir/queueing/test_bitvector_window.cpp.o.d"
+  "CMakeFiles/test_queueing.dir/queueing/test_input_buffer.cpp.o"
+  "CMakeFiles/test_queueing.dir/queueing/test_input_buffer.cpp.o.d"
+  "CMakeFiles/test_queueing.dir/queueing/test_littles_law.cpp.o"
+  "CMakeFiles/test_queueing.dir/queueing/test_littles_law.cpp.o.d"
+  "CMakeFiles/test_queueing.dir/queueing/test_rate_tracker.cpp.o"
+  "CMakeFiles/test_queueing.dir/queueing/test_rate_tracker.cpp.o.d"
+  "test_queueing"
+  "test_queueing.pdb"
+  "test_queueing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_checkpoint_policy.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_checkpoint_policy.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_checkpoint_policy.cpp.o.d"
+  "/root/repo/tests/sim/test_device.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_device.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_device.cpp.o.d"
+  "/root/repo/tests/sim/test_ensemble.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_ensemble.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_ensemble.cpp.o.d"
+  "/root/repo/tests/sim/test_metrics.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quetzal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

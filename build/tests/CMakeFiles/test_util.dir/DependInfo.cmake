@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_csv.cpp" "tests/CMakeFiles/test_util.dir/util/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_csv.cpp.o.d"
+  "/root/repo/tests/util/test_fixed_point.cpp" "tests/CMakeFiles/test_util.dir/util/test_fixed_point.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_fixed_point.cpp.o.d"
+  "/root/repo/tests/util/test_logging_types.cpp" "tests/CMakeFiles/test_util.dir/util/test_logging_types.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_logging_types.cpp.o.d"
+  "/root/repo/tests/util/test_random.cpp" "tests/CMakeFiles/test_util.dir/util/test_random.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_random.cpp.o.d"
+  "/root/repo/tests/util/test_ring_buffer.cpp" "tests/CMakeFiles/test_util.dir/util/test_ring_buffer.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_ring_buffer.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quetzal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quetzal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_csv.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_csv.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_fixed_point.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_fixed_point.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_logging_types.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_logging_types.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_random.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_random.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_ring_buffer.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_ring_buffer.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quetzal_sim_cli.dir/quetzal_sim.cpp.o"
+  "CMakeFiles/quetzal_sim_cli.dir/quetzal_sim.cpp.o.d"
+  "quetzal-sim"
+  "quetzal-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quetzal_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quetzal_trace_gen.dir/quetzal_trace_gen.cpp.o"
+  "CMakeFiles/quetzal_trace_gen.dir/quetzal_trace_gen.cpp.o.d"
+  "quetzal-trace-gen"
+  "quetzal-trace-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quetzal_trace_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
