@@ -22,13 +22,22 @@ main()
     std::printf("%-10s %10s %10s %12s %14s\n", "period_s", "nominal",
                 "captured", "missed@cap", "missed@cap_%");
 
+    // One config per capture period, fanned out on the parallel
+    // engine; every run shares a single cached trace pair.
+    std::vector<sim::ExperimentConfig> configs;
     for (Tick periodSeconds = 1; periodSeconds <= 10; ++periodSeconds) {
-        sim::ExperimentConfig cfg;
-        cfg.environment = trace::EnvironmentPreset::Crowded;
-        cfg.eventCount = 1000;
-        cfg.controller = sim::ControllerKind::NoAdapt;
+        sim::ExperimentConfig cfg =
+            bench::makeConfig(sim::ControllerKind::NoAdapt,
+                              trace::EnvironmentPreset::Crowded);
         cfg.capturePeriod = periodSeconds * kTicksPerSecond;
-        const sim::Metrics m = sim::runExperiment(cfg);
+        configs.push_back(cfg);
+    }
+    const std::vector<sim::Metrics> results =
+        bench::runConfigs(std::move(configs));
+
+    for (Tick periodSeconds = 1; periodSeconds <= 10; ++periodSeconds) {
+        const sim::Metrics &m =
+            results[static_cast<std::size_t>(periodSeconds - 1)];
         std::printf("%-10lld %10llu %10llu %12llu %13.1f%%\n",
                     static_cast<long long>(periodSeconds),
                     static_cast<unsigned long long>(

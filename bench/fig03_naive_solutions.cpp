@@ -32,10 +32,17 @@ main()
         {ControllerKind::Quetzal, "QZ"},
     };
 
+    std::vector<sim::ExperimentConfig> configs;
+    for (const auto &[kind, label] : systems)
+        configs.push_back(bench::makeConfig(kind, env));
+    const std::vector<sim::Metrics> results =
+        bench::runConfigs(std::move(configs));
+
     sim::Metrics na;
     sim::Metrics qz;
+    std::size_t next = 0;
     for (const auto &[kind, label] : systems) {
-        const sim::Metrics m = bench::runKind(kind, env);
+        const sim::Metrics &m = results[next++];
         bench::discardRow(label, m);
         if (kind == ControllerKind::NoAdapt)
             na = m;

@@ -20,15 +20,25 @@ main()
     bench::banner("Figure 8: end-to-end experiment (100 events, "
                   "Apollo 4)");
 
-    for (const auto env : {trace::EnvironmentPreset::MoreCrowded,
-                           trace::EnvironmentPreset::Crowded}) {
+    const auto environments = {trace::EnvironmentPreset::MoreCrowded,
+                               trace::EnvironmentPreset::Crowded};
+    std::vector<sim::ExperimentConfig> configs;
+    for (const auto env : environments) {
+        configs.push_back(
+            bench::makeConfig(ControllerKind::NoAdapt, env, 100));
+        configs.push_back(
+            bench::makeConfig(ControllerKind::Quetzal, env, 100));
+    }
+    const std::vector<sim::Metrics> results =
+        bench::runConfigs(std::move(configs));
+
+    std::size_t next = 0;
+    for (const auto env : environments) {
         std::printf("\n-- environment: %s --\n",
                     trace::environmentName(env).c_str());
         bench::discardHeader();
-        const sim::Metrics na =
-            bench::runKind(ControllerKind::NoAdapt, env, 100);
-        const sim::Metrics qz =
-            bench::runKind(ControllerKind::Quetzal, env, 100);
+        const sim::Metrics &na = results[next++];
+        const sim::Metrics &qz = results[next++];
         bench::discardRow("NA", na);
         bench::discardRow("QZ", qz);
 

@@ -20,20 +20,31 @@ main()
     bench::banner("Figure 9: QZ vs NA / AD / Ideal (1000 events, "
                   "Apollo 4, buffer=10)");
 
-    for (const auto env : {trace::EnvironmentPreset::MoreCrowded,
-                           trace::EnvironmentPreset::Crowded,
-                           trace::EnvironmentPreset::LessCrowded}) {
+    const auto environments = {trace::EnvironmentPreset::MoreCrowded,
+                               trace::EnvironmentPreset::Crowded,
+                               trace::EnvironmentPreset::LessCrowded};
+    const auto kinds = {ControllerKind::Ideal, ControllerKind::NoAdapt,
+                        ControllerKind::AlwaysDegrade,
+                        ControllerKind::Quetzal};
+
+    // Fan the whole grid out on the parallel engine, then print from
+    // the in-order results.
+    std::vector<sim::ExperimentConfig> configs;
+    for (const auto env : environments)
+        for (const auto kind : kinds)
+            configs.push_back(bench::makeConfig(kind, env));
+    const std::vector<sim::Metrics> results =
+        bench::runConfigs(std::move(configs));
+
+    std::size_t next = 0;
+    for (const auto env : environments) {
         std::printf("\n-- environment: %s --\n",
                     trace::environmentName(env).c_str());
         bench::discardHeader();
-        const sim::Metrics ideal =
-            bench::runKind(ControllerKind::Ideal, env);
-        const sim::Metrics na =
-            bench::runKind(ControllerKind::NoAdapt, env);
-        const sim::Metrics ad =
-            bench::runKind(ControllerKind::AlwaysDegrade, env);
-        const sim::Metrics qz =
-            bench::runKind(ControllerKind::Quetzal, env);
+        const sim::Metrics &ideal = results[next++];
+        const sim::Metrics &na = results[next++];
+        const sim::Metrics &ad = results[next++];
+        const sim::Metrics &qz = results[next++];
         bench::discardRow("Ideal", ideal);
         bench::discardRow("NA", na);
         bench::discardRow("AD", ad);

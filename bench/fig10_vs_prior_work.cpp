@@ -22,20 +22,28 @@ main()
     bench::banner("Figure 10: QZ vs prior work (1000 events, "
                   "Apollo 4)");
 
-    for (const auto env : {trace::EnvironmentPreset::MoreCrowded,
-                           trace::EnvironmentPreset::Crowded,
-                           trace::EnvironmentPreset::LessCrowded}) {
+    const auto environments = {trace::EnvironmentPreset::MoreCrowded,
+                               trace::EnvironmentPreset::Crowded,
+                               trace::EnvironmentPreset::LessCrowded};
+    const auto kinds = {ControllerKind::CatNap, ControllerKind::Zgo,
+                        ControllerKind::Zgi, ControllerKind::Quetzal};
+
+    std::vector<sim::ExperimentConfig> configs;
+    for (const auto env : environments)
+        for (const auto kind : kinds)
+            configs.push_back(bench::makeConfig(kind, env));
+    const std::vector<sim::Metrics> results =
+        bench::runConfigs(std::move(configs));
+
+    std::size_t next = 0;
+    for (const auto env : environments) {
         std::printf("\n-- environment: %s --\n",
                     trace::environmentName(env).c_str());
         bench::discardHeader();
-        const sim::Metrics cn = bench::runKind(ControllerKind::CatNap,
-                                               env);
-        const sim::Metrics zgo = bench::runKind(ControllerKind::Zgo,
-                                                env);
-        const sim::Metrics zgi = bench::runKind(ControllerKind::Zgi,
-                                                env);
-        const sim::Metrics qz =
-            bench::runKind(ControllerKind::Quetzal, env);
+        const sim::Metrics &cn = results[next++];
+        const sim::Metrics &zgo = results[next++];
+        const sim::Metrics &zgi = results[next++];
+        const sim::Metrics &qz = results[next++];
         bench::discardRow("CN", cn);
         bench::discardRow("PZO", zgo);
         bench::discardRow("PZI", zgi);

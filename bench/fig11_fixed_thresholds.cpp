@@ -22,25 +22,52 @@ main()
     bench::banner("Figure 11a/b: QZ vs fixed thresholds 25/50/75% "
                   "(1000 events, Apollo 4)");
 
-    for (const auto env : {trace::EnvironmentPreset::MoreCrowded,
-                           trace::EnvironmentPreset::Crowded,
-                           trace::EnvironmentPreset::LessCrowded}) {
+    const auto environments = {trace::EnvironmentPreset::MoreCrowded,
+                               trace::EnvironmentPreset::Crowded,
+                               trace::EnvironmentPreset::LessCrowded};
+
+    auto thresholdConfig = [](trace::EnvironmentPreset env,
+                              double threshold) {
+        sim::ExperimentConfig cfg = bench::makeConfig(
+            ControllerKind::BufferThreshold, env);
+        cfg.bufferThreshold = threshold;
+        return cfg;
+    };
+
+    // Parts a/b (QZ + three thresholds per environment) and the
+    // part-c sweep fan out as one batch on the parallel engine.
+    std::vector<sim::ExperimentConfig> configs;
+    for (const auto env : environments) {
+        configs.push_back(bench::makeConfig(ControllerKind::Quetzal,
+                                            env));
+        for (double threshold : {0.25, 0.5, 0.75})
+            configs.push_back(thresholdConfig(env, threshold));
+    }
+    const std::size_t sweepBase = configs.size();
+    for (int pct = 10; pct <= 90; pct += 10)
+        configs.push_back(
+            thresholdConfig(trace::EnvironmentPreset::Crowded,
+                            pct / 100.0));
+    const std::vector<sim::Metrics> results =
+        bench::runConfigs(std::move(configs));
+
+    std::size_t next = 0;
+    sim::Metrics crowdedQz;
+    for (const auto env : environments) {
         std::printf("\n-- environment: %s --\n",
                     trace::environmentName(env).c_str());
         bench::discardHeader();
-        const sim::Metrics qz =
-            bench::runKind(ControllerKind::Quetzal, env);
+        const sim::Metrics &qz = results[next++];
+        if (env == trace::EnvironmentPreset::Crowded)
+            crowdedQz = qz;
 
         std::vector<double> ratios;
         std::vector<double> hqGains;
         for (double threshold : {0.25, 0.5, 0.75}) {
-            sim::ExperimentConfig cfg;
-            cfg.environment = env;
-            cfg.eventCount = 1000;
-            cfg.controller = ControllerKind::BufferThreshold;
-            cfg.bufferThreshold = threshold;
-            const sim::Metrics thr = sim::runExperiment(cfg);
-            bench::discardRow(sim::experimentLabel(cfg), thr);
+            const sim::Metrics &thr = results[next++];
+            bench::discardRow(
+                sim::experimentLabel(thresholdConfig(env, threshold)),
+                thr);
             ratios.push_back(bench::discardRatio(thr, qz));
             hqGains.push_back(
                 static_cast<double>(qz.txInterestingHq) /
@@ -57,16 +84,11 @@ main()
 
     bench::banner("Figure 11c: full threshold sweep (Crowded)");
     std::printf("%-12s %12s %10s\n", "threshold", "disc-total%", "HQ%");
-    const sim::Metrics qz = bench::runKind(ControllerKind::Quetzal,
-                                           trace::EnvironmentPreset::
-                                               Crowded);
+    const sim::Metrics &qz = crowdedQz;
     for (int pct = 10; pct <= 90; pct += 10) {
-        sim::ExperimentConfig cfg;
-        cfg.environment = trace::EnvironmentPreset::Crowded;
-        cfg.eventCount = 1000;
-        cfg.controller = ControllerKind::BufferThreshold;
-        cfg.bufferThreshold = pct / 100.0;
-        const sim::Metrics thr = sim::runExperiment(cfg);
+        const sim::Metrics &thr =
+            results[sweepBase +
+                    static_cast<std::size_t>(pct / 10 - 1)];
         std::printf("%-12d %12.2f %9.1f%%\n", pct,
                     thr.interestingDiscardedPct(),
                     100.0 * thr.highQualityShare());

@@ -21,20 +21,30 @@ main()
     bench::banner("Figure 12: scheduling policies with the IBO engine "
                   "(1000 events, Apollo 4)");
 
-    for (const auto env : {trace::EnvironmentPreset::MoreCrowded,
-                           trace::EnvironmentPreset::Crowded,
-                           trace::EnvironmentPreset::LessCrowded}) {
+    const auto environments = {trace::EnvironmentPreset::MoreCrowded,
+                               trace::EnvironmentPreset::Crowded,
+                               trace::EnvironmentPreset::LessCrowded};
+    const auto kinds = {ControllerKind::Quetzal,
+                        ControllerKind::QuetzalFcfs,
+                        ControllerKind::QuetzalLcfs,
+                        ControllerKind::QuetzalAvgSe2e};
+
+    std::vector<sim::ExperimentConfig> configs;
+    for (const auto env : environments)
+        for (const auto kind : kinds)
+            configs.push_back(bench::makeConfig(kind, env));
+    const std::vector<sim::Metrics> results =
+        bench::runConfigs(std::move(configs));
+
+    std::size_t next = 0;
+    for (const auto env : environments) {
         std::printf("\n-- environment: %s --\n",
                     trace::environmentName(env).c_str());
         bench::discardHeader();
-        const sim::Metrics sjf =
-            bench::runKind(ControllerKind::Quetzal, env);
-        const sim::Metrics fcfs =
-            bench::runKind(ControllerKind::QuetzalFcfs, env);
-        const sim::Metrics lcfs =
-            bench::runKind(ControllerKind::QuetzalLcfs, env);
-        const sim::Metrics avg =
-            bench::runKind(ControllerKind::QuetzalAvgSe2e, env);
+        const sim::Metrics &sjf = results[next++];
+        const sim::Metrics &fcfs = results[next++];
+        const sim::Metrics &lcfs = results[next++];
+        const sim::Metrics &avg = results[next++];
         bench::discardRow("EA-SJF", sjf);
         bench::discardRow("FCFS", fcfs);
         bench::discardRow("LCFS", lcfs);

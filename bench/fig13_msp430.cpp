@@ -19,25 +19,34 @@ main()
                   "Msp430Short environment)");
     bench::discardHeader();
 
-    auto runMsp = [](ControllerKind kind, double threshold = 0.5) {
+    auto mspConfig = [](ControllerKind kind, double threshold = 0.5) {
         sim::ExperimentConfig cfg;
         cfg.device = app::DeviceKind::Msp430;
         cfg.environment = trace::EnvironmentPreset::Msp430Short;
         cfg.eventCount = 1000;
         cfg.controller = kind;
         cfg.bufferThreshold = threshold;
-        return sim::runExperiment(cfg);
+        return cfg;
     };
 
-    const sim::Metrics ideal = runMsp(ControllerKind::Ideal);
-    const sim::Metrics na = runMsp(ControllerKind::NoAdapt);
-    const sim::Metrics ad = runMsp(ControllerKind::AlwaysDegrade);
-    const sim::Metrics cn = runMsp(ControllerKind::CatNap);
-    const sim::Metrics t75 =
-        runMsp(ControllerKind::BufferThreshold, 0.75);
-    const sim::Metrics zgo = runMsp(ControllerKind::Zgo);
-    const sim::Metrics zgi = runMsp(ControllerKind::Zgi);
-    const sim::Metrics qz = runMsp(ControllerKind::Quetzal);
+    const std::vector<sim::Metrics> results = bench::runConfigs({
+        mspConfig(ControllerKind::Ideal),
+        mspConfig(ControllerKind::NoAdapt),
+        mspConfig(ControllerKind::AlwaysDegrade),
+        mspConfig(ControllerKind::CatNap),
+        mspConfig(ControllerKind::BufferThreshold, 0.75),
+        mspConfig(ControllerKind::Zgo),
+        mspConfig(ControllerKind::Zgi),
+        mspConfig(ControllerKind::Quetzal),
+    });
+    const sim::Metrics &ideal = results[0];
+    const sim::Metrics &na = results[1];
+    const sim::Metrics &ad = results[2];
+    const sim::Metrics &cn = results[3];
+    const sim::Metrics &t75 = results[4];
+    const sim::Metrics &zgo = results[5];
+    const sim::Metrics &zgi = results[6];
+    const sim::Metrics &qz = results[7];
 
     bench::discardRow("Ideal", ideal);
     bench::discardRow("NA", na);

@@ -16,9 +16,10 @@ namespace {
 
 using namespace quetzal;
 
-sim::Metrics
-runWith(int cells, std::uint32_t arrivalWindow, std::uint32_t taskWindow,
-        bool usePid = true, bool useCircuit = true, double jitter = 0.0)
+sim::ExperimentConfig
+configWith(int cells, std::uint32_t arrivalWindow,
+           std::uint32_t taskWindow, bool usePid = true,
+           bool useCircuit = true, double jitter = 0.0)
 {
     sim::ExperimentConfig cfg;
     cfg.environment = trace::EnvironmentPreset::MoreCrowded;
@@ -30,7 +31,7 @@ runWith(int cells, std::uint32_t arrivalWindow, std::uint32_t taskWindow,
     cfg.usePid = usePid;
     cfg.useCircuit = useCircuit;
     cfg.executionJitterSigma = jitter;
-    return sim::runExperiment(cfg);
+    return cfg;
 }
 
 void
@@ -51,34 +52,53 @@ main()
     bench::banner("Figure 14: parameter sensitivity (Quetzal, "
                   "MoreCrowded, 1000 events)");
 
+    // Build the whole sweep grid up front and fan it out on the
+    // parallel engine; every run shares the one MoreCrowded trace
+    // pair via the runner's trace cache.
+    std::vector<sim::ExperimentConfig> configs;
+    for (int cells : {2, 4, 6, 8, 10})
+        configs.push_back(configWith(cells, 256, 64));
+    for (std::uint32_t w : {32u, 64u, 128u, 256u, 512u})
+        configs.push_back(configWith(6, w, 64));
+    for (std::uint32_t w : {8u, 16u, 32u, 64u, 128u})
+        configs.push_back(configWith(6, 256, w));
+    configs.push_back(configWith(6, 256, 64, true, true));
+    configs.push_back(configWith(6, 256, 64, false, true));
+    configs.push_back(configWith(6, 256, 64, true, false));
+    configs.push_back(configWith(6, 256, 64, true, true, 0.3));
+    configs.push_back(configWith(6, 256, 64, false, true, 0.3));
+    const std::vector<sim::Metrics> results =
+        bench::runConfigs(std::move(configs));
+    std::size_t next = 0;
+
     std::printf("\n-- harvester cells --\n%-14s %12s %10s %9s\n",
                 "cells", "disc-total%", "txI", "HQ%");
     for (int cells : {2, 4, 6, 8, 10})
-        row(std::to_string(cells), runWith(cells, 256, 64), cells == 6);
+        row(std::to_string(cells), results[next++], cells == 6);
 
     std::printf("\n-- <arrival-window> --\n%-14s %12s %10s %9s\n",
                 "window", "disc-total%", "txI", "HQ%");
     for (std::uint32_t w : {32u, 64u, 128u, 256u, 512u})
-        row(std::to_string(w), runWith(6, w, 64), w == 256);
+        row(std::to_string(w), results[next++], w == 256);
 
     std::printf("\n-- <task-window> --\n%-14s %12s %10s %9s\n",
                 "window", "disc-total%", "txI", "HQ%");
     for (std::uint32_t w : {8u, 16u, 32u, 64u, 128u})
-        row(std::to_string(w), runWith(6, 256, w), w == 64);
+        row(std::to_string(w), results[next++], w == 64);
 
     std::printf("\n-- ablations (DESIGN.md section 7) --\n"
                 "%-14s %12s %10s %9s\n",
                 "config", "disc-total%", "txI", "HQ%");
-    row("full", runWith(6, 256, 64, true, true), true);
-    row("no-pid", runWith(6, 256, 64, false, true), false);
-    row("exact-power", runWith(6, 256, 64, true, false), false);
+    row("full", results[next++], true);
+    row("no-pid", results[next++], false);
+    row("exact-power", results[next++], false);
 
     std::printf("\n-- variable execution costs (future work, "
                 "section 5.2): log-normal jitter --\n"
                 "%-14s %12s %10s %9s\n", "config", "disc-total%",
                 "txI", "HQ%");
-    row("jitter+pid", runWith(6, 256, 64, true, true, 0.3), false);
-    row("jitter-nopid", runWith(6, 256, 64, false, true, 0.3), false);
+    row("jitter+pid", results[next++], false);
+    row("jitter-nopid", results[next++], false);
 
     std::printf("\npaper shape: more cells monotonically reduce "
                 "discards; window sizes trade\nreactivity against "

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Wall-clock microbenchmark of the experiment engine: a reference
+ * ensemble (Quetzal, Crowded) run serially (jobs=1) and on the
+ * parallel runner (--jobs N, default hardware concurrency /
+ * QUETZAL_JOBS). Emits one line of JSON so successive PRs can track
+ * the perf trajectory in BENCH_*.json files:
+ *
+ *   {"bench": "micro_simulator", "runs": 16, "jobs": 4,
+ *    "serial_ns_per_run": ..., "parallel_ns_per_run": ...,
+ *    "speedup": ..., "ns_per_run": ...}
+ *
+ * "ns_per_run" is the parallel figure (the configuration a sweep
+ * would actually use). Results are asserted bit-identical between
+ * the two executions before anything is reported.
+ *
+ * Usage: micro_simulator [--jobs N] [--runs N] [--events N]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/ensemble.hpp"
+#include "sim/runner.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace quetzal;
+
+double
+nsPerRun(const std::chrono::steady_clock::time_point &start,
+         const std::chrono::steady_clock::time_point &end,
+         std::size_t runs)
+{
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        end - start).count();
+    return static_cast<double>(ns) / static_cast<double>(runs);
+}
+
+/** The determinism contract, enforced before reporting numbers. */
+void
+assertIdentical(const sim::EnsembleResult &a, const sim::EnsembleResult &b)
+{
+    if (a.runs != b.runs ||
+        a.discardedPct.mean() != b.discardedPct.mean() ||
+        a.discardedPct.stddev() != b.discardedPct.stddev() ||
+        a.highQualityShare.mean() != b.highQualityShare.mean() ||
+        a.jobsCompleted.sum() != b.jobsCompleted.sum())
+        util::panic("serial and parallel ensembles diverged");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = sim::defaultJobs();
+    std::size_t runs = 16;
+    std::size_t events = 200;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "usage: %s [--jobs N] [--runs N] "
+                             "[--events N]\n", argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs")
+            jobs = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        else if (arg == "--runs")
+            runs = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--events")
+            events = std::strtoull(value(), nullptr, 10);
+        else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (jobs == 0 || runs == 0 || events == 0) {
+        std::fprintf(stderr, "arguments must be positive\n");
+        return 2;
+    }
+
+    sim::ExperimentConfig cfg;
+    cfg.environment = trace::EnvironmentPreset::Crowded;
+    cfg.eventCount = events;
+    cfg.controller = sim::ControllerKind::Quetzal;
+
+    // Warm-up: touch every code path once so first-run effects
+    // (allocator, page faults) do not skew either measurement.
+    (void)sim::runEnsemble(cfg, std::size_t{1}, 1);
+
+    using clock = std::chrono::steady_clock;
+
+    const auto serialStart = clock::now();
+    const sim::EnsembleResult serial =
+        sim::runEnsemble(cfg, runs, 1);
+    const auto serialEnd = clock::now();
+
+    const auto parallelStart = clock::now();
+    const sim::EnsembleResult parallel =
+        sim::runEnsemble(cfg, runs, jobs);
+    const auto parallelEnd = clock::now();
+
+    assertIdentical(serial, parallel);
+
+    const double serialNs = nsPerRun(serialStart, serialEnd, runs);
+    const double parallelNs = nsPerRun(parallelStart, parallelEnd, runs);
+
+    std::printf("{\"bench\": \"micro_simulator\", \"runs\": %zu, "
+                "\"events\": %zu, \"jobs\": %u, "
+                "\"serial_ns_per_run\": %.0f, "
+                "\"parallel_ns_per_run\": %.0f, "
+                "\"speedup\": %.2f, \"ns_per_run\": %.0f}\n",
+                runs, events, jobs, serialNs, parallelNs,
+                serialNs / parallelNs, parallelNs);
+    return 0;
+}

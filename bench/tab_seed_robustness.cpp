@@ -12,12 +12,17 @@
 #include <iostream>
 
 #include "sim/ensemble.hpp"
+#include "sim/runner.hpp"
 
 int
 main()
 {
     using namespace quetzal;
     using sim::ControllerKind;
+
+    // Ensemble runs fan out over seeds on the parallel engine;
+    // aggregation order is fixed, so output is jobs-invariant.
+    const unsigned jobs = sim::defaultJobs();
 
     std::printf("=== Seed robustness: 5 seeds x 400 events ===\n");
     for (const auto env : {trace::EnvironmentPreset::MoreCrowded,
@@ -32,7 +37,8 @@ main()
             cfg.environment = env;
             cfg.eventCount = 400;
             cfg.controller = kind;
-            const sim::EnsembleResult r = sim::runEnsemble(cfg, 5);
+            const sim::EnsembleResult r = sim::runEnsemble(cfg, 5,
+                                                           jobs);
             r.printSummary(std::cout, sim::controllerKindName(kind));
         }
     }
@@ -51,7 +57,7 @@ main()
             cfg.checkpointPolicy = app::CheckpointPolicy::Periodic;
             cfg.checkpointIntervalTicks = interval;
         }
-        const sim::EnsembleResult r = sim::runEnsemble(cfg, 5);
+        const sim::EnsembleResult r = sim::runEnsemble(cfg, 5, jobs);
         const std::string label = interval == 0 ?
             std::string("JIT") :
             "Periodic-" + std::to_string(interval) + "ms";

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build with ThreadSanitizer and exercise the parallel experiment
+# engine: the runner/ensemble unit tests plus a multi-threaded
+# micro_simulator run. Any data race in the shared-trace plumbing or
+# the worker pool fails this script.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DQUETZAL_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target test_sim micro_simulator
+
+# TSan aborts with exit code 66 on the first detected race.
+export TSAN_OPTIONS="halt_on_error=1 exitcode=66 ${TSAN_OPTIONS:-}"
+
+# Death tests fork; that is fine under TSan but slow, so keep the
+# filter to the parallel-engine tests this script is about.
+"$BUILD_DIR"/tests/test_sim \
+    --gtest_filter='ParallelRunner.*:TraceCache.*'
+
+# Serial vs parallel ensembles on several worker threads; the binary
+# itself panics if the results diverge.
+"$BUILD_DIR"/bench/micro_simulator --jobs 4 --runs 8 --events 120
+
+echo "check_tsan: OK"

@@ -13,6 +13,7 @@
 #ifndef QUETZAL_ENERGY_POWER_TRACE_HPP
 #define QUETZAL_ENERGY_POWER_TRACE_HPP
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -37,6 +38,42 @@ class PowerTrace
         double value = 0.0;
     };
 
+    /**
+     * Amortized-O(1) point queries for monotone (mostly forward)
+     * query sequences. A cursor remembers the segment the last query
+     * landed in and walks forward from there; a backward query
+     * re-seeks via binary search. Answers are identical to the
+     * trace's own valueAt()/nextChangeAfter() for every input.
+     *
+     * The referenced trace must outlive the cursor and must not be
+     * mutated while the cursor is in use.
+     */
+    class Cursor
+    {
+      public:
+        Cursor() = default;
+
+        explicit Cursor(const PowerTrace &trace) : trace(&trace) {}
+
+        /** Same answer as trace.valueAt(tick). */
+        double valueAt(Tick tick);
+
+        /** Same answer as trace.nextChangeAfter(tick). */
+        Tick nextChangeAfter(Tick tick);
+
+        /** Forget the remembered position (next query re-seeks). */
+        void reset() { index = 0; }
+
+      private:
+        /** Move index to the segment holding at `tick`. */
+        void seek(Tick tick);
+
+        const PowerTrace *trace = nullptr;
+        /** Index of the segment whose value holds at the last query
+         *  tick (0 also covers ticks before the first segment). */
+        std::size_t index = 0;
+    };
+
     /** Empty trace; valueAt() returns 0 until segments are added. */
     PowerTrace() = default;
 
@@ -59,6 +96,9 @@ class PowerTrace
 
     /** Value at the given tick. */
     double valueAt(Tick tick) const;
+
+    /** A cursor over this trace (see Cursor). */
+    Cursor cursor() const { return Cursor(*this); }
 
     /**
      * First tick strictly after `tick` at which the value changes,

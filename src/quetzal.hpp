@@ -45,6 +45,7 @@
 #include "app/person_detection.hpp"
 #include "sim/ensemble.hpp"
 #include "sim/experiment.hpp"
+#include "sim/runner.hpp"
 #include "sim/simulator.hpp"
 
 #endif // QUETZAL_QUETZAL_HPP

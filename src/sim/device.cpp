@@ -10,7 +10,8 @@ namespace sim {
 
 Device::Device(const app::DeviceProfile &profile_,
                const energy::PowerTrace &watts_)
-    : profile(profile_), watts(watts_), storage(profile_.storage)
+    : profile(profile_), watts(watts_), powerCursor(watts_.cursor()),
+      storage(profile_.storage)
 {
 }
 
@@ -70,7 +71,7 @@ Device::applyNet(Watts net, Tick span)
 Tick
 Device::step(Tick now, Tick span)
 {
-    const Watts pin = watts.valueAt(now);
+    const Watts pin = powerCursor.valueAt(now);
 
     switch (currentPhase) {
       case DevicePhase::Idle: {
@@ -175,10 +176,11 @@ Device::step(Tick now, Tick span)
 Tick
 Device::advance(Tick now, Tick limit)
 {
+    int zeroProgressStreak = 0;
     while (now < limit) {
         const bool wasActive = taskActive();
         const Tick segmentEnd =
-            std::min(limit, watts.nextChangeAfter(now));
+            std::min(limit, powerCursor.nextChangeAfter(now));
         const Tick span = segmentEnd - now;
 
         const Tick consumed = step(now, span);
@@ -191,8 +193,22 @@ Device::advance(Tick now, Tick limit)
 
         // A zero-consumption step is a pure phase transition
         // (Running -> CheckpointSave, Recharging -> Restoring); the
-        // next iteration makes time progress in the new phase.
-        (void)consumed;
+        // next iteration makes time progress in the new phase. A
+        // malformed profile (e.g. a restart threshold that cannot
+        // fund a single tick of work) would cycle through phases
+        // forever without advancing time — panic instead of spinning.
+        if (consumed > 0) {
+            zeroProgressStreak = 0;
+        } else if (++zeroProgressStreak > 2) {
+            util::panic(util::msg(
+                "Device::advance made no time progress for ",
+                zeroProgressStreak, " iterations at tick ", now,
+                " (limit ", limit, ", phase ",
+                static_cast<int>(currentPhase), ", energy ",
+                storage.energy(), " J, task ticks left ",
+                remainingTaskTicks,
+                "): malformed device/power profile"));
+        }
     }
     return now;
 }

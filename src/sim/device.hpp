@@ -105,6 +105,9 @@ class Device
   private:
     const app::DeviceProfile profile;
     const energy::PowerTrace &watts;
+    /** Monotone cursor over `watts` — device time never rewinds, so
+     *  both per-step queries are amortized O(1) instead of O(log n). */
+    energy::PowerTrace::Cursor powerCursor;
     energy::EnergyStorage storage;
 
     DevicePhase currentPhase = DevicePhase::Idle;

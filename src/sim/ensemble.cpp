@@ -3,6 +3,7 @@
 #include <numeric>
 #include <ostream>
 
+#include "sim/runner.hpp"
 #include "util/logging.hpp"
 
 namespace quetzal {
@@ -23,16 +24,19 @@ EnsembleResult::printSummary(std::ostream &out,
 
 EnsembleResult
 runEnsemble(const ExperimentConfig &config,
-            const std::vector<std::uint64_t> &seeds)
+            const std::vector<std::uint64_t> &seeds, unsigned jobs)
 {
     if (seeds.empty())
         util::fatal("ensemble needs at least one seed");
 
+    // Execution parallelizes over seeds; aggregation stays serial in
+    // seed-list order so the accumulated statistics are bit-identical
+    // for every jobs value (RunningStats is order-sensitive).
+    ParallelRunner runner(jobs);
+    const std::vector<Metrics> metrics = runner.runSeeds(config, seeds);
+
     EnsembleResult result;
-    for (const std::uint64_t seed : seeds) {
-        ExperimentConfig cfg = config;
-        cfg.seed = seed;
-        const Metrics m = runExperiment(cfg);
+    for (const Metrics &m : metrics) {
         result.discardedPct.add(m.interestingDiscardedPct());
         result.iboPct.add(m.iboDiscardedPct());
         result.fnPct.add(m.fnDiscardedPct());
@@ -47,11 +51,19 @@ runEnsemble(const ExperimentConfig &config,
 }
 
 EnsembleResult
-runEnsemble(const ExperimentConfig &config, std::size_t runs)
+runEnsemble(const ExperimentConfig &config,
+            const std::vector<std::uint64_t> &seeds)
+{
+    return runEnsemble(config, seeds, 1);
+}
+
+EnsembleResult
+runEnsemble(const ExperimentConfig &config, std::size_t runs,
+            unsigned jobs)
 {
     std::vector<std::uint64_t> seeds(runs);
     std::iota(seeds.begin(), seeds.end(), 1);
-    return runEnsemble(config, seeds);
+    return runEnsemble(config, seeds, jobs);
 }
 
 } // namespace sim

@@ -109,36 +109,60 @@ experimentLabel(const ExperimentConfig &config)
     return controllerKindName(config.controller);
 }
 
-Metrics
-runExperiment(const ExperimentConfig &config)
+trace::EventTrace
+buildEventTrace(const ExperimentConfig &config)
 {
-    // --- Environment --------------------------------------------------
     const auto eventCfg = trace::EventGeneratorConfig::forPreset(
         config.environment, config.eventCount, config.seed);
-    const trace::EventTrace events =
-        trace::EventGenerator(eventCfg).generate();
+    return trace::EventGenerator(eventCfg).generate();
+}
 
-    const Tick horizon = events.endTime() + config.drainTicks +
-        kTicksPerSecond;
-
-    energy::HarvesterConfig harvesterCfg;
-    harvesterCfg.cellCount = config.harvesterCells;
-    const energy::Harvester harvester(harvesterCfg);
-
-    energy::PowerTrace watts;
-    if (config.powerTraceCsv.empty()) {
-        energy::SolarConfig solarCfg;
-        solarCfg.seed = config.seed ^ 0x5eedf00dull;
-        watts = harvester.powerTrace(
-            energy::SolarModel(solarCfg).generate(horizon * 5));
-    } else {
+energy::PowerTrace
+buildPowerTrace(const ExperimentConfig &config,
+                const trace::EventTrace &events)
+{
+    if (!config.powerTraceCsv.empty()) {
         // Replay a measured trace (paper section 6.2 methodology).
         std::ifstream in(config.powerTraceCsv);
         if (!in)
             util::fatal(util::msg("cannot open power trace: ",
                                   config.powerTraceCsv));
-        watts = energy::PowerTrace::readCsv(in);
+        return energy::PowerTrace::readCsv(in);
     }
+    const Tick horizon = events.endTime() + config.drainTicks +
+        kTicksPerSecond;
+    energy::HarvesterConfig harvesterCfg;
+    harvesterCfg.cellCount = config.harvesterCells;
+    const energy::Harvester harvester(harvesterCfg);
+    energy::SolarConfig solarCfg;
+    solarCfg.seed = config.seed ^ 0x5eedf00dull;
+    return harvester.powerTrace(
+        energy::SolarModel(solarCfg).generate(horizon * 5));
+}
+
+Metrics
+runExperiment(const ExperimentConfig &config)
+{
+    // --- Environment --------------------------------------------------
+    // Shared traces (ensembles / sweeps) are built once by the caller
+    // and reused read-only; otherwise build both from the parameters.
+    std::shared_ptr<const trace::EventTrace> eventsPtr =
+        config.sharedEvents;
+    if (!eventsPtr)
+        eventsPtr = std::make_shared<const trace::EventTrace>(
+            buildEventTrace(config));
+    const trace::EventTrace &events = *eventsPtr;
+
+    std::shared_ptr<const energy::PowerTrace> wattsPtr =
+        config.sharedPowerTrace;
+    if (!wattsPtr)
+        wattsPtr = std::make_shared<const energy::PowerTrace>(
+            buildPowerTrace(config, events));
+    const energy::PowerTrace &watts = *wattsPtr;
+
+    energy::HarvesterConfig harvesterCfg;
+    harvesterCfg.cellCount = config.harvesterCells;
+    const energy::Harvester harvester(harvesterCfg);
 
     // --- Device + application -----------------------------------------
     app::DeviceProfile deviceProfile = app::deviceProfile(config.device);

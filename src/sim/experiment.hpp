@@ -11,9 +11,11 @@
 #define QUETZAL_SIM_EXPERIMENT_HPP
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "app/device_profiles.hpp"
+#include "energy/power_trace.hpp"
 #include "sim/metrics.hpp"
 #include "trace/event_generator.hpp"
 #include "util/types.hpp"
@@ -78,10 +80,35 @@ struct ExperimentConfig
         app::CheckpointPolicy::JustInTime;
     /** Checkpoint interval for the Periodic policy. */
     Tick checkpointIntervalTicks = 1000;
+    /**
+     * Pre-built environment, shared read-only across runs. When set,
+     * runExperiment() uses these instead of regenerating the traces
+     * from the parameters above — the caller is responsible for the
+     * traces matching the trace parameters (environment, eventCount,
+     * seed, harvesterCells, drainTicks, powerTraceCsv). Sweeps that
+     * vary only the controller or system knobs build each trace once
+     * (see sim::TraceCache / sim::ParallelRunner) instead of per run.
+     */
+    std::shared_ptr<const trace::EventTrace> sharedEvents;
+    /** Pre-built harvested-power trace (see sharedEvents). */
+    std::shared_ptr<const energy::PowerTrace> sharedPowerTrace;
 };
 
 /** Build everything per the config, run, and return the metrics. */
 Metrics runExperiment(const ExperimentConfig &config);
+
+/**
+ * Build the seeded sensing-event trace the config describes (the
+ * same trace runExperiment() would build when sharedEvents is unset).
+ */
+trace::EventTrace buildEventTrace(const ExperimentConfig &config);
+
+/**
+ * Build the harvested-power trace the config describes, for the
+ * given event trace (synthetic solar or CSV replay).
+ */
+energy::PowerTrace buildPowerTrace(const ExperimentConfig &config,
+                                   const trace::EventTrace &events);
 
 /** The config's controller display name with parameters applied. */
 std::string experimentLabel(const ExperimentConfig &config);

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Parallel experiment-execution engine.
+ *
+ * Every experiment run is an independent pure function of its
+ * ExperimentConfig (each run owns its seed and all mutable state),
+ * so ensembles and parameter sweeps parallelize embarrassingly.
+ * ParallelRunner executes a batch of configurations on a fixed-size
+ * thread pool and returns results in submission order; because runs
+ * never share mutable state and aggregation happens serially in
+ * submission order, results are bit-identical to a serial loop
+ * regardless of thread count (the determinism contract DESIGN.md
+ * documents and tests/sim/test_runner.cpp enforces).
+ *
+ * A TraceCache rides along: runs that agree on their trace
+ * parameters (environment, eventCount, seed, harvesterCells,
+ * drainTicks, powerTraceCsv) share one read-only EventTrace /
+ * PowerTrace pair instead of rebuilding both per run — the common
+ * case for controller sweeps at a fixed seed, and for repeated
+ * figure panels over the same environment.
+ */
+
+#ifndef QUETZAL_SIM_RUNNER_HPP
+#define QUETZAL_SIM_RUNNER_HPP
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace quetzal {
+namespace sim {
+
+/**
+ * Worker count to use when the caller does not specify one: the
+ * QUETZAL_JOBS environment variable when set to a positive integer,
+ * otherwise std::thread::hardware_concurrency() (at least 1).
+ */
+unsigned defaultJobs();
+
+/**
+ * Thread-safe cache of the environment traces experiment configs
+ * describe. Keyed on exactly the config fields the traces are
+ * derived from; everything else (controller, windows, PID flags...)
+ * shares the cached pair.
+ */
+class TraceCache
+{
+  public:
+    /**
+     * Fill config.sharedEvents / config.sharedPowerTrace, building
+     * and caching the traces on first use of their parameter key.
+     * Already-set shared traces are left untouched.
+     */
+    void prepare(ExperimentConfig &config);
+
+    /** Number of distinct trace keys built so far. */
+    std::size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const trace::EventTrace> events;
+        std::shared_ptr<const energy::PowerTrace> watts;
+    };
+
+    mutable std::mutex mutex;
+    std::map<std::string, Entry> entries;
+};
+
+/**
+ * Deterministic fixed-size thread pool over independent experiment
+ * runs. No work stealing, no shared mutable run state: workers pull
+ * the next config index from an atomic counter and write the result
+ * into its submission slot, so the output vector is independent of
+ * scheduling order.
+ */
+class ParallelRunner
+{
+  public:
+    /** @param jobs worker threads; 0 means defaultJobs(). */
+    explicit ParallelRunner(unsigned jobs = 0);
+
+    /** Worker threads this runner uses. */
+    unsigned jobs() const { return jobCount; }
+
+    /**
+     * Run every configuration and return metrics in submission
+     * order. Trace parameters shared between configs are built once
+     * via the runner's TraceCache.
+     */
+    std::vector<Metrics> runMany(std::vector<ExperimentConfig> configs);
+
+    /**
+     * Convenience: run one base configuration once per seed
+     * (overriding config.seed) and return per-seed metrics in seed
+     * order.
+     */
+    std::vector<Metrics> runSeeds(const ExperimentConfig &config,
+                                  const std::vector<std::uint64_t> &seeds);
+
+  private:
+    unsigned jobCount;
+    TraceCache cache;
+};
+
+} // namespace sim
+} // namespace quetzal
+
+#endif // QUETZAL_SIM_RUNNER_HPP

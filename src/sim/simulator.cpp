@@ -80,6 +80,7 @@ Simulator::run()
 
     Tick now = 0;
     Tick nextCapture = cfg.capturePeriod;
+    int zeroProgressStreak = 0;
 
     while (true) {
         const bool capturing = now < horizon;
@@ -102,6 +103,21 @@ Simulator::run()
                                      : hardCap;
         const bool hadTask = device.taskActive();
         const Tick reached = device.advance(now, limit);
+
+        // The loop must advance simulated time (the device model
+        // guarantees forward progress whenever limit > now); a stuck
+        // clock means a malformed configuration — panic rather than
+        // spin forever.
+        if (reached > now) {
+            zeroProgressStreak = 0;
+        } else if (++zeroProgressStreak > 2) {
+            util::panic(util::msg(
+                "Simulator::run made no time progress for ",
+                zeroProgressStreak, " iterations at tick ", now,
+                " (limit ", limit, ", buffer ", buffer.size(),
+                ", job active ", activeJob.has_value(),
+                "): malformed experiment configuration"));
+        }
         now = reached;
 
         if (hadTask && !device.taskActive() && activeJob) {

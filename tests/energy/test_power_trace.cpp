@@ -1,9 +1,11 @@
 /**
  * @file
- * Tests for energy::PowerTrace.
+ * Tests for energy::PowerTrace and its amortized-O(1) Cursor.
  */
 
+#include <random>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -112,6 +114,113 @@ TEST(PowerTrace, CsvRoundTrip)
 TEST(PowerTraceDeathTest, UnsortedSegmentsPanic)
 {
     EXPECT_DEATH(PowerTrace({{100, 1.0}, {50, 2.0}}), "sorted");
+}
+
+// --- Cursor ---------------------------------------------------------
+//
+// The contract: a Cursor answers valueAt / nextChangeAfter exactly as
+// the owning trace does, for any query sequence (the fast path is
+// monotone non-decreasing ticks; backward queries re-seek).
+
+/** A randomized piecewise-constant trace with some equal-value runs. */
+PowerTrace
+randomTrace(std::uint32_t seed, std::size_t segments)
+{
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<Tick> gap(1, 500);
+    // Few distinct levels so consecutive equal values happen often.
+    std::uniform_int_distribution<int> level(0, 3);
+    PowerTrace trace;
+    Tick start = gap(rng);
+    for (std::size_t i = 0; i < segments; ++i) {
+        trace.append(start, static_cast<double>(level(rng)) * 1e-3);
+        start += gap(rng);
+    }
+    return trace;
+}
+
+TEST(PowerTraceCursor, MatchesTraceOnMonotoneQueries)
+{
+    for (std::uint32_t seed = 1; seed <= 5; ++seed) {
+        const PowerTrace trace = randomTrace(seed, 64);
+        PowerTrace::Cursor cursor = trace.cursor();
+        std::mt19937 rng(seed ^ 0xc0ffeeu);
+        std::uniform_int_distribution<Tick> step(0, 40);
+        Tick tick = 0;
+        for (int i = 0; i < 4000; ++i) {
+            EXPECT_EQ(cursor.valueAt(tick), trace.valueAt(tick))
+                << "seed " << seed << " tick " << tick;
+            EXPECT_EQ(cursor.nextChangeAfter(tick),
+                      trace.nextChangeAfter(tick))
+                << "seed " << seed << " tick " << tick;
+            tick += step(rng); // non-decreasing, sometimes repeated
+        }
+    }
+}
+
+TEST(PowerTraceCursor, MatchesTraceOnArbitraryQueries)
+{
+    // Backward jumps force the re-seek path.
+    const PowerTrace trace = randomTrace(7, 48);
+    PowerTrace::Cursor cursor = trace.cursor();
+    std::mt19937 rng(99);
+    std::uniform_int_distribution<Tick> anywhere(0, 20'000);
+    for (int i = 0; i < 4000; ++i) {
+        const Tick tick = anywhere(rng);
+        EXPECT_EQ(cursor.valueAt(tick), trace.valueAt(tick))
+            << "tick " << tick;
+        EXPECT_EQ(cursor.nextChangeAfter(tick),
+                  trace.nextChangeAfter(tick))
+            << "tick " << tick;
+    }
+}
+
+TEST(PowerTraceCursor, ResetRestartsFromTheFront)
+{
+    const PowerTrace trace = randomTrace(11, 32);
+    PowerTrace::Cursor cursor = trace.cursor();
+    (void)cursor.valueAt(15'000); // advance deep into the trace
+    cursor.reset();
+    for (Tick tick = 0; tick < 2'000; tick += 13) {
+        EXPECT_EQ(cursor.valueAt(tick), trace.valueAt(tick));
+        EXPECT_EQ(cursor.nextChangeAfter(tick),
+                  trace.nextChangeAfter(tick));
+    }
+}
+
+TEST(PowerTraceCursor, SkipsEqualValueSegments)
+{
+    PowerTrace trace;
+    trace.append(0, 1.0);
+    trace.append(10, 1.0); // no actual change
+    trace.append(20, 1.0); // still none
+    trace.append(30, 2.0);
+    PowerTrace::Cursor cursor = trace.cursor();
+    EXPECT_EQ(cursor.nextChangeAfter(0), 30);
+    EXPECT_EQ(cursor.nextChangeAfter(15), 30);
+    EXPECT_EQ(cursor.nextChangeAfter(30), kTickNever);
+}
+
+TEST(PowerTraceCursor, BeforeFirstSegmentExtendsBackward)
+{
+    PowerTrace trace({{50, 3.0}, {80, 4.0}});
+    PowerTrace::Cursor cursor = trace.cursor();
+    EXPECT_DOUBLE_EQ(cursor.valueAt(0), 3.0);
+    EXPECT_EQ(cursor.nextChangeAfter(0), 80);
+    EXPECT_DOUBLE_EQ(cursor.valueAt(80), 4.0);
+    EXPECT_EQ(cursor.nextChangeAfter(80), kTickNever);
+}
+
+TEST(PowerTraceCursor, EmptyAndDefaultCursorsAreZero)
+{
+    PowerTrace empty;
+    PowerTrace::Cursor cursor = empty.cursor();
+    EXPECT_EQ(cursor.valueAt(123), 0.0);
+    EXPECT_EQ(cursor.nextChangeAfter(123), kTickNever);
+
+    PowerTrace::Cursor unbound;
+    EXPECT_EQ(unbound.valueAt(0), 0.0);
+    EXPECT_EQ(unbound.nextChangeAfter(0), kTickNever);
 }
 
 } // namespace

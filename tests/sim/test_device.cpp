@@ -243,6 +243,24 @@ TEST(DeviceDeathTest, NonPositiveCostPanics)
     EXPECT_DEATH(device.startTask(1e-3, 0), "cost");
 }
 
+TEST(DeviceDeathTest, ZeroProgressCyclePanics)
+{
+    // Malformed profile: free checkpoints plus a task whose per-tick
+    // energy (100 W x 1 ms = 0.1 J) exceeds the restart energy
+    // (~0.026 J), so once depleted the device cycles Restoring ->
+    // Running (fails immediately) -> CheckpointSave -> Recharging
+    // without ever advancing time. The guard must panic instead of
+    // spinning forever.
+    app::DeviceProfile broken = profile();
+    broken.checkpoint.saveTicks = 0;
+    broken.checkpoint.restoreTicks = 0;
+    const auto watts = energy::PowerTrace::constant(1e-3);
+    Device device(broken, watts);
+    device.drawInstantaneous(device.energy()); // deplete the store
+    device.startTask(100.0, 100);
+    EXPECT_DEATH(device.advance(0, 1'000'000), "no time progress");
+}
+
 } // namespace
 } // namespace sim
 } // namespace quetzal

@@ -13,21 +13,33 @@
  *               [--capture-period-ms N] [--threshold PCT]
  *               [--arrival-window N] [--task-window N]
  *               [--power-trace FILE.csv]
+ *               [--ensemble N] [--jobs N]
  *               [--no-pid] [--no-circuit] [--csv] [--csv-header]
+ *
+ * --ensemble N runs the configuration over seeds 1..N on the
+ * parallel experiment engine (--jobs worker threads, default
+ * hardware concurrency / QUETZAL_JOBS) and prints either the
+ * aggregate summary or one CSV row per seed. Results are
+ * bit-identical for every --jobs value.
  *
  * Examples:
  *   quetzal_sim --controller QZ --env crowded --events 1000
  *   quetzal_sim --controller THR --threshold 75 --csv
- *   for s in 1 2 3; do quetzal_sim --seed $s --csv; done
+ *   quetzal_sim --controller QZ --ensemble 20 --jobs 8
+ *   quetzal_sim --ensemble 20 --csv-header
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <numeric>
 #include <string>
+#include <vector>
 
+#include "sim/ensemble.hpp"
 #include "sim/experiment.hpp"
+#include "sim/runner.hpp"
 #include "util/logging.hpp"
 
 namespace {
@@ -45,6 +57,7 @@ usage(const char *argv0)
                  "          [--capture-period-ms N] [--threshold PCT]\n"
                  "          [--arrival-window N] [--task-window N]\n"
                  "          [--power-trace FILE.csv]\n"
+                 "          [--ensemble N] [--jobs N]\n"
                  "          [--no-pid] [--no-circuit] [--csv] "
                  "[--csv-header]\n",
                  argv0);
@@ -91,6 +104,34 @@ csvHeader()
         "jobs,degraded_jobs,power_failures,recharge_s\n");
 }
 
+void
+csvRow(const sim::ExperimentConfig &cfg, const std::string &environment,
+       const sim::Metrics &m)
+{
+    std::printf(
+        "%s,%s,%s,%zu,%llu,%llu,%llu,%.4f,%llu,%llu,%llu,%llu,"
+        "%llu,%.4f,%llu,%llu,%llu,%.1f\n",
+        sim::experimentLabel(cfg).c_str(), environment.c_str(),
+        app::deviceKindName(cfg.device).c_str(), cfg.eventCount,
+        static_cast<unsigned long long>(cfg.seed),
+        static_cast<unsigned long long>(m.interestingInputsNominal),
+        static_cast<unsigned long long>(
+            m.interestingDiscardedTotal()),
+        m.interestingDiscardedPct(),
+        static_cast<unsigned long long>(m.iboDropsInteresting +
+                                        m.unprocessedInteresting),
+        static_cast<unsigned long long>(m.fnDiscards),
+        static_cast<unsigned long long>(m.txInterestingHq),
+        static_cast<unsigned long long>(m.txInterestingLq),
+        static_cast<unsigned long long>(m.txUninterestingHq +
+                                        m.txUninterestingLq),
+        m.highQualityShare(),
+        static_cast<unsigned long long>(m.jobsCompleted),
+        static_cast<unsigned long long>(m.degradedJobs),
+        static_cast<unsigned long long>(m.powerFailures),
+        ticksToSeconds(m.rechargeTicks));
+}
+
 } // namespace
 
 int
@@ -99,6 +140,8 @@ main(int argc, char **argv)
     sim::ExperimentConfig cfg;
     bool csv = false;
     bool header = false;
+    std::size_t ensembleRuns = 0;
+    unsigned jobs = 0; // 0 = defaultJobs()
     std::string environment = "crowded";
 
     for (int i = 1; i < argc; ++i) {
@@ -146,6 +189,11 @@ main(int argc, char **argv)
                 std::strtoul(value().c_str(), nullptr, 10));
         } else if (arg == "--power-trace") {
             cfg.powerTraceCsv = value();
+        } else if (arg == "--ensemble") {
+            ensembleRuns = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
         } else if (arg == "--no-pid") {
             cfg.usePid = false;
         } else if (arg == "--no-circuit") {
@@ -163,33 +211,37 @@ main(int argc, char **argv)
         }
     }
 
+    if (ensembleRuns > 0) {
+        // Seeds 1..N on the parallel engine. Per-seed CSV rows print
+        // in seed order; the summary aggregates in seed order — both
+        // independent of --jobs.
+        std::vector<std::uint64_t> seeds(ensembleRuns);
+        std::iota(seeds.begin(), seeds.end(), 1);
+        if (csv) {
+            if (header)
+                csvHeader();
+            sim::ParallelRunner runner(jobs);
+            const std::vector<sim::Metrics> all =
+                runner.runSeeds(cfg, seeds);
+            for (std::size_t i = 0; i < all.size(); ++i) {
+                sim::ExperimentConfig seedCfg = cfg;
+                seedCfg.seed = seeds[i];
+                csvRow(seedCfg, environment, all[i]);
+            }
+        } else {
+            const sim::EnsembleResult r =
+                sim::runEnsemble(cfg, seeds, jobs);
+            r.printSummary(std::cout, sim::experimentLabel(cfg));
+        }
+        return 0;
+    }
+
     const sim::Metrics m = sim::runExperiment(cfg);
 
     if (csv) {
         if (header)
             csvHeader();
-        std::printf(
-            "%s,%s,%s,%zu,%llu,%llu,%llu,%.4f,%llu,%llu,%llu,%llu,"
-            "%llu,%.4f,%llu,%llu,%llu,%.1f\n",
-            sim::experimentLabel(cfg).c_str(), environment.c_str(),
-            app::deviceKindName(cfg.device).c_str(), cfg.eventCount,
-            static_cast<unsigned long long>(cfg.seed),
-            static_cast<unsigned long long>(m.interestingInputsNominal),
-            static_cast<unsigned long long>(
-                m.interestingDiscardedTotal()),
-            m.interestingDiscardedPct(),
-            static_cast<unsigned long long>(m.iboDropsInteresting +
-                                            m.unprocessedInteresting),
-            static_cast<unsigned long long>(m.fnDiscards),
-            static_cast<unsigned long long>(m.txInterestingHq),
-            static_cast<unsigned long long>(m.txInterestingLq),
-            static_cast<unsigned long long>(m.txUninterestingHq +
-                                            m.txUninterestingLq),
-            m.highQualityShare(),
-            static_cast<unsigned long long>(m.jobsCompleted),
-            static_cast<unsigned long long>(m.degradedJobs),
-            static_cast<unsigned long long>(m.powerFailures),
-            ticksToSeconds(m.rechargeTicks));
+        csvRow(cfg, environment, m);
     } else {
         m.printReport(std::cout, sim::experimentLabel(cfg));
     }
