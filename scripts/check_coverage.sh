@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Line-coverage gate over the scheduling core (src/core) and the
+# queueing layer (src/queueing): build with gcov instrumentation, run
+# the test binaries that exercise those modules, aggregate gcov's
+# per-file "Lines executed" reports and fail if overall line coverage
+# drops below the floor.
+#
+# Usage: scripts/check_coverage.sh [build-dir]   (default build-cov)
+# Env:   QUETZAL_COVERAGE_FLOOR  minimum percent (default 85)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-cov}"
+FLOOR="${QUETZAL_COVERAGE_FLOOR:-85}"
+
+cmake -B "$BUILD_DIR" -S . -DQUETZAL_COVERAGE=ON \
+    -DCMAKE_BUILD_TYPE=Debug
+cmake --build "$BUILD_DIR" -j --target \
+    test_core test_queueing test_sim test_obs test_integration
+
+# Fresh counters: each binary appends to the same .gcda files.
+find "$BUILD_DIR" -name '*.gcda' -delete
+
+for test_bin in test_core test_queueing test_sim test_obs \
+        test_integration; do
+    "$BUILD_DIR/tests/$test_bin" --gtest_brief=1
+done
+
+# Aggregate gcov over the instrumented objects of the gated modules.
+# `gcov -n` prints, per source file:
+#     File '<path>'
+#     Lines executed:NN.NN% of M
+# Sum executed/total over files under the gated directories only
+# (headers included — templates and inline hot paths count).
+summary="$(
+    for module in quetzal_core quetzal_queueing; do
+        objdir="$BUILD_DIR/src/CMakeFiles/$module.dir"
+        find "$objdir" -name '*.gcno' | while read -r gcno; do
+            gcov -n -o "$(dirname "$gcno")" "$gcno" 2>/dev/null
+        done
+    done
+)"
+
+echo "$summary" | awk -v floor="$FLOOR" '
+    /^File / {
+        gated = ($0 ~ /src\/(core|queueing)\//)
+    }
+    gated && /^Lines executed:/ {
+        # "Lines executed:NN.NN% of M"
+        split($0, parts, /[:%]/)
+        pct = parts[2]
+        n = $NF
+        executed += pct / 100.0 * n
+        total += n
+        gated = 0  # count each file once per gcov invocation block
+    }
+    END {
+        if (total == 0) {
+            print "check_coverage: no gcov data found" > "/dev/stderr"
+            exit 2
+        }
+        coverage = 100.0 * executed / total
+        printf "check_coverage: %.1f%% of %d lines in src/core + src/queueing (floor %s%%)\n",
+            coverage, total, floor
+        if (coverage < floor) {
+            print "check_coverage: FAIL — below floor" > "/dev/stderr"
+            exit 1
+        }
+    }'
+
+echo "check_coverage: OK"

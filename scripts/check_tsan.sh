@@ -12,7 +12,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DQUETZAL_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j --target test_sim micro_simulator
+cmake --build "$BUILD_DIR" -j --target test_sim test_obs micro_simulator
 
 # TSan aborts with exit code 66 on the first detected race.
 export TSAN_OPTIONS="halt_on_error=1 exitcode=66 ${TSAN_OPTIONS:-}"
@@ -21,6 +21,12 @@ export TSAN_OPTIONS="halt_on_error=1 exitcode=66 ${TSAN_OPTIONS:-}"
 # filter to the parallel-engine tests this script is about.
 "$BUILD_DIR"/tests/test_sim \
     --gtest_filter='ParallelRunner.*:TraceCache.*'
+
+# Telemetry under parallel execution: per-run sinks recorded from
+# worker threads, serialized after the joins (GoldenTrace runs the
+# same ensemble on 1 and 4 workers and compares bytes).
+"$BUILD_DIR"/tests/test_obs \
+    --gtest_filter='GoldenTrace.*:ObsProperties.*'
 
 # Serial vs parallel ensembles on several worker threads; the binary
 # itself panics if the results diverge.

@@ -52,11 +52,48 @@ Controller::selectJob(TaskSystem &system,
         adapted.predictedServiceSeconds : decision->expectedServiceSeconds;
     selection.iboPredicted = adapted.iboPredicted;
     selection.degraded = adapted.degraded;
+    selection.decisionSeq = decisionCounter++;
 
     if (adapted.iboPredicted)
         ++runStats.iboPredictions;
     if (adapted.degraded)
         ++runStats.degradedJobs;
+
+    if (observer != nullptr &&
+        observer->wants(obs::EventKind::ScheduleDecision)) {
+        obs::Event event;
+        event.kind = obs::EventKind::ScheduleDecision;
+        event.id = selection.decisionSeq;
+        event.value = static_cast<std::int64_t>(selection.jobId);
+        event.extra = static_cast<std::int64_t>(buffer.size());
+        event.a = selection.predictedServiceSeconds;
+        event.b = power.watts;
+        event.options = obs::packOptions(selection.optionPerTask);
+        if (selection.iboPredicted)
+            event.flags |= obs::kFlagIboPredicted;
+        if (selection.degraded)
+            event.flags |= obs::kFlagDegraded;
+        observer->record(event);
+    }
+    if (observer != nullptr &&
+        observer->wants(obs::EventKind::TaskService)) {
+        // The per-task terms behind the E[S] sum of Alg. 1 line 4:
+        // estimate(option, P_in) weighted by execution probability.
+        for (std::size_t i = 0; i < job.tasks.size(); ++i) {
+            const TaskId taskId = job.tasks[i];
+            const Task &task = system.task(taskId);
+            const std::size_t optionIndex = selection.optionPerTask[i];
+            obs::Event event;
+            event.kind = obs::EventKind::TaskService;
+            event.id = selection.decisionSeq;
+            event.value = static_cast<std::int64_t>(taskId);
+            event.extra = static_cast<std::int64_t>(optionIndex);
+            event.a = serviceEstimator->estimate(task.option(optionIndex),
+                                                 power);
+            event.b = system.executionProbability(taskId);
+            observer->record(event);
+        }
+    }
     return selection;
 }
 
@@ -88,6 +125,15 @@ Controller::onJobComplete(TaskSystem &system, const JobSelection &selection,
         if (pid) {
             const double dt = std::max(observedSeconds, 1e-3);
             pid->update(error, dt);
+        }
+        if (observer != nullptr &&
+            observer->wants(obs::EventKind::PidUpdate)) {
+            obs::Event event;
+            event.kind = obs::EventKind::PidUpdate;
+            event.id = selection.decisionSeq;
+            event.a = error;
+            event.b = pidCorrection();
+            observer->record(event);
         }
     }
 }

@@ -26,6 +26,7 @@
 #include "core/pid.hpp"
 #include "core/scheduler.hpp"
 #include "core/system.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/stats.hpp"
 
 namespace quetzal {
@@ -40,6 +41,13 @@ struct JobSelection
     double predictedServiceSeconds = 0.0;
     bool iboPredicted = false;
     bool degraded = false;
+    /**
+     * Sequence number of the scheduling round that produced this
+     * selection (0-based, counts successful selections). Links a
+     * decision's trace events (schedule, per-task E[S] terms, PID
+     * update) to the observed outcome the simulator reports.
+     */
+    std::uint64_t decisionSeq = 0;
 };
 
 /** Aggregate counters a controller accumulates over a run. */
@@ -98,6 +106,15 @@ class Controller
     /** Current PID output (0 when the loop is disabled). */
     double pidCorrection() const;
 
+    /**
+     * Attach a telemetry recorder (see obs::Recorder). The recorder
+     * must outlive the controller's use; pass nullptr to detach.
+     * Decision events (scheduler pick with per-task E[S] terms, IBO
+     * prediction, degradation choice, PID error/output) are recorded
+     * against the recorder's run clock.
+     */
+    void setObserver(obs::Recorder *recorder) { observer = recorder; }
+
     /** Counters accumulated so far. */
     const ControllerStats &stats() const { return runStats; }
 
@@ -113,6 +130,8 @@ class Controller
     std::unique_ptr<ServiceTimeEstimator> serviceEstimator;
     std::optional<PidController> pid;
     ControllerStats runStats;
+    obs::Recorder *observer = nullptr;
+    std::uint64_t decisionCounter = 0;
 };
 
 /** Options for the stock Quetzal controller. */

@@ -1,0 +1,113 @@
+#include "obs/event.hpp"
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace obs {
+
+namespace {
+
+struct KindInfo
+{
+    EventKind kind;
+    const char *name;
+    ObsLevel level;
+};
+
+/** Name + minimum level per kind, indexed by the enum value. */
+constexpr KindInfo kKinds[kEventKindCount] = {
+    {EventKind::Capture, "capture", ObsLevel::Counters},
+    {EventKind::InputStored, "stored", ObsLevel::Counters},
+    {EventKind::InputDropped, "dropped", ObsLevel::Counters},
+    {EventKind::ScheduleDecision, "schedule", ObsLevel::Counters},
+    {EventKind::TaskService, "task_service", ObsLevel::Decisions},
+    {EventKind::IboOutcome, "ibo_outcome", ObsLevel::Counters},
+    {EventKind::PidUpdate, "pid", ObsLevel::Decisions},
+    {EventKind::TaskComplete, "task_done", ObsLevel::Decisions},
+    {EventKind::JobComplete, "job_done", ObsLevel::Counters},
+    {EventKind::PowerFailure, "power_failure", ObsLevel::Counters},
+    {EventKind::RechargeInterval, "recharge", ObsLevel::Counters},
+    {EventKind::BufferOccupancy, "occupancy", ObsLevel::Full},
+    {EventKind::RunEnd, "run_end", ObsLevel::Counters},
+};
+
+const KindInfo &
+info(EventKind kind)
+{
+    const auto index = static_cast<std::size_t>(kind);
+    if (index >= kEventKindCount ||
+        kKinds[index].kind != kind)
+        util::panic("unknown event kind");
+    return kKinds[index];
+}
+
+} // namespace
+
+std::string
+obsLevelName(ObsLevel level)
+{
+    switch (level) {
+      case ObsLevel::Off: return "off";
+      case ObsLevel::Counters: return "counters";
+      case ObsLevel::Decisions: return "decisions";
+      case ObsLevel::Full: return "full";
+    }
+    util::panic("unknown obs level");
+}
+
+std::optional<ObsLevel>
+parseObsLevel(const std::string &name)
+{
+    if (name == "off") return ObsLevel::Off;
+    if (name == "counters") return ObsLevel::Counters;
+    if (name == "decisions") return ObsLevel::Decisions;
+    if (name == "full") return ObsLevel::Full;
+    return std::nullopt;
+}
+
+std::string
+eventKindName(EventKind kind)
+{
+    return info(kind).name;
+}
+
+std::optional<EventKind>
+parseEventKind(const std::string &name)
+{
+    for (const KindInfo &k : kKinds) {
+        if (name == k.name)
+            return k.kind;
+    }
+    return std::nullopt;
+}
+
+ObsLevel
+minLevel(EventKind kind)
+{
+    return info(kind).level;
+}
+
+std::uint32_t
+packOptions(const std::vector<std::size_t> &optionPerTask)
+{
+    std::uint32_t packed = 0;
+    const std::size_t count = optionPerTask.size() < 8 ?
+        optionPerTask.size() : 8;
+    for (std::size_t i = 0; i < count; ++i) {
+        packed |= static_cast<std::uint32_t>(optionPerTask[i] & 0xf)
+            << (4 * i);
+    }
+    return packed;
+}
+
+std::vector<std::size_t>
+unpackOptions(std::uint32_t packed, std::size_t count)
+{
+    std::vector<std::size_t> options(count, 0);
+    for (std::size_t i = 0; i < count && i < 8; ++i)
+        options[i] = (packed >> (4 * i)) & 0xf;
+    return options;
+}
+
+} // namespace obs
+} // namespace quetzal

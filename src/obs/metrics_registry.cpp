@@ -1,0 +1,257 @@
+#include "obs/metrics_registry.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace obs {
+
+namespace {
+
+/** "0,1,2" for a packed option pattern. The packed form does not
+ *  carry the task count, so trailing default-option (0) tasks are
+ *  trimmed: the key runs to the highest non-default position. Only
+ *  degraded decisions are keyed, and those have at least one
+ *  non-zero nibble. */
+std::string
+optionPatternKey(std::uint32_t packed)
+{
+    std::size_t width = 1;
+    for (std::size_t i = 1; i < 8; ++i) {
+        if ((packed >> (4 * i)) & 0xf)
+            width = i + 1;
+    }
+    std::ostringstream out;
+    for (std::size_t i = 0; i < width; ++i) {
+        if (i)
+            out << ',';
+        out << ((packed >> (4 * i)) & 0xf);
+    }
+    return out.str();
+}
+
+} // namespace
+
+double
+IboAccuracy::precision() const
+{
+    const std::uint64_t predicted = truePositives + falsePositives;
+    if (predicted == 0)
+        return 1.0;
+    return static_cast<double>(truePositives) /
+        static_cast<double>(predicted);
+}
+
+double
+IboAccuracy::recall() const
+{
+    const std::uint64_t overflowed = truePositives + falseNegatives;
+    if (overflowed == 0)
+        return 1.0;
+    return static_cast<double>(truePositives) /
+        static_cast<double>(overflowed);
+}
+
+MetricsRegistry::MetricsRegistry()
+    : serviceHist(0.0, 120.0, 1200), // 100 ms bins over [0, 2 min)
+      depthHist(0.0, 64.0, 64),      // one bin per occupancy level
+      errorHist(-30.0, 30.0, 600)    // 100 ms bins, PID clamp range
+{
+}
+
+void
+MetricsRegistry::record(const Event &event)
+{
+    ++consumed;
+    const auto kindIndex = static_cast<std::size_t>(event.kind);
+    if (kindIndex < kEventKindCount)
+        ++perKind[kindIndex];
+    if (event.tick > latest)
+        latest = event.tick;
+
+    switch (event.kind) {
+      case EventKind::Capture:
+        ++replay.captures;
+        if (event.flags & kFlagDifferent) {
+            if (event.flags & kFlagInteresting)
+                ++replay.interestingCaptured;
+            else
+                ++replay.uninterestingCaptured;
+        }
+        break;
+
+      case EventKind::InputStored:
+        ++replay.storedInputs;
+        break;
+
+      case EventKind::InputDropped:
+        if (event.flags & kFlagInteresting)
+            ++replay.iboDropsInteresting;
+        else
+            ++replay.iboDropsUninteresting;
+        break;
+
+      case EventKind::ScheduleDecision:
+        if (event.flags & kFlagIboPredicted)
+            ++replay.iboPredictions;
+        if (event.flags & kFlagDegraded) {
+            ++replay.degradedJobs;
+            ++degradation[optionPatternKey(event.options)];
+        }
+        break;
+
+      case EventKind::TaskService:
+        break;
+
+      case EventKind::IboOutcome: {
+        const bool predicted = event.flags & kFlagIboPredicted;
+        const bool overflowed = event.flags & kFlagOverflowed;
+        if (predicted && overflowed)
+            ++ibo.truePositives;
+        else if (predicted)
+            ++ibo.falsePositives;
+        else if (overflowed)
+            ++ibo.falseNegatives;
+        else
+            ++ibo.trueNegatives;
+        break;
+      }
+
+      case EventKind::PidUpdate:
+        errorHist.add(event.a);
+        errorRun.add(event.a);
+        pidRun.add(event.b);
+        break;
+
+      case EventKind::TaskComplete:
+        break;
+
+      case EventKind::JobComplete:
+        ++replay.jobsCompleted;
+        serviceHist.add(event.a);
+        serviceRun.add(event.a);
+        if (event.flags & kFlagClassify) {
+            const bool interesting = event.flags & kFlagInteresting;
+            if (event.flags & kFlagPositive) {
+                if (!interesting)
+                    ++replay.fpPositives;
+            } else if (interesting) {
+                ++replay.fnDiscards;
+            }
+        } else if (event.flags & kFlagTransmit) {
+            const bool interesting = event.flags & kFlagInteresting;
+            const bool hq = event.flags & kFlagHighQuality;
+            if (interesting) {
+                if (hq)
+                    ++replay.txInterestingHq;
+                else
+                    ++replay.txInterestingLq;
+            } else {
+                if (hq)
+                    ++replay.txUninterestingHq;
+                else
+                    ++replay.txUninterestingLq;
+            }
+        }
+        break;
+
+      case EventKind::PowerFailure:
+        replay.powerFailures += static_cast<std::uint64_t>(event.value);
+        replay.checkpointSaves += static_cast<std::uint64_t>(event.extra);
+        break;
+
+      case EventKind::RechargeInterval:
+        replay.rechargeTicks += event.value;
+        break;
+
+      case EventKind::BufferOccupancy:
+        depthHist.add(static_cast<double>(event.value));
+        depthRun.add(static_cast<double>(event.value));
+        break;
+
+      case EventKind::RunEnd:
+        replay.eventsTotal = event.id;
+        replay.interestingInputsNominal =
+            static_cast<std::uint64_t>(event.value);
+        replay.unprocessedInteresting =
+            static_cast<std::uint64_t>(event.extra);
+        replay.eventsInteresting = static_cast<std::uint64_t>(event.a);
+        replay.simulatedTicks = static_cast<Tick>(event.b);
+        break;
+    }
+}
+
+std::uint64_t
+MetricsRegistry::eventCount(EventKind kind) const
+{
+    const auto index = static_cast<std::size_t>(kind);
+    if (index >= kEventKindCount)
+        util::panic("unknown event kind");
+    return perKind[index];
+}
+
+void
+MetricsRegistry::printSummary(std::ostream &out,
+                              const std::string &label) const
+{
+    const ReplayCounters &c = replay;
+    out << "== " << label << " ==\n"
+        << "  trace events: " << consumed << " (last tick " << latest
+        << ")\n"
+        << "  captures: " << c.captures << " (interesting "
+        << c.interestingCaptured << ", uninteresting "
+        << c.uninterestingCaptured << ")\n"
+        << "  stored inputs: " << c.storedInputs << "\n"
+        << "  IBO drops: interesting " << c.iboDropsInteresting
+        << ", uninteresting " << c.iboDropsUninteresting << "\n"
+        << "  false negatives: " << c.fnDiscards
+        << ", false positives: " << c.fpPositives << "\n"
+        << "  tx interesting: HQ " << c.txInterestingHq << ", LQ "
+        << c.txInterestingLq << " | tx uninteresting: HQ "
+        << c.txUninterestingHq << ", LQ " << c.txUninterestingLq
+        << "\n"
+        << "  jobs: " << c.jobsCompleted << " (degraded "
+        << c.degradedJobs << ", IBO predictions " << c.iboPredictions
+        << ")\n"
+        << "  power failures: " << c.powerFailures << " (saves "
+        << c.checkpointSaves << "), recharge "
+        << ticksToSeconds(c.rechargeTicks) << " s\n";
+
+    if (ibo.total() > 0) {
+        out << "  IBO accuracy: precision " << ibo.precision()
+            << ", recall " << ibo.recall() << " (tp "
+            << ibo.truePositives << ", fp " << ibo.falsePositives
+            << ", fn " << ibo.falseNegatives << ", tn "
+            << ibo.trueNegatives << ")\n";
+    }
+    if (serviceRun.count() > 0) {
+        out << "  service time: p50 " << serviceHist.quantile(0.50)
+            << " s, p95 " << serviceHist.quantile(0.95) << " s, p99 "
+            << serviceHist.quantile(0.99) << " s (mean "
+            << serviceRun.mean() << " s over " << serviceRun.count()
+            << " jobs)\n";
+    }
+    if (depthRun.count() > 0) {
+        out << "  queue depth: p50 " << depthHist.quantile(0.50)
+            << ", p95 " << depthHist.quantile(0.95) << ", max "
+            << depthRun.max() << " (" << depthRun.count()
+            << " samples)\n";
+    }
+    if (errorRun.count() > 0) {
+        out << "  prediction error: mean " << errorRun.mean()
+            << " s, p95 " << errorHist.quantile(0.95)
+            << " s; PID output mean " << pidRun.mean() << " s ("
+            << errorRun.count() << " samples)\n";
+    }
+    if (!degradation.empty()) {
+        out << "  degradation options:";
+        for (const auto &entry : degradation)
+            out << " [" << entry.first << "]x" << entry.second;
+        out << "\n";
+    }
+}
+
+} // namespace obs
+} // namespace quetzal

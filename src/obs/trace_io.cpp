@@ -1,0 +1,505 @@
+#include "obs/trace_io.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace obs {
+
+namespace {
+
+/** Which POD member a JSON key maps to. */
+enum class Field : std::uint8_t { Id, Value, Extra, A, B, Options };
+
+struct FieldDesc
+{
+    const char *key;
+    Field field;
+};
+
+struct FlagDesc
+{
+    const char *key;
+    std::uint32_t bit;
+};
+
+/**
+ * Per-kind serialization schema. The writer emits exactly these keys
+ * in exactly this order; the reader accepts exactly these keys. One
+ * table serves both directions, so they cannot drift apart.
+ */
+struct Schema
+{
+    std::vector<FieldDesc> fields;
+    std::vector<FlagDesc> flags;
+};
+
+const Schema &
+schemaFor(EventKind kind)
+{
+    static const Schema kSchemas[kEventKindCount] = {
+        // Capture
+        {{{"input", Field::Id}},
+         {{"different", kFlagDifferent}, {"interesting", kFlagInteresting}}},
+        // InputStored
+        {{{"input", Field::Id}, {"occupancy", Field::Value}},
+         {{"interesting", kFlagInteresting}}},
+        // InputDropped
+        {{{"input", Field::Id}, {"occupancy", Field::Value}},
+         {{"interesting", kFlagInteresting}}},
+        // ScheduleDecision
+        {{{"seq", Field::Id}, {"job", Field::Value},
+          {"occupancy", Field::Extra}, {"es", Field::A},
+          {"power", Field::B}, {"options", Field::Options}},
+         {{"ibo", kFlagIboPredicted}, {"degraded", kFlagDegraded}}},
+        // TaskService
+        {{{"seq", Field::Id}, {"task", Field::Value},
+          {"option", Field::Extra}, {"es", Field::A},
+          {"prob", Field::B}},
+         {}},
+        // IboOutcome
+        {{{"seq", Field::Id}, {"drops", Field::Value}},
+         {{"predicted", kFlagIboPredicted}, {"overflowed", kFlagOverflowed},
+          {"unfinished", kFlagUnfinished}}},
+        // PidUpdate
+        {{{"seq", Field::Id}, {"error", Field::A}, {"output", Field::B}},
+         {}},
+        // TaskComplete
+        {{{"seq", Field::Id}, {"task", Field::Value},
+          {"option", Field::Extra}, {"observed", Field::A}},
+         {}},
+        // JobComplete
+        {{{"input", Field::Id}, {"job", Field::Value},
+          {"seq", Field::Extra}, {"observed", Field::A}},
+         {{"classify", kFlagClassify}, {"transmit", kFlagTransmit},
+          {"positive", kFlagPositive}, {"hq", kFlagHighQuality},
+          {"interesting", kFlagInteresting}}},
+        // PowerFailure
+        {{{"failures", Field::Value}, {"saves", Field::Extra}}, {}},
+        // RechargeInterval
+        {{{"ticks", Field::Value}}, {}},
+        // BufferOccupancy
+        {{{"occupancy", Field::Value}, {"capacity", Field::Extra}}, {}},
+        // RunEnd
+        {{{"env_events", Field::Id}, {"nominal_interesting", Field::Value},
+          {"unprocessed", Field::Extra}, {"env_interesting", Field::A},
+          {"sim_ticks", Field::B}},
+         {}},
+    };
+    const auto index = static_cast<std::size_t>(kind);
+    if (index >= kEventKindCount)
+        util::panic("unknown event kind");
+    return kSchemas[index];
+}
+
+/** Shortest round-trip decimal form of a double. */
+void
+appendDouble(std::string &out, double value)
+{
+    char buffer[64];
+    const auto result =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    out.append(buffer, result.ptr);
+}
+
+void
+appendInt(std::string &out, long long value)
+{
+    char buffer[32];
+    const auto result =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    out.append(buffer, result.ptr);
+}
+
+void
+appendUint(std::string &out, unsigned long long value)
+{
+    char buffer[32];
+    const auto result =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    out.append(buffer, result.ptr);
+}
+
+void
+appendField(std::string &out, const Event &event, Field field)
+{
+    switch (field) {
+      case Field::Id: appendUint(out, event.id); return;
+      case Field::Value: appendInt(out, event.value); return;
+      case Field::Extra: appendInt(out, event.extra); return;
+      case Field::A: appendDouble(out, event.a); return;
+      case Field::B: appendDouble(out, event.b); return;
+      case Field::Options: appendUint(out, event.options); return;
+    }
+    util::panic("unknown trace field");
+}
+
+/** One raw "key":value pair scanned off a JSONL line. */
+struct RawPair
+{
+    std::string key;
+    std::string value;
+};
+
+/**
+ * Scan a flat JSON object into raw pairs. Only the value shapes the
+ * writer emits are accepted: numbers, true/false, and one quoted
+ * string (the kind).
+ */
+std::vector<RawPair>
+scanObject(const std::string &line, std::size_t lineNumber)
+{
+    auto malformed = [&](const char *what) -> void {
+        util::fatal(util::msg("trace line ", lineNumber, ": ", what,
+                              ": ", line));
+    };
+
+    std::vector<RawPair> pairs;
+    std::size_t pos = 0;
+    auto skipWs = [&] {
+        while (pos < line.size() &&
+               (line[pos] == ' ' || line[pos] == '\t'))
+            ++pos;
+    };
+    skipWs();
+    if (pos >= line.size() || line[pos] != '{')
+        malformed("expected '{'");
+    ++pos;
+    while (true) {
+        skipWs();
+        if (pos < line.size() && line[pos] == '}')
+            break;
+        if (pos >= line.size() || line[pos] != '"')
+            malformed("expected key");
+        const std::size_t keyStart = ++pos;
+        while (pos < line.size() && line[pos] != '"')
+            ++pos;
+        if (pos >= line.size())
+            malformed("unterminated key");
+        RawPair pair;
+        pair.key = line.substr(keyStart, pos - keyStart);
+        ++pos;
+        skipWs();
+        if (pos >= line.size() || line[pos] != ':')
+            malformed("expected ':'");
+        ++pos;
+        skipWs();
+        if (pos < line.size() && line[pos] == '"') {
+            const std::size_t valueStart = ++pos;
+            while (pos < line.size() && line[pos] != '"')
+                ++pos;
+            if (pos >= line.size())
+                malformed("unterminated string");
+            pair.value = line.substr(valueStart, pos - valueStart);
+            ++pos;
+        } else {
+            const std::size_t valueStart = pos;
+            while (pos < line.size() && line[pos] != ',' &&
+                   line[pos] != '}')
+                ++pos;
+            if (pos >= line.size())
+                malformed("unterminated value");
+            pair.value = line.substr(valueStart, pos - valueStart);
+            if (pair.value.empty())
+                malformed("empty value");
+        }
+        pairs.push_back(std::move(pair));
+        skipWs();
+        if (pos < line.size() && line[pos] == ',') {
+            ++pos;
+            continue;
+        }
+        if (pos < line.size() && line[pos] == '}')
+            break;
+        malformed("expected ',' or '}'");
+    }
+    return pairs;
+}
+
+double
+parseDoubleValue(const std::string &text, std::size_t lineNumber)
+{
+    // strtod accepts the full to_chars output range (incl. exponent
+    // forms); from_chars<double> would too, but strtod keeps this
+    // TU's parsing dependency-light.
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        util::fatal(util::msg("trace line ", lineNumber,
+                              ": bad number: ", text));
+    return value;
+}
+
+long long
+parseIntValue(const std::string &text, std::size_t lineNumber)
+{
+    long long value = 0;
+    const auto result = std::from_chars(
+        text.data(), text.data() + text.size(), value);
+    if (result.ec != std::errc() ||
+        result.ptr != text.data() + text.size())
+        util::fatal(util::msg("trace line ", lineNumber,
+                              ": bad integer: ", text));
+    return value;
+}
+
+bool
+parseBoolValue(const std::string &text, std::size_t lineNumber)
+{
+    if (text == "true")
+        return true;
+    if (text == "false")
+        return false;
+    util::fatal(util::msg("trace line ", lineNumber, ": bad bool: ",
+                          text));
+}
+
+void
+assignField(Event &event, Field field, const std::string &text,
+            std::size_t lineNumber)
+{
+    switch (field) {
+      case Field::Id:
+        event.id = static_cast<std::uint64_t>(
+            parseIntValue(text, lineNumber));
+        return;
+      case Field::Value:
+        event.value = parseIntValue(text, lineNumber);
+        return;
+      case Field::Extra:
+        event.extra = parseIntValue(text, lineNumber);
+        return;
+      case Field::A:
+        event.a = parseDoubleValue(text, lineNumber);
+        return;
+      case Field::B:
+        event.b = parseDoubleValue(text, lineNumber);
+        return;
+      case Field::Options:
+        event.options = static_cast<std::uint32_t>(
+            parseIntValue(text, lineNumber));
+        return;
+    }
+    util::panic("unknown trace field");
+}
+
+} // namespace
+
+void
+writeJsonl(std::ostream &out, const std::vector<Event> &events,
+           std::uint64_t runIndex)
+{
+    std::string line;
+    for (const Event &event : events) {
+        line.clear();
+        line += "{\"run\":";
+        appendUint(line, runIndex);
+        line += ",\"t\":";
+        appendInt(line, event.tick);
+        line += ",\"kind\":\"";
+        line += eventKindName(event.kind);
+        line += '"';
+        const Schema &schema = schemaFor(event.kind);
+        for (const FieldDesc &field : schema.fields) {
+            line += ",\"";
+            line += field.key;
+            line += "\":";
+            appendField(line, event, field.field);
+        }
+        for (const FlagDesc &flag : schema.flags) {
+            line += ",\"";
+            line += flag.key;
+            line += "\":";
+            line += (event.flags & flag.bit) ? "true" : "false";
+        }
+        line += "}\n";
+        out << line;
+    }
+}
+
+std::vector<TraceRecord>
+readJsonl(std::istream &in)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    std::size_t lineNumber = 0;
+    while (std::getline(in, line)) {
+        ++lineNumber;
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        const std::vector<RawPair> pairs = scanObject(line, lineNumber);
+        TraceRecord record;
+        // The kind drives the schema, so find it first.
+        const Schema *schema = nullptr;
+        for (const RawPair &pair : pairs) {
+            if (pair.key != "kind")
+                continue;
+            const auto kind = parseEventKind(pair.value);
+            if (!kind)
+                util::fatal(util::msg("trace line ", lineNumber,
+                                      ": unknown kind: ", pair.value));
+            record.event.kind = *kind;
+            schema = &schemaFor(*kind);
+        }
+        if (schema == nullptr)
+            util::fatal(util::msg("trace line ", lineNumber,
+                                  ": missing kind"));
+
+        for (const RawPair &pair : pairs) {
+            if (pair.key == "kind")
+                continue;
+            if (pair.key == "run") {
+                record.run = static_cast<std::uint64_t>(
+                    parseIntValue(pair.value, lineNumber));
+                continue;
+            }
+            if (pair.key == "t") {
+                record.event.tick = parseIntValue(pair.value, lineNumber);
+                continue;
+            }
+            bool known = false;
+            for (const FieldDesc &field : schema->fields) {
+                if (pair.key == field.key) {
+                    assignField(record.event, field.field, pair.value,
+                                lineNumber);
+                    known = true;
+                    break;
+                }
+            }
+            if (known)
+                continue;
+            for (const FlagDesc &flag : schema->flags) {
+                if (pair.key == flag.key) {
+                    if (parseBoolValue(pair.value, lineNumber))
+                        record.event.flags |= flag.bit;
+                    known = true;
+                    break;
+                }
+            }
+            if (!known)
+                util::fatal(util::msg("trace line ", lineNumber,
+                                      ": unknown key '", pair.key,
+                                      "' for kind ",
+                                      eventKindName(record.event.kind)));
+        }
+        records.push_back(std::move(record));
+    }
+    return records;
+}
+
+bool
+writeChromeTrace(std::ostream &out, const std::vector<Event> &events,
+                 std::uint64_t runIndex, bool first)
+{
+    // trace_event JSON array format; ts/dur are microseconds and one
+    // simulated tick is one millisecond.
+    std::string line;
+    auto emit = [&](const std::string &body) {
+        line.clear();
+        if (first)
+            first = false;
+        else
+            line += ",\n";
+        line += body;
+        out << line;
+    };
+
+    auto args = [&](const Event &event) {
+        std::string body = "\"args\":{";
+        const Schema &schema = schemaFor(event.kind);
+        bool firstArg = true;
+        for (const FieldDesc &field : schema.fields) {
+            if (!firstArg)
+                body += ',';
+            firstArg = false;
+            body += '"';
+            body += field.key;
+            body += "\":";
+            appendField(body, event, field.field);
+        }
+        for (const FlagDesc &flag : schema.flags) {
+            if (!firstArg)
+                body += ',';
+            firstArg = false;
+            body += '"';
+            body += flag.key;
+            body += "\":";
+            body += (event.flags & flag.bit) ? "true" : "false";
+        }
+        body += '}';
+        return body;
+    };
+
+    for (const Event &event : events) {
+        const long long ts = static_cast<long long>(event.tick) * 1000;
+        std::string body;
+        switch (event.kind) {
+          case EventKind::JobComplete: {
+            // Duration slice ending at the completion tick.
+            const long long dur =
+                static_cast<long long>(event.a * 1e6 + 0.5);
+            body = "{\"name\":\"job\",\"ph\":\"X\",\"ts\":";
+            appendInt(body, ts - dur);
+            body += ",\"dur\":";
+            appendInt(body, dur);
+            break;
+          }
+          case EventKind::RechargeInterval: {
+            const long long dur =
+                static_cast<long long>(event.value) * 1000;
+            body = "{\"name\":\"recharge\",\"ph\":\"X\",\"ts\":";
+            appendInt(body, ts - dur);
+            body += ",\"dur\":";
+            appendInt(body, dur);
+            break;
+          }
+          case EventKind::BufferOccupancy: {
+            body = "{\"name\":\"buffer\",\"ph\":\"C\",\"ts\":";
+            appendInt(body, ts);
+            break;
+          }
+          default: {
+            body = "{\"name\":\"";
+            body += eventKindName(event.kind);
+            body += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+            appendInt(body, ts);
+            break;
+          }
+        }
+        body += ",\"pid\":";
+        appendUint(body, runIndex);
+        body += ",\"tid\":0,";
+        if (event.kind == EventKind::BufferOccupancy) {
+            body += "\"args\":{\"occupancy\":";
+            appendInt(body, event.value);
+            body += '}';
+        } else {
+            body += args(event);
+        }
+        body += '}';
+        emit(body);
+    }
+    return first;
+}
+
+void
+writeChromeTraceHeader(std::ostream &out)
+{
+    out << "[\n";
+}
+
+void
+writeChromeTraceFooter(std::ostream &out)
+{
+    out << "\n]\n";
+}
+
+} // namespace obs
+} // namespace quetzal

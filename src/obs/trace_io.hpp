@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Trace serialization: JSONL (one event per line, for scripting and
+ * golden-trace tests) and Chrome trace_event JSON (load the file in
+ * chrome://tracing or https://ui.perfetto.dev to see the run on a
+ * timeline).
+ *
+ * Determinism contract: serialization is a pure function of the
+ * event stream. Doubles are printed with shortest-round-trip
+ * formatting (std::to_chars), integers in decimal, keys in a fixed
+ * order — so the same run produces the same bytes on every rerun and
+ * for every --jobs value. The JSONL reader inverts writeJsonl()
+ * exactly (same field table), which is what lets tools/trace_stat
+ * and the tests/obs cross-check reconstruct metrics from a file.
+ */
+
+#ifndef QUETZAL_OBS_TRACE_IO_HPP
+#define QUETZAL_OBS_TRACE_IO_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace quetzal {
+namespace obs {
+
+/** One line of a (possibly multi-run) JSONL trace. */
+struct TraceRecord
+{
+    std::uint64_t run = 0;
+    Event event;
+};
+
+/**
+ * Write one run's events as JSONL, one `{"run":N,"t":...}` object
+ * per line. Multi-run traces are written by calling this once per
+ * run, in run-index order.
+ */
+void writeJsonl(std::ostream &out, const std::vector<Event> &events,
+                std::uint64_t runIndex);
+
+/**
+ * Parse a JSONL trace (any number of runs). Lines must have been
+ * produced by writeJsonl(); calls util::fatal() on malformed input.
+ * Blank lines and `#` comment lines are skipped.
+ */
+std::vector<TraceRecord> readJsonl(std::istream &in);
+
+/**
+ * Write one run's events in Chrome trace_event JSON array format.
+ * Each run becomes one "process" (pid == run index): decision and
+ * lifecycle instants, job-duration slices, recharge slices, and a
+ * buffer-occupancy counter track.
+ *
+ * Open with writeChromeTraceHeader(), then call this once per run in
+ * run-index order, then close with writeChromeTraceFooter().
+ *
+ * @param first true when no event has been written to `out` yet
+ * @return the updated "still first" flag (false once any event was
+ *         written)
+ */
+bool writeChromeTrace(std::ostream &out, const std::vector<Event> &events,
+                      std::uint64_t runIndex, bool first);
+
+/** Open the trace_event JSON array. */
+void writeChromeTraceHeader(std::ostream &out);
+
+/** Close the JSON array opened by writeChromeTraceHeader(). */
+void writeChromeTraceFooter(std::ostream &out);
+
+} // namespace obs
+} // namespace quetzal
+
+#endif // QUETZAL_OBS_TRACE_IO_HPP

@@ -30,6 +30,19 @@ Simulator::processCapture(Tick now)
     else if (different)
         ++metrics.uninterestingCaptured;
 
+    if (cfg.observer != nullptr &&
+        cfg.observer->wants(obs::EventKind::Capture)) {
+        obs::Event obsEvent;
+        obsEvent.kind = obs::EventKind::Capture;
+        // The id this frame will get if it survives the diff filter.
+        obsEvent.id = different ? nextInputId : 0;
+        if (different)
+            obsEvent.flags |= obs::kFlagDifferent;
+        if (interesting)
+            obsEvent.flags |= obs::kFlagInteresting;
+        cfg.observer->record(obsEvent);
+    }
+
     // Capture + diff cost is paid for every frame.
     device.drawInstantaneous(appModel.camera.captureEnergy());
 
@@ -50,7 +63,8 @@ Simulator::processCapture(Tick now)
     record.jobId = appModel.classifyJob;
     record.interesting = interesting;
 
-    if (buffer.tryPush(record)) {
+    const bool stored = buffer.tryPush(record);
+    if (stored) {
         ++metrics.storedInputs;
     } else {
         if (interesting)
@@ -60,6 +74,20 @@ Simulator::processCapture(Tick now)
         if (cfg.debugLog) {
             *cfg.debugLog << "t=" << ticksToSeconds(now)
                 << " DROP interesting=" << interesting << "\n";
+        }
+    }
+
+    if (cfg.observer != nullptr) {
+        const obs::EventKind kind = stored ? obs::EventKind::InputStored
+                                           : obs::EventKind::InputDropped;
+        if (cfg.observer->wants(kind)) {
+            obs::Event obsEvent;
+            obsEvent.kind = kind;
+            obsEvent.id = record.id;
+            obsEvent.value = static_cast<std::int64_t>(buffer.size());
+            if (interesting)
+                obsEvent.flags |= obs::kFlagInteresting;
+            cfg.observer->record(obsEvent);
         }
     }
 }

@@ -23,18 +23,8 @@ EnsembleResult::printSummary(std::ostream &out,
 }
 
 EnsembleResult
-runEnsemble(const ExperimentConfig &config,
-            const std::vector<std::uint64_t> &seeds, unsigned jobs)
+aggregateEnsemble(const std::vector<Metrics> &metrics)
 {
-    if (seeds.empty())
-        util::fatal("ensemble needs at least one seed");
-
-    // Execution parallelizes over seeds; aggregation stays serial in
-    // seed-list order so the accumulated statistics are bit-identical
-    // for every jobs value (RunningStats is order-sensitive).
-    ParallelRunner runner(jobs);
-    const std::vector<Metrics> metrics = runner.runSeeds(config, seeds);
-
     EnsembleResult result;
     for (const Metrics &m : metrics) {
         result.discardedPct.add(m.interestingDiscardedPct());
@@ -48,6 +38,20 @@ runEnsemble(const ExperimentConfig &config,
         ++result.runs;
     }
     return result;
+}
+
+EnsembleResult
+runEnsemble(const ExperimentConfig &config,
+            const std::vector<std::uint64_t> &seeds, unsigned jobs)
+{
+    if (seeds.empty())
+        util::fatal("ensemble needs at least one seed");
+
+    // Execution parallelizes over seeds; aggregation stays serial in
+    // seed-list order so the accumulated statistics are bit-identical
+    // for every jobs value (RunningStats is order-sensitive).
+    ParallelRunner runner(jobs);
+    return aggregateEnsemble(runner.runSeeds(config, seeds));
 }
 
 EnsembleResult

@@ -37,6 +37,14 @@ struct EnsembleResult
 };
 
 /**
+ * Aggregate per-run metrics (in the given order — RunningStats is
+ * order-sensitive) into an ensemble summary. Callers that need the
+ * per-run Metrics too (CSV rows, trace sinks) run the engine
+ * themselves and aggregate with this.
+ */
+EnsembleResult aggregateEnsemble(const std::vector<Metrics> &metrics);
+
+/**
  * Run the configuration once per seed (config.seed is overridden by
  * each entry) and aggregate.
  *

@@ -213,6 +213,12 @@ runExperiment(const ExperimentConfig &config)
             simCfg.schedulerOverheadSeconds;
     }
 
+    obs::Recorder recorder(config.obsLevel, config.obsSink);
+    if (recorder.enabled()) {
+        simCfg.observer = &recorder;
+        controller->setObserver(&recorder);
+    }
+
     Simulator simulator(simCfg, deviceProfile, appModel, system,
                         *controller, watts, events);
     return simulator.run();

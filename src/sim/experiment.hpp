@@ -16,6 +16,7 @@
 
 #include "app/device_profiles.hpp"
 #include "energy/power_trace.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/metrics.hpp"
 #include "trace/event_generator.hpp"
 #include "util/types.hpp"
@@ -92,6 +93,20 @@ struct ExperimentConfig
     std::shared_ptr<const trace::EventTrace> sharedEvents;
     /** Pre-built harvested-power trace (see sharedEvents). */
     std::shared_ptr<const energy::PowerTrace> sharedPowerTrace;
+    /**
+     * Telemetry verbosity (DESIGN.md section 9). Off — the default —
+     * skips every recording branch; Counters..Full stream typed
+     * events into obsSink.
+     */
+    obs::ObsLevel obsLevel = obs::ObsLevel::Off;
+    /**
+     * Where events go when obsLevel != Off. The sink must outlive
+     * runExperiment() and is used from whichever thread runs the
+     * experiment — ensemble callers give every run its own sink (see
+     * obs::VectorSink) and serialize after the joins, keeping the hot
+     * path lock-free.
+     */
+    obs::TraceSink *obsSink = nullptr;
 };
 
 /** Build everything per the config, run, and return the metrics. */

@@ -82,7 +82,12 @@ Simulator::run()
     Tick nextCapture = cfg.capturePeriod;
     int zeroProgressStreak = 0;
 
+    obs::Recorder *const observer = cfg.observer;
+
     while (true) {
+        if (observer != nullptr)
+            observer->setTime(now);
+
         const bool capturing = now < horizon;
         if (!capturing) {
             const bool pendingWork = activeJob.has_value() ||
@@ -94,6 +99,15 @@ Simulator::run()
         if (capturing && now == nextCapture) {
             processCapture(now);
             nextCapture += cfg.capturePeriod;
+            if (observer != nullptr &&
+                observer->wants(obs::EventKind::BufferOccupancy)) {
+                obs::Event event;
+                event.kind = obs::EventKind::BufferOccupancy;
+                event.value = static_cast<std::int64_t>(buffer.size());
+                event.extra =
+                    static_cast<std::int64_t>(buffer.capacity());
+                observer->record(event);
+            }
         }
 
         if (!activeJob)
@@ -120,11 +134,36 @@ Simulator::run()
         }
         now = reached;
 
+        if (observer != nullptr) {
+            observer->setTime(now);
+            if (observer->enabled())
+                recordDeviceObs();
+        }
+
         if (hadTask && !device.taskActive() && activeJob) {
             onTaskFinished(now);
         } else if (!activeJob && buffer.empty() && !capturing) {
             break;
         }
+    }
+
+    // A job the horizon cut off still owes its prediction an outcome
+    // event (flagged unfinished) so traces keep the one-outcome-per-
+    // decision invariant.
+    if (observer != nullptr && activeJob &&
+        observer->wants(obs::EventKind::IboOutcome)) {
+        observer->setTime(now);
+        obs::Event event;
+        event.kind = obs::EventKind::IboOutcome;
+        event.id = activeJob->selection.decisionSeq;
+        event.value = static_cast<std::int64_t>(
+            totalDrops() - activeJob->dropsAtStart);
+        event.flags |= obs::kFlagUnfinished;
+        if (activeJob->selection.iboPredicted)
+            event.flags |= obs::kFlagIboPredicted;
+        if (event.value > 0)
+            event.flags |= obs::kFlagOverflowed;
+        observer->record(event);
     }
 
     accountLeftovers();
@@ -141,7 +180,51 @@ Simulator::run()
     metrics.iboPredictions = cs.iboPredictions;
     metrics.predictionErrorSeconds = cs.predictionError;
 
+    if (observer != nullptr && observer->enabled()) {
+        observer->setTime(now);
+        recordDeviceObs();
+        if (observer->wants(obs::EventKind::RunEnd)) {
+            obs::Event event;
+            event.kind = obs::EventKind::RunEnd;
+            event.id = metrics.eventsTotal;
+            event.value =
+                static_cast<std::int64_t>(metrics.interestingInputsNominal);
+            event.extra =
+                static_cast<std::int64_t>(metrics.unprocessedInteresting);
+            event.a = static_cast<double>(metrics.eventsInteresting);
+            event.b = static_cast<double>(metrics.simulatedTicks);
+            observer->record(event);
+        }
+    }
+
     return metrics;
+}
+
+void
+Simulator::recordDeviceObs()
+{
+    const DeviceStats &ds = device.stats();
+    obs::Recorder *const observer = cfg.observer;
+    if ((ds.powerFailures != obsDevice.powerFailures ||
+         ds.checkpointSaves != obsDevice.checkpointSaves) &&
+        observer->wants(obs::EventKind::PowerFailure)) {
+        obs::Event event;
+        event.kind = obs::EventKind::PowerFailure;
+        event.value = static_cast<std::int64_t>(
+            ds.powerFailures - obsDevice.powerFailures);
+        event.extra = static_cast<std::int64_t>(
+            ds.checkpointSaves - obsDevice.checkpointSaves);
+        observer->record(event);
+    }
+    if (ds.rechargeTicks != obsDevice.rechargeTicks &&
+        observer->wants(obs::EventKind::RechargeInterval)) {
+        obs::Event event;
+        event.kind = obs::EventKind::RechargeInterval;
+        event.value = static_cast<std::int64_t>(
+            ds.rechargeTicks - obsDevice.rechargeTicks);
+        observer->record(event);
+    }
+    obsDevice = ds;
 }
 
 void
@@ -172,6 +255,7 @@ Simulator::tryBeginJob(Tick now)
     job.selection = *selection;
     job.input = buffer.markInFlight(selection->bufferIndex);
     job.jobStart = now;
+    job.dropsAtStart = totalDrops();
     job.executed.assign(
         system.job(selection->jobId).tasks.size(), true);
     activeJob = std::move(job);
@@ -240,6 +324,17 @@ Simulator::onTaskFinished(Tick now)
     const double observed = ticksToSeconds(now - activeJob->taskStart);
     controller.onTaskComplete(system, taskId, optionIndex, observed);
 
+    if (cfg.observer != nullptr &&
+        cfg.observer->wants(obs::EventKind::TaskComplete)) {
+        obs::Event event;
+        event.kind = obs::EventKind::TaskComplete;
+        event.id = activeJob->selection.decisionSeq;
+        event.value = static_cast<std::int64_t>(taskId);
+        event.extra = static_cast<std::int64_t>(optionIndex);
+        event.a = observed;
+        cfg.observer->record(event);
+    }
+
     ++activeJob->taskPos;
     startNextTask(now);
 }
@@ -256,6 +351,10 @@ Simulator::finishJob(Tick now)
 
     const queueing::InputRecord &input = activeJob->input;
 
+    std::uint32_t jobFlags = 0;
+    if (input.interesting)
+        jobFlags |= obs::kFlagInteresting;
+
     if (job.id == appModel.classifyJob) {
         // Which option the (degradable) inference task ran at.
         std::size_t mlOption = 0;
@@ -265,6 +364,9 @@ Simulator::finishJob(Tick now)
         }
         const bool positive = appModel.classifyPositive(
             outcomeRng, mlOption, input.interesting);
+        jobFlags |= obs::kFlagClassify;
+        if (positive)
+            jobFlags |= obs::kFlagPositive;
         if (positive) {
             if (!input.interesting)
                 ++metrics.fpPositives;
@@ -289,6 +391,9 @@ Simulator::finishJob(Tick now)
                 radioOption = activeJob->selection.optionPerTask[i];
         }
         const bool highQuality = radioOption == 0;
+        jobFlags |= obs::kFlagTransmit;
+        if (highQuality)
+            jobFlags |= obs::kFlagHighQuality;
         if (input.interesting) {
             if (highQuality)
                 ++metrics.txInterestingHq;
@@ -304,6 +409,32 @@ Simulator::finishJob(Tick now)
     } else {
         // Unknown terminal job: the input leaves the system.
         buffer.release(input.id);
+    }
+
+    if (cfg.observer != nullptr) {
+        if (cfg.observer->wants(obs::EventKind::JobComplete)) {
+            obs::Event event;
+            event.kind = obs::EventKind::JobComplete;
+            event.id = input.id;
+            event.value = static_cast<std::int64_t>(job.id);
+            event.extra = static_cast<std::int64_t>(
+                activeJob->selection.decisionSeq);
+            event.a = observedJob;
+            event.flags = jobFlags;
+            cfg.observer->record(event);
+        }
+        if (cfg.observer->wants(obs::EventKind::IboOutcome)) {
+            obs::Event event;
+            event.kind = obs::EventKind::IboOutcome;
+            event.id = activeJob->selection.decisionSeq;
+            event.value = static_cast<std::int64_t>(
+                totalDrops() - activeJob->dropsAtStart);
+            if (activeJob->selection.iboPredicted)
+                event.flags |= obs::kFlagIboPredicted;
+            if (event.value > 0)
+                event.flags |= obs::kFlagOverflowed;
+            cfg.observer->record(event);
+        }
     }
 
     activeJob.reset();

@@ -26,6 +26,7 @@
 #include "app/application.hpp"
 #include "app/device_profiles.hpp"
 #include "core/runtime.hpp"
+#include "obs/trace_sink.hpp"
 #include "energy/power_trace.hpp"
 #include "queueing/input_buffer.hpp"
 #include "sim/device.hpp"
@@ -63,6 +64,13 @@ struct SimulationConfig
     double executionJitterSigma = 0.0;
     /** Optional diagnostic stream: one line per capture/selection. */
     std::ostream *debugLog = nullptr;
+    /**
+     * Optional telemetry recorder (must outlive the run). The
+     * simulator drives the recorder's run clock and emits lifecycle
+     * events; pair with Controller::setObserver() on the same
+     * recorder so decision events land in the same stream.
+     */
+    obs::Recorder *observer = nullptr;
 };
 
 /**
@@ -95,6 +103,8 @@ class Simulator
         Tick jobStart = 0;
         Tick taskStart = 0;
         std::vector<bool> executed;
+        /** IBO drop total when the job began (for outcome events). */
+        std::uint64_t dropsAtStart = 0;
     };
 
     void processCapture(Tick now);
@@ -103,6 +113,15 @@ class Simulator
     void onTaskFinished(Tick now);
     void finishJob(Tick now);
     void accountLeftovers();
+
+    /** IBO drops observed so far (both interestingness classes). */
+    std::uint64_t totalDrops() const
+    {
+        return metrics.iboDropsInteresting + metrics.iboDropsUninteresting;
+    }
+
+    /** Emit power-failure / recharge deltas since the last call. */
+    void recordDeviceObs();
 
     SimulationConfig cfg;
     const app::ApplicationModel &appModel;
@@ -121,6 +140,8 @@ class Simulator
     double overheadCarrySeconds = 0.0;
     std::uint64_t nextInputId = 1;
     util::Rng jitterRng;
+    /** Device-stats snapshot recordDeviceObs() diffs against. */
+    DeviceStats obsDevice;
 };
 
 } // namespace sim

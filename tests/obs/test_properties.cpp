@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Property-based tests over full experiment runs traced at
+ * ObsLevel::Full: the event stream must reconstruct the simulator's
+ * live metrics exactly, obey the app's conservation laws, pair every
+ * scheduling decision with exactly one observed IBO outcome, and be
+ * byte-deterministic across reruns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_io.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/experiment.hpp"
+#include "util/random.hpp"
+
+namespace quetzal {
+namespace obs {
+namespace {
+
+struct TracedRun
+{
+    sim::Metrics metrics;
+    std::vector<Event> events;
+};
+
+TracedRun
+runTraced(sim::ExperimentConfig config)
+{
+    VectorSink sink;
+    config.obsLevel = ObsLevel::Full;
+    config.obsSink = &sink;
+    TracedRun run;
+    run.metrics = sim::runExperiment(config);
+    run.events = sink.events();
+    return run;
+}
+
+/** A small, varied experiment; runs in a few milliseconds. */
+sim::ExperimentConfig
+randomConfig(util::Rng &rng)
+{
+    static const sim::ControllerKind kControllers[] = {
+        sim::ControllerKind::Quetzal,
+        sim::ControllerKind::QuetzalFcfs,
+        sim::ControllerKind::NoAdapt,
+        sim::ControllerKind::AlwaysDegrade,
+        sim::ControllerKind::CatNap,
+        sim::ControllerKind::Zgo,
+    };
+    sim::ExperimentConfig config;
+    config.controller = kControllers[rng.uniformInt(0, 5)];
+    config.environment = rng.bernoulli(0.5)
+        ? trace::EnvironmentPreset::Crowded
+        : trace::EnvironmentPreset::LessCrowded;
+    config.eventCount = static_cast<std::size_t>(rng.uniformInt(20, 60));
+    config.seed = static_cast<std::uint64_t>(rng.uniformInt(1, 100000));
+    config.bufferCapacity = static_cast<std::size_t>(rng.uniformInt(4, 12));
+    config.drainTicks = 60 * kTicksPerSecond;
+    if (rng.bernoulli(0.3))
+        config.executionJitterSigma = 0.2;
+    if (rng.bernoulli(0.3))
+        config.checkpointPolicy = app::CheckpointPolicy::Periodic;
+    return config;
+}
+
+MetricsRegistry
+replay(const std::vector<Event> &events)
+{
+    MetricsRegistry registry;
+    for (const Event &event : events)
+        registry.record(event);
+    return registry;
+}
+
+/** The replayed counters must match the live metrics field by field. */
+void
+expectCountersMatchMetrics(const MetricsRegistry &registry,
+                           const sim::Metrics &metrics)
+{
+    const ReplayCounters &c = registry.counters();
+    EXPECT_EQ(c.captures, metrics.captures);
+    EXPECT_EQ(c.interestingCaptured, metrics.interestingCaptured);
+    EXPECT_EQ(c.uninterestingCaptured, metrics.uninterestingCaptured);
+    EXPECT_EQ(c.storedInputs, metrics.storedInputs);
+    EXPECT_EQ(c.iboDropsInteresting, metrics.iboDropsInteresting);
+    EXPECT_EQ(c.iboDropsUninteresting, metrics.iboDropsUninteresting);
+    EXPECT_EQ(c.fnDiscards, metrics.fnDiscards);
+    EXPECT_EQ(c.fpPositives, metrics.fpPositives);
+    EXPECT_EQ(c.txInterestingHq, metrics.txInterestingHq);
+    EXPECT_EQ(c.txInterestingLq, metrics.txInterestingLq);
+    EXPECT_EQ(c.txUninterestingHq, metrics.txUninterestingHq);
+    EXPECT_EQ(c.txUninterestingLq, metrics.txUninterestingLq);
+    EXPECT_EQ(c.jobsCompleted, metrics.jobsCompleted);
+    EXPECT_EQ(c.degradedJobs, metrics.degradedJobs);
+    EXPECT_EQ(c.iboPredictions, metrics.iboPredictions);
+    EXPECT_EQ(c.powerFailures, metrics.powerFailures);
+    EXPECT_EQ(c.checkpointSaves, metrics.checkpointSaves);
+    EXPECT_EQ(c.rechargeTicks, metrics.rechargeTicks);
+    EXPECT_EQ(c.eventsTotal, metrics.eventsTotal);
+    EXPECT_EQ(c.eventsInteresting, metrics.eventsInteresting);
+    EXPECT_EQ(c.interestingInputsNominal,
+              metrics.interestingInputsNominal);
+    EXPECT_EQ(c.unprocessedInteresting, metrics.unprocessedInteresting);
+    EXPECT_EQ(c.simulatedTicks, metrics.simulatedTicks);
+
+    // The streaming distributions see the same samples the live
+    // RunningStats saw — same count, same exact doubles in the same
+    // order.
+    EXPECT_EQ(registry.serviceStats().count(),
+              metrics.jobServiceSeconds.count());
+    EXPECT_EQ(registry.serviceStats().mean(),
+              metrics.jobServiceSeconds.mean());
+    EXPECT_EQ(registry.predictionErrorStats().count(),
+              metrics.predictionErrorSeconds.count());
+    EXPECT_EQ(registry.predictionErrorStats().mean(),
+              metrics.predictionErrorSeconds.mean());
+}
+
+/** Structural laws any Full-level stream must obey. */
+void
+expectStreamLaws(const std::vector<Event> &events)
+{
+    ASSERT_FALSE(events.empty());
+
+    // Ticks never go backwards (simulated clock, not wall clock).
+    Tick previous = 0;
+    for (const Event &event : events) {
+        EXPECT_GE(event.tick, previous);
+        previous = event.tick;
+    }
+
+    // Exactly one RunEnd, and it is the final event.
+    std::uint64_t runEnds = 0;
+    for (const Event &event : events)
+        if (event.kind == EventKind::RunEnd)
+            ++runEnds;
+    EXPECT_EQ(runEnds, 1u);
+    EXPECT_EQ(events.back().kind, EventKind::RunEnd);
+
+    // Every scheduling decision observes exactly one IBO outcome,
+    // matched by decision sequence number — including decisions cut
+    // off by the horizon (flagged unfinished).
+    std::map<std::uint64_t, int> decisions;
+    std::map<std::uint64_t, int> outcomes;
+    std::uint64_t unfinished = 0;
+    std::uint64_t jobsDone = 0;
+    for (const Event &event : events) {
+        if (event.kind == EventKind::ScheduleDecision)
+            ++decisions[event.id];
+        else if (event.kind == EventKind::IboOutcome) {
+            ++outcomes[event.id];
+            if (event.flags & kFlagUnfinished)
+                ++unfinished;
+        } else if (event.kind == EventKind::JobComplete) {
+            ++jobsDone;
+        }
+    }
+    EXPECT_EQ(decisions.size(), outcomes.size());
+    for (const auto &entry : decisions) {
+        EXPECT_EQ(entry.second, 1) << "decision seq " << entry.first;
+        const auto it = outcomes.find(entry.first);
+        ASSERT_NE(it, outcomes.end()) << "decision seq " << entry.first
+                                      << " has no outcome";
+        EXPECT_EQ(it->second, 1) << "decision seq " << entry.first;
+    }
+    // A decision either completes its job or is cut by the horizon.
+    EXPECT_EQ(decisions.size(), jobsDone + unfinished);
+    EXPECT_LE(unfinished, 1u);
+}
+
+TEST(ObsProperties, RandomizedRunsReconstructAndObeyLaws)
+{
+    util::Rng rng(99);
+    for (int trial = 0; trial < 8; ++trial) {
+        SCOPED_TRACE(trial);
+        const sim::ExperimentConfig config = randomConfig(rng);
+        const TracedRun run = runTraced(config);
+        const MetricsRegistry registry = replay(run.events);
+
+        expectCountersMatchMetrics(registry, run.metrics);
+        expectStreamLaws(run.events);
+
+        const ReplayCounters &c = registry.counters();
+
+        // Histogram sample counts match event counts.
+        EXPECT_EQ(registry.eventCount(EventKind::Capture), c.captures);
+        EXPECT_EQ(registry.serviceStats().count(),
+                  registry.eventCount(EventKind::JobComplete));
+        EXPECT_EQ(registry.queueDepthStats().count(),
+                  registry.eventCount(EventKind::BufferOccupancy));
+        EXPECT_EQ(registry.eventCount(EventKind::BufferOccupancy),
+                  c.captures);
+        EXPECT_EQ(registry.predictionErrorStats().count(),
+                  registry.eventCount(EventKind::PidUpdate));
+        EXPECT_EQ(registry.pidOutputStats().count(),
+                  registry.eventCount(EventKind::PidUpdate));
+
+        // Conservation at the buffer: every "different" capture is
+        // either stored or dropped.
+        EXPECT_EQ(registry.eventCount(EventKind::InputStored) +
+                      registry.eventCount(EventKind::InputDropped),
+                  c.interestingCaptured + c.uninterestingCaptured);
+        EXPECT_EQ(registry.eventCount(EventKind::InputStored),
+                  c.storedInputs);
+
+        // Conservation of interesting inputs end to end: captured ==
+        // dropped + judged-negative + transmitted + left in buffer.
+        EXPECT_EQ(c.interestingCaptured,
+                  c.iboDropsInteresting + c.fnDiscards +
+                      c.txInterestingHq + c.txInterestingLq +
+                      c.unprocessedInteresting);
+
+        // Degradation counts sum to the degraded-job counter.
+        std::uint64_t degradedSum = 0;
+        for (const auto &entry : registry.degradationCounts())
+            degradedSum += entry.second;
+        EXPECT_EQ(degradedSum, c.degradedJobs);
+
+        // The IBO confusion matrix has one sample per decision.
+        EXPECT_EQ(registry.iboAccuracy().total(),
+                  registry.eventCount(EventKind::ScheduleDecision));
+
+        EXPECT_EQ(registry.eventCount(), run.events.size());
+        EXPECT_EQ(registry.lastTick(), run.events.back().tick);
+    }
+}
+
+TEST(ObsProperties, TracingDoesNotPerturbResults)
+{
+    util::Rng rng(123);
+    for (int trial = 0; trial < 4; ++trial) {
+        SCOPED_TRACE(trial);
+        const sim::ExperimentConfig config = randomConfig(rng);
+        const sim::Metrics untraced = sim::runExperiment(config);
+        const TracedRun traced = runTraced(config);
+        EXPECT_EQ(untraced.jobsCompleted, traced.metrics.jobsCompleted);
+        EXPECT_EQ(untraced.storedInputs, traced.metrics.storedInputs);
+        EXPECT_EQ(untraced.degradedJobs, traced.metrics.degradedJobs);
+        EXPECT_EQ(untraced.rechargeTicks, traced.metrics.rechargeTicks);
+        EXPECT_EQ(untraced.simulatedTicks,
+                  traced.metrics.simulatedTicks);
+        EXPECT_EQ(untraced.jobServiceSeconds.mean(),
+                  traced.metrics.jobServiceSeconds.mean());
+    }
+}
+
+TEST(ObsProperties, RerunsAreByteIdentical)
+{
+    util::Rng rng(7);
+    const sim::ExperimentConfig config = randomConfig(rng);
+    const TracedRun first = runTraced(config);
+    const TracedRun second = runTraced(config);
+
+    std::ostringstream a;
+    std::ostringstream b;
+    writeJsonl(a, first.events, 0);
+    writeJsonl(b, second.events, 0);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_FALSE(a.str().empty());
+}
+
+TEST(ObsProperties, LevelsAreMonotoneSubsets)
+{
+    // A lower level's stream is exactly the higher level's stream
+    // with the extra kinds filtered out — gating must not change
+    // what is recorded, only how much.
+    util::Rng rng(31);
+    const sim::ExperimentConfig base = randomConfig(rng);
+
+    auto runAt = [&](ObsLevel level) {
+        VectorSink sink;
+        sim::ExperimentConfig config = base;
+        config.obsLevel = level;
+        config.obsSink = &sink;
+        (void)sim::runExperiment(config);
+        return sink.events();
+    };
+
+    const std::vector<Event> counters = runAt(ObsLevel::Counters);
+    const std::vector<Event> decisions = runAt(ObsLevel::Decisions);
+    const std::vector<Event> full = runAt(ObsLevel::Full);
+
+    auto filterTo = [](const std::vector<Event> &events, ObsLevel level) {
+        std::vector<Event> kept;
+        for (const Event &event : events)
+            if (static_cast<int>(minLevel(event.kind)) <=
+                static_cast<int>(level))
+                kept.push_back(event);
+        return kept;
+    };
+
+    auto sameStream = [](const std::vector<Event> &a,
+                         const std::vector<Event> &b) {
+        std::ostringstream sa;
+        std::ostringstream sb;
+        writeJsonl(sa, a, 0);
+        writeJsonl(sb, b, 0);
+        return sa.str() == sb.str();
+    };
+
+    EXPECT_TRUE(sameStream(counters,
+                           filterTo(full, ObsLevel::Counters)));
+    EXPECT_TRUE(sameStream(decisions,
+                           filterTo(full, ObsLevel::Decisions)));
+    EXPECT_LT(counters.size(), decisions.size());
+    EXPECT_LT(decisions.size(), full.size());
+}
+
+} // namespace
+} // namespace obs
+} // namespace quetzal

@@ -14,6 +14,8 @@
  *               [--arrival-window N] [--task-window N]
  *               [--power-trace FILE.csv]
  *               [--ensemble N] [--jobs N]
+ *               [--trace-out FILE|-] [--trace-level LVL]
+ *               [--trace-format jsonl|chrome]
  *               [--no-pid] [--no-circuit] [--csv] [--csv-header]
  *
  * --ensemble N runs the configuration over seeds 1..N on the
@@ -22,21 +24,34 @@
  * aggregate summary or one CSV row per seed. Results are
  * bit-identical for every --jobs value.
  *
+ * --trace-out FILE streams the telemetry subsystem's typed event
+ * trace to FILE ("-" = stdout). --trace-level picks the verbosity
+ * (counters | decisions | full; default full) and --trace-format the
+ * encoding: jsonl (one event per line; feed to tools/trace_stat) or
+ * chrome (trace_event JSON; open in chrome://tracing or Perfetto).
+ * In ensemble mode every seed records into its own sink and the file
+ * contains one run per seed, keyed by run index in seed order — the
+ * bytes are identical for every --jobs value.
+ *
  * Examples:
  *   quetzal_sim --controller QZ --env crowded --events 1000
  *   quetzal_sim --controller THR --threshold 75 --csv
  *   quetzal_sim --controller QZ --ensemble 20 --jobs 8
  *   quetzal_sim --ensemble 20 --csv-header
+ *   quetzal_sim --events 200 --trace-out run.jsonl
+ *   quetzal_sim --events 200 --trace-format chrome --trace-out run.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include "obs/trace_io.hpp"
 #include "sim/ensemble.hpp"
 #include "sim/experiment.hpp"
 #include "sim/runner.hpp"
@@ -58,6 +73,9 @@ usage(const char *argv0)
                  "          [--arrival-window N] [--task-window N]\n"
                  "          [--power-trace FILE.csv]\n"
                  "          [--ensemble N] [--jobs N]\n"
+                 "          [--trace-out FILE|-] "
+                 "[--trace-level off|counters|decisions|full]\n"
+                 "          [--trace-format jsonl|chrome]\n"
                  "          [--no-pid] [--no-circuit] [--csv] "
                  "[--csv-header]\n",
                  argv0);
@@ -132,6 +150,34 @@ csvRow(const sim::ExperimentConfig &cfg, const std::string &environment,
         ticksToSeconds(m.rechargeTicks));
 }
 
+/** Serialize per-run sinks (in run-index order) to path or stdout. */
+void
+writeTraceOutput(const std::string &path, const std::string &format,
+                 const std::vector<obs::VectorSink> &sinks)
+{
+    std::ofstream file;
+    std::ostream *out = &std::cout;
+    if (path != "-") {
+        file.open(path, std::ios::binary);
+        if (!file)
+            util::fatal(util::msg("cannot open trace output: ", path));
+        out = &file;
+    }
+    if (format == "chrome") {
+        obs::writeChromeTraceHeader(*out);
+        bool first = true;
+        for (std::size_t i = 0; i < sinks.size(); ++i)
+            first = obs::writeChromeTrace(*out, sinks[i].events(), i,
+                                          first);
+        obs::writeChromeTraceFooter(*out);
+    } else {
+        for (std::size_t i = 0; i < sinks.size(); ++i)
+            obs::writeJsonl(*out, sinks[i].events(), i);
+    }
+    if (out == &file && !file)
+        util::fatal(util::msg("error writing trace output: ", path));
+}
+
 } // namespace
 
 int
@@ -143,6 +189,9 @@ main(int argc, char **argv)
     std::size_t ensembleRuns = 0;
     unsigned jobs = 0; // 0 = defaultJobs()
     std::string environment = "crowded";
+    std::string traceOut;
+    std::string traceFormat = "jsonl";
+    obs::ObsLevel traceLevel = obs::ObsLevel::Full;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -194,6 +243,19 @@ main(int argc, char **argv)
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(
                 std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--trace-out") {
+            traceOut = value();
+        } else if (arg == "--trace-level") {
+            const std::string name = value();
+            const auto level = obs::parseObsLevel(name);
+            if (!level)
+                util::fatal(util::msg("unknown trace level: ", name));
+            traceLevel = *level;
+        } else if (arg == "--trace-format") {
+            traceFormat = value();
+            if (traceFormat != "jsonl" && traceFormat != "chrome")
+                util::fatal(util::msg("unknown trace format: ",
+                                      traceFormat));
         } else if (arg == "--no-pid") {
             cfg.usePid = false;
         } else if (arg == "--no-circuit") {
@@ -211,29 +273,51 @@ main(int argc, char **argv)
         }
     }
 
+    const bool tracing = !traceOut.empty() &&
+        traceLevel != obs::ObsLevel::Off;
+
     if (ensembleRuns > 0) {
         // Seeds 1..N on the parallel engine. Per-seed CSV rows print
         // in seed order; the summary aggregates in seed order — both
-        // independent of --jobs.
+        // independent of --jobs. When tracing, every seed records
+        // into its own sink (no locks on the hot path) and the sinks
+        // are serialized in seed order after the joins.
         std::vector<std::uint64_t> seeds(ensembleRuns);
         std::iota(seeds.begin(), seeds.end(), 1);
+        std::vector<obs::VectorSink> sinks(tracing ? ensembleRuns : 0);
+        std::vector<sim::ExperimentConfig> configs;
+        configs.reserve(ensembleRuns);
+        for (std::size_t i = 0; i < ensembleRuns; ++i) {
+            sim::ExperimentConfig seedCfg = cfg;
+            seedCfg.seed = seeds[i];
+            if (tracing) {
+                seedCfg.obsLevel = traceLevel;
+                seedCfg.obsSink = &sinks[i];
+            }
+            configs.push_back(std::move(seedCfg));
+        }
+
+        sim::ParallelRunner runner(jobs);
+        const std::vector<sim::Metrics> all = runner.runMany(configs);
+
         if (csv) {
             if (header)
                 csvHeader();
-            sim::ParallelRunner runner(jobs);
-            const std::vector<sim::Metrics> all =
-                runner.runSeeds(cfg, seeds);
-            for (std::size_t i = 0; i < all.size(); ++i) {
-                sim::ExperimentConfig seedCfg = cfg;
-                seedCfg.seed = seeds[i];
-                csvRow(seedCfg, environment, all[i]);
-            }
+            for (std::size_t i = 0; i < all.size(); ++i)
+                csvRow(configs[i], environment, all[i]);
         } else {
-            const sim::EnsembleResult r =
-                sim::runEnsemble(cfg, seeds, jobs);
-            r.printSummary(std::cout, sim::experimentLabel(cfg));
+            sim::aggregateEnsemble(all).printSummary(
+                std::cout, sim::experimentLabel(cfg));
         }
+        if (tracing)
+            writeTraceOutput(traceOut, traceFormat, sinks);
         return 0;
+    }
+
+    std::vector<obs::VectorSink> sinks(tracing ? 1 : 0);
+    if (tracing) {
+        cfg.obsLevel = traceLevel;
+        cfg.obsSink = &sinks[0];
     }
 
     const sim::Metrics m = sim::runExperiment(cfg);
@@ -245,5 +329,7 @@ main(int argc, char **argv)
     } else {
         m.printReport(std::cout, sim::experimentLabel(cfg));
     }
+    if (tracing)
+        writeTraceOutput(traceOut, traceFormat, sinks);
     return 0;
 }
