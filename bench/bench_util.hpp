@@ -1,12 +1,13 @@
 /**
  * @file
  * Shared helpers for the figure-reproduction benchmarks: consistent
- * row formatting, the ratio arithmetic the paper reports, and the
- * parallel fan-out every driver uses. Each driver builds its full
- * list of experiment configurations up front, runs them on the
- * shared ParallelRunner (worker count from QUETZAL_JOBS, default
- * hardware concurrency), then prints from the in-order results —
- * output is bit-identical to the old serial drivers.
+ * row formatting (forwarding to the sim/metrics table printers the
+ * scenario engine also uses), the ratio arithmetic the paper
+ * reports, and the parallel fan-out every driver uses. Each driver
+ * builds its full batch of experiment configurations up front, runs
+ * it on the shared ParallelRunner (worker count from QUETZAL_JOBS,
+ * default hardware concurrency), then prints from the in-order
+ * results — output is bit-identical to the old serial drivers.
  */
 
 #ifndef QUETZAL_BENCH_BENCH_UTIL_HPP
@@ -34,46 +35,28 @@ banner(const std::string &title)
 inline void
 discardHeader()
 {
-    std::printf("%-12s %10s %8s %8s %8s %8s %8s %6s\n", "system",
-                "disc-total%", "ibo%", "fn%", "txI-HQ", "txI-LQ",
-                "txU", "HQ%");
+    sim::printDiscardTableHeader();
 }
 
 /** One row of the standard discard/report table. */
 inline void
 discardRow(const std::string &label, const sim::Metrics &m)
 {
-    std::printf("%-12s %10.2f %8.2f %8.2f %8llu %8llu %8llu %6.1f\n",
-                label.c_str(), m.interestingDiscardedPct(),
-                m.iboDiscardedPct(), m.fnDiscardedPct(),
-                static_cast<unsigned long long>(m.txInterestingHq),
-                static_cast<unsigned long long>(m.txInterestingLq),
-                static_cast<unsigned long long>(m.txUninterestingHq +
-                                                m.txUninterestingLq),
-                100.0 * m.highQualityShare());
+    sim::printDiscardTableRow(label, m);
 }
 
 /** "A discards Nx fewer than B" ratio with zero protection. */
 inline double
 discardRatio(const sim::Metrics &baseline, const sim::Metrics &quetzal)
 {
-    const double b =
-        static_cast<double>(baseline.interestingDiscardedTotal());
-    const double q = static_cast<double>(
-        std::max<std::uint64_t>(quetzal.interestingDiscardedTotal(), 1));
-    return b / q;
+    return sim::discardRatio(baseline, quetzal);
 }
 
 /** IBO-only discard ratio. */
 inline double
 iboRatio(const sim::Metrics &baseline, const sim::Metrics &quetzal)
 {
-    const double b = static_cast<double>(
-        baseline.iboDropsInteresting + baseline.unprocessedInteresting);
-    const double q = static_cast<double>(std::max<std::uint64_t>(
-        quetzal.iboDropsInteresting + quetzal.unprocessedInteresting,
-        1));
-    return b / q;
+    return sim::iboRatio(baseline, quetzal);
 }
 
 /** The process-wide experiment runner used by the figure drivers.
@@ -90,7 +73,7 @@ runner()
 inline std::vector<sim::Metrics>
 runConfigs(std::vector<sim::ExperimentConfig> configs)
 {
-    return runner().runMany(std::move(configs));
+    return runner().runBatch(std::move(configs));
 }
 
 /** Standard figure configuration (Table 1 defaults). */

@@ -29,7 +29,7 @@ main()
         sim::ExperimentConfig cfg =
             bench::makeConfig(sim::ControllerKind::NoAdapt,
                               trace::EnvironmentPreset::Crowded);
-        cfg.capturePeriod = periodSeconds * kTicksPerSecond;
+        cfg.sim.capturePeriod = periodSeconds * kTicksPerSecond;
         configs.push_back(cfg);
     }
     const std::vector<sim::Metrics> results =

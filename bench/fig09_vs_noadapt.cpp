@@ -3,66 +3,27 @@
  * Figure 9: Quetzal vs NoAdapt, AlwaysDegrade and the infinite-memory
  * Ideal across the three sensing environments (1000 events).
  *
+ * The whole figure — populations, sweep, table and comparison lines —
+ * lives declaratively in scenarios/fig09.json; this driver just runs
+ * it through the scenario engine (same engine as
+ * `quetzal-sim --scenario scenarios/fig09.json`). Output is
+ * byte-identical to the historical hand-written driver.
+ *
  * Paper results: QZ discards 2.9x/3.5x/4.2x fewer than NA (IBO-only:
  * 5.7x/8.1x/16.6x), 2.2x/3.1x/4.2x fewer than AD, reports 92-98 % of
  * the infinite-memory baseline, and sends 49.6-69.1 % of transmitted
  * interesting inputs at high quality.
  */
 
-#include "bench_util.hpp"
+#include "scenario/engine.hpp"
+
+#ifndef QUETZAL_SCENARIO_DIR
+#error "build must define QUETZAL_SCENARIO_DIR"
+#endif
 
 int
 main()
 {
-    using namespace quetzal;
-    using sim::ControllerKind;
-
-    bench::banner("Figure 9: QZ vs NA / AD / Ideal (1000 events, "
-                  "Apollo 4, buffer=10)");
-
-    const auto environments = {trace::EnvironmentPreset::MoreCrowded,
-                               trace::EnvironmentPreset::Crowded,
-                               trace::EnvironmentPreset::LessCrowded};
-    const auto kinds = {ControllerKind::Ideal, ControllerKind::NoAdapt,
-                        ControllerKind::AlwaysDegrade,
-                        ControllerKind::Quetzal};
-
-    // Fan the whole grid out on the parallel engine, then print from
-    // the in-order results.
-    std::vector<sim::ExperimentConfig> configs;
-    for (const auto env : environments)
-        for (const auto kind : kinds)
-            configs.push_back(bench::makeConfig(kind, env));
-    const std::vector<sim::Metrics> results =
-        bench::runConfigs(std::move(configs));
-
-    std::size_t next = 0;
-    for (const auto env : environments) {
-        std::printf("\n-- environment: %s --\n",
-                    trace::environmentName(env).c_str());
-        bench::discardHeader();
-        const sim::Metrics &ideal = results[next++];
-        const sim::Metrics &na = results[next++];
-        const sim::Metrics &ad = results[next++];
-        const sim::Metrics &qz = results[next++];
-        bench::discardRow("Ideal", ideal);
-        bench::discardRow("NA", na);
-        bench::discardRow("AD", ad);
-        bench::discardRow("QZ", qz);
-
-        std::printf(
-            "QZ vs NA: %.1fx total, %.1fx IBO-only (paper: "
-            "2.9-4.2x / 5.7-16.6x)\n",
-            bench::discardRatio(na, qz), bench::iboRatio(na, qz));
-        std::printf("QZ vs AD: %.1fx total (paper: 2.2-4.2x)\n",
-                    bench::discardRatio(ad, qz));
-        std::printf(
-            "QZ reports %.0f%% of Ideal (paper: 92-98%%), HQ share "
-            "%.0f%% (paper: 49.6-69.1%%)\n",
-            100.0 * static_cast<double>(qz.txInterestingTotal()) /
-                static_cast<double>(std::max<std::uint64_t>(
-                    ideal.txInterestingTotal(), 1)),
-            100.0 * qz.highQualityShare());
-    }
-    return 0;
+    return quetzal::scenario::runScenarioFile(
+        QUETZAL_SCENARIO_DIR "/fig09.json");
 }

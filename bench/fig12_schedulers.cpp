@@ -5,57 +5,25 @@
  * Energy-aware SJF (the paper's Alg. 1), FCFS, LCFS and the
  * power-blind Avg. S_e2e estimator.
  *
+ * The figure is declaratively described by scenarios/fig12.json and
+ * executed by the scenario engine (same path as
+ * `quetzal-sim --scenario scenarios/fig12.json`); output is
+ * byte-identical to the historical hand-written driver.
+ *
  * Paper results: EA-SJF discards 1.8x/2.3x/3x fewer than FCFS,
  * 1.5x/2x/2.7x fewer than LCFS, and 2.2x/3.1x/4.2x fewer than
  * Avg. S_e2e.
  */
 
-#include "bench_util.hpp"
+#include "scenario/engine.hpp"
+
+#ifndef QUETZAL_SCENARIO_DIR
+#error "build must define QUETZAL_SCENARIO_DIR"
+#endif
 
 int
 main()
 {
-    using namespace quetzal;
-    using sim::ControllerKind;
-
-    bench::banner("Figure 12: scheduling policies with the IBO engine "
-                  "(1000 events, Apollo 4)");
-
-    const auto environments = {trace::EnvironmentPreset::MoreCrowded,
-                               trace::EnvironmentPreset::Crowded,
-                               trace::EnvironmentPreset::LessCrowded};
-    const auto kinds = {ControllerKind::Quetzal,
-                        ControllerKind::QuetzalFcfs,
-                        ControllerKind::QuetzalLcfs,
-                        ControllerKind::QuetzalAvgSe2e};
-
-    std::vector<sim::ExperimentConfig> configs;
-    for (const auto env : environments)
-        for (const auto kind : kinds)
-            configs.push_back(bench::makeConfig(kind, env));
-    const std::vector<sim::Metrics> results =
-        bench::runConfigs(std::move(configs));
-
-    std::size_t next = 0;
-    for (const auto env : environments) {
-        std::printf("\n-- environment: %s --\n",
-                    trace::environmentName(env).c_str());
-        bench::discardHeader();
-        const sim::Metrics &sjf = results[next++];
-        const sim::Metrics &fcfs = results[next++];
-        const sim::Metrics &lcfs = results[next++];
-        const sim::Metrics &avg = results[next++];
-        bench::discardRow("EA-SJF", sjf);
-        bench::discardRow("FCFS", fcfs);
-        bench::discardRow("LCFS", lcfs);
-        bench::discardRow("Avg-Se2e", avg);
-
-        std::printf("EA-SJF vs FCFS: %.1fx (paper: 1.8-3x), vs LCFS: "
-                    "%.1fx (paper: 1.5-2.7x), vs Avg-Se2e: %.1fx "
-                    "(paper: 2.2-4.2x)\n",
-                    bench::discardRatio(fcfs, sjf),
-                    bench::discardRatio(lcfs, sjf),
-                    bench::discardRatio(avg, sjf));
-    }
-    return 0;
+    return quetzal::scenario::runScenarioFile(
+        QUETZAL_SCENARIO_DIR "/fig12.json");
 }

@@ -26,11 +26,11 @@ configWith(int cells, std::uint32_t arrivalWindow,
     cfg.eventCount = 1000;
     cfg.controller = sim::ControllerKind::Quetzal;
     cfg.harvesterCells = cells;
-    cfg.arrivalWindow = arrivalWindow;
-    cfg.taskWindow = taskWindow;
+    cfg.system.arrivalWindow = arrivalWindow;
+    cfg.system.taskWindow = taskWindow;
     cfg.usePid = usePid;
     cfg.useCircuit = useCircuit;
-    cfg.executionJitterSigma = jitter;
+    cfg.sim.executionJitterSigma = jitter;
     return cfg;
 }
 

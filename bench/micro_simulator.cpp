@@ -151,7 +151,7 @@ main(int argc, char **argv)
         sim::ParallelRunner serialRunner(1);
         const auto tracedStart = clock::now();
         const std::vector<sim::Metrics> tracedMetrics =
-            serialRunner.runMany(configs);
+            serialRunner.runBatch(configs);
         const auto tracedEnd = clock::now();
         assertIdentical(serial, sim::aggregateEnsemble(tracedMetrics));
         tracedNs = nsPerRun(tracedStart, tracedEnd, runs);

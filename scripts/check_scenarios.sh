@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Run every committed scenario file through the scenario engine at a
+# reduced event count and fail on validation errors or any output
+# difference between serial and parallel execution. This is the
+# cheap, always-on version of the determinism contract the figure
+# drivers rely on: byte-identical output for every --jobs value.
+#
+# Usage: scripts/check_scenarios.sh [quetzal-sim] [scenario-dir]
+#   quetzal-sim   path to the CLI (default build/tools/quetzal-sim)
+#   scenario-dir  directory of *.json scenarios (default scenarios/)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SIM="${1:-build/tools/quetzal-sim}"
+DIR="${2:-scenarios}"
+EVENTS="${CHECK_SCENARIOS_EVENTS:-50}"
+
+if [ ! -x "$SIM" ]; then
+    echo "check_scenarios: simulator not found at $SIM" >&2
+    echo "  build it first: cmake --build build --target quetzal_sim_cli" >&2
+    exit 1
+fi
+
+shopt -s nullglob
+files=("$DIR"/*.json)
+if [ ${#files[@]} -eq 0 ]; then
+    echo "check_scenarios: no scenario files in $DIR" >&2
+    exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+status=0
+for file in "${files[@]}"; do
+    name="$(basename "$file")"
+
+    if ! "$SIM" --scenario "$file" --validate >/dev/null; then
+        echo "check_scenarios: FAIL $name (validation)" >&2
+        status=1
+        continue
+    fi
+
+    if ! "$SIM" --scenario "$file" --events "$EVENTS" --jobs 1 \
+            >"$tmp/serial.out"; then
+        echo "check_scenarios: FAIL $name (run, --jobs 1)" >&2
+        status=1
+        continue
+    fi
+    if ! "$SIM" --scenario "$file" --events "$EVENTS" --jobs 4 \
+            >"$tmp/parallel.out"; then
+        echo "check_scenarios: FAIL $name (run, --jobs 4)" >&2
+        status=1
+        continue
+    fi
+
+    if ! diff -u "$tmp/serial.out" "$tmp/parallel.out"; then
+        echo "check_scenarios: FAIL $name (nondeterministic output" \
+             "across --jobs 1 vs --jobs 4)" >&2
+        status=1
+        continue
+    fi
+
+    echo "check_scenarios: OK $name ($EVENTS events)"
+done
+
+if [ $status -ne 0 ]; then
+    echo "check_scenarios: FAILED" >&2
+    exit $status
+fi
+echo "check_scenarios: all scenarios OK"

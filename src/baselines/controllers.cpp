@@ -79,7 +79,7 @@ schedulerKindName(SchedulerKind kind)
 
 std::unique_ptr<core::Controller>
 makeQuetzalVariantController(SchedulerKind kind, bool useCircuit,
-                             bool usePid)
+                             bool usePid, const core::PidConfig &pid)
 {
     std::unique_ptr<core::SchedulerPolicy> policy;
     std::unique_ptr<core::ServiceTimeEstimator> estimator;
@@ -113,8 +113,7 @@ makeQuetzalVariantController(SchedulerKind kind, bool useCircuit,
         util::msg("Quetzal(", schedulerKindName(kind), ")"),
         std::move(policy), std::make_unique<core::IboReactionEngine>(),
         std::move(estimator),
-        usePid ? std::optional<core::PidConfig>(core::PidConfig{})
-               : std::nullopt);
+        usePid ? std::optional<core::PidConfig>(pid) : std::nullopt);
 }
 
 } // namespace baselines

@@ -53,10 +53,13 @@ std::string schedulerKindName(SchedulerKind kind);
 /**
  * A Quetzal system (IBO engine + PID) with a swapped scheduling
  * policy / estimator — the configurations of Figure 12.
+ * @param pid gains/limits for the section 4.3 loop (ignored when
+ *        usePid is false); defaults to the paper's Table 1 values
  */
 std::unique_ptr<core::Controller>
 makeQuetzalVariantController(SchedulerKind kind, bool useCircuit = true,
-                             bool usePid = true);
+                             bool usePid = true,
+                             const core::PidConfig &pid = {});
 
 } // namespace baselines
 } // namespace quetzal

@@ -289,7 +289,44 @@ assignField(Event &event, Field field, const std::string &text,
     util::panic("unknown trace field");
 }
 
+/** Header-comment prefix carrying the trace schema version. */
+const char kSchemaPrefix[] = "# quetzal-trace schema_version=";
+
+/**
+ * Parse and check a schema_version header line. The major version
+ * must match the reader's; an unknown major is a clean fatal (the
+ * file needs a newer/older tool, not a parser guess).
+ */
+void
+checkSchemaHeader(const std::string &line, std::size_t lineNumber)
+{
+    const std::string version =
+        line.substr(sizeof(kSchemaPrefix) - 1);
+    int major = 0;
+    const auto result = std::from_chars(
+        version.data(), version.data() + version.size(), major);
+    if (result.ec != std::errc() || result.ptr == version.data() ||
+        (result.ptr != version.data() + version.size() &&
+         *result.ptr != '.'))
+        util::fatal(util::msg("trace line ", lineNumber,
+                              ": malformed schema_version header: ",
+                              line));
+    if (major != kTraceSchemaMajor)
+        util::fatal(util::msg(
+            "trace line ", lineNumber, ": unsupported trace schema_",
+            "version ", version, " (this reader supports major ",
+            kTraceSchemaMajor, ".x); regenerate the trace or use a ",
+            "matching quetzal build"));
+}
+
 } // namespace
+
+void
+writeJsonlHeader(std::ostream &out)
+{
+    out << kSchemaPrefix << kTraceSchemaMajor << '.'
+        << kTraceSchemaMinor << '\n';
+}
 
 void
 writeJsonl(std::ostream &out, const std::vector<Event> &events,
@@ -331,6 +368,10 @@ readJsonl(std::istream &in)
     std::size_t lineNumber = 0;
     while (std::getline(in, line)) {
         ++lineNumber;
+        if (line.rfind(kSchemaPrefix, 0) == 0) {
+            checkSchemaHeader(line, lineNumber);
+            continue;
+        }
         if (line.empty() || line[0] == '#')
             continue;
 

@@ -34,9 +34,27 @@ struct TraceRecord
 };
 
 /**
+ * @name Trace schema version
+ * Every JSONL trace file starts with a header comment line
+ * (`# quetzal-trace schema_version=MAJOR.MINOR`). The major version
+ * bumps on breaking changes to the event vocabulary or field tables;
+ * the minor version on backward-compatible additions. readJsonl()
+ * rejects files whose header declares a different major version, and
+ * accepts headerless files (pre-versioning traces) for backward
+ * compatibility.
+ */
+/// @{
+inline constexpr int kTraceSchemaMajor = 1;
+inline constexpr int kTraceSchemaMinor = 0;
+
+/** Write the schema_version header line (once, before any events). */
+void writeJsonlHeader(std::ostream &out);
+/// @}
+
+/**
  * Write one run's events as JSONL, one `{"run":N,"t":...}` object
- * per line. Multi-run traces are written by calling this once per
- * run, in run-index order.
+ * per line. Multi-run traces are written by calling writeJsonlHeader()
+ * once and then this once per run, in run-index order.
  */
 void writeJsonl(std::ostream &out, const std::vector<Event> &events,
                 std::uint64_t runIndex);

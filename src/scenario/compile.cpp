@@ -1,0 +1,126 @@
+#include "scenario/compile.hpp"
+
+#include <utility>
+
+namespace quetzal {
+namespace scenario {
+
+namespace {
+
+/** Axis-value index combination -> CellInfo + per-field values. */
+struct Cell
+{
+    CellInfo info;
+    /** One (field, value) pair per axis, in axis order. */
+    std::vector<std::pair<std::string, const json::Value *>> values;
+};
+
+std::vector<Cell>
+expandCells(const ScenarioSpec &spec)
+{
+    std::vector<Cell> cells;
+    if (spec.axes.empty()) {
+        cells.emplace_back();
+        return cells;
+    }
+
+    if (spec.mode == SweepMode::Zip) {
+        const std::size_t length = spec.axes.front().values.size();
+        for (std::size_t k = 0; k < length; ++k) {
+            Cell cell;
+            for (const SweepAxis &axis : spec.axes) {
+                cell.values.emplace_back(axis.field,
+                                         &axis.values[k]);
+                cell.info.axisLabels.push_back(
+                    axis.field + ": " +
+                    fields::fieldLabel(axis.field, axis.values[k]));
+            }
+            cells.push_back(std::move(cell));
+        }
+    } else {
+        // Cross product, first axis outermost: odometer over the
+        // per-axis indices with the last axis spinning fastest.
+        std::vector<std::size_t> index(spec.axes.size(), 0);
+        while (true) {
+            Cell cell;
+            for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+                const SweepAxis &axis = spec.axes[a];
+                const json::Value &value = axis.values[index[a]];
+                cell.values.emplace_back(axis.field, &value);
+                cell.info.axisLabels.push_back(
+                    axis.field + ": " +
+                    fields::fieldLabel(axis.field, value));
+            }
+            cells.push_back(std::move(cell));
+
+            std::size_t a = spec.axes.size();
+            while (a > 0) {
+                --a;
+                if (++index[a] < spec.axes[a].values.size())
+                    break;
+                index[a] = 0;
+                if (a == 0)
+                    return cells;
+            }
+        }
+    }
+    return cells;
+}
+
+} // namespace
+
+Expected<ScenarioPlan>
+compileScenario(const ScenarioSpec &spec, const CompileOptions &options)
+{
+    Expected<ScenarioPlan> result;
+    result.errors = validateSpec(spec);
+    if (!result.errors.empty())
+        return result;
+
+    ScenarioPlan plan;
+    plan.spec = spec;
+    plan.populationCount = spec.populations.size();
+
+    std::vector<Cell> cells = expandCells(spec);
+    plan.cells.reserve(cells.size());
+    plan.runs.reserve(cells.size() * plan.populationCount);
+
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        Cell &cell = cells[c];
+        std::string label;
+        for (const std::string &fragment : cell.info.axisLabels) {
+            if (!label.empty())
+                label += ", ";
+            label += fragment;
+        }
+        cell.info.label = std::move(label);
+        plan.cells.push_back(cell.info);
+
+        for (std::size_t p = 0; p < spec.populations.size(); ++p) {
+            const PopulationSpec &population = spec.populations[p];
+            RunSpec run;
+            run.cellIndex = c;
+            run.populationIndex = p;
+            run.population = population.name;
+
+            for (const Override &override : spec.defaults)
+                fields::applyField(override.field, override.value,
+                                   run.config);
+            for (const auto &[field, value] : cell.values)
+                fields::applyField(field, *value, run.config);
+            for (const Override &override : population.overrides)
+                fields::applyField(override.field, override.value,
+                                   run.config);
+            if (options.eventCountOverride != 0)
+                run.config.eventCount = options.eventCountOverride;
+
+            plan.runs.push_back(std::move(run));
+        }
+    }
+
+    result.value = std::move(plan);
+    return result;
+}
+
+} // namespace scenario
+} // namespace quetzal

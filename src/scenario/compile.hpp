@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Compile a validated ScenarioSpec into an executable plan: one
+ * ExperimentConfig per (sweep cell, population) pair, plus the
+ * display labels the output writers need.
+ *
+ * Determinism contract: run order is sweep cells outer (first axis
+ * outermost in cross mode), populations inner — the same nesting
+ * the figure drivers historically used — and the order is a pure
+ * function of the spec, so the engine's output is bit-identical for
+ * every --jobs value.
+ *
+ * Field application order per run: spec defaults, then the cell's
+ * axis values, then the population's overrides. Populations cannot
+ * override a swept field (validateSpec rejects the shadowing), so
+ * the order is unambiguous.
+ */
+
+#ifndef QUETZAL_SCENARIO_COMPILE_HPP
+#define QUETZAL_SCENARIO_COMPILE_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "sim/experiment.hpp"
+
+namespace quetzal {
+namespace scenario {
+
+/** One sweep cell (a combination of axis values). */
+struct CellInfo
+{
+    /** Per-axis "field: Label" fragments, in axis order. */
+    std::vector<std::string> axisLabels;
+    /** Section header text: the fragments joined with ", ". Empty
+     *  when the scenario has no sweep axes. */
+    std::string label;
+};
+
+/** One concrete run of the plan. */
+struct RunSpec
+{
+    std::size_t cellIndex = 0;
+    std::size_t populationIndex = 0;
+    std::string population;  ///< population name
+    sim::ExperimentConfig config;
+};
+
+/** Everything the engine needs to execute a scenario. */
+struct ScenarioPlan
+{
+    ScenarioSpec spec;
+    std::vector<CellInfo> cells;
+    std::size_t populationCount = 0;
+    /** Cells outer, populations inner:
+     *  runs[cell * populationCount + population]. */
+    std::vector<RunSpec> runs;
+};
+
+/** Compile-time knobs (CLI overrides). */
+struct CompileOptions
+{
+    /** Override every run's eventCount; 0 = use the scenario's
+     *  values (scripts/check_scenarios.sh runs reduced counts). */
+    std::size_t eventCountOverride = 0;
+};
+
+/**
+ * Expand the spec into its run matrix. The spec is expected to have
+ * passed validateSpec(); compile re-runs it and reports the errors
+ * instead of crashing when handed an invalid spec.
+ */
+Expected<ScenarioPlan> compileScenario(const ScenarioSpec &spec,
+                                       const CompileOptions &options =
+                                           {});
+
+} // namespace scenario
+} // namespace quetzal
+
+#endif // QUETZAL_SCENARIO_COMPILE_HPP

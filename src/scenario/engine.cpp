@@ -1,0 +1,348 @@
+#include "scenario/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_io.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/ensemble.hpp"
+#include "sim/runner.hpp"
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace scenario {
+
+namespace {
+
+/** Metrics of one cell's populations, by population index. */
+const sim::Metrics &
+metricsFor(const ScenarioPlan &plan,
+           const std::vector<sim::Metrics> &results, std::size_t cell,
+           std::size_t population)
+{
+    return results[cell * plan.populationCount + population];
+}
+
+std::size_t
+populationIndex(const ScenarioPlan &plan, const std::string &name)
+{
+    for (std::size_t i = 0; i < plan.spec.populations.size(); ++i) {
+        if (plan.spec.populations[i].name == name)
+            return i;
+    }
+    util::panic(util::msg("unvalidated population reference: ", name));
+}
+
+double
+evalTerm(const ScenarioPlan &plan,
+         const std::vector<sim::Metrics> &results, std::size_t cell,
+         const ReportTerm &term)
+{
+    const sim::Metrics &subject = metricsFor(
+        plan, results, cell, populationIndex(plan, term.subject));
+    if (term.metric == "hq_share_pct")
+        return 100.0 * subject.highQualityShare();
+    const sim::Metrics &baseline = metricsFor(
+        plan, results, cell, populationIndex(plan, term.baseline));
+    if (term.metric == "discard_ratio")
+        return sim::discardRatio(baseline, subject);
+    if (term.metric == "ibo_ratio")
+        return sim::iboRatio(baseline, subject);
+    if (term.metric == "tx_share_pct")
+        return 100.0 *
+            static_cast<double>(subject.txInterestingTotal()) /
+            static_cast<double>(std::max<std::uint64_t>(
+                baseline.txInterestingTotal(), 1));
+    util::panic(util::msg("unvalidated report metric: ", term.metric));
+}
+
+/**
+ * Render a validated report format string: literal text plus one
+ * %...f conversion per value (and %% escapes), exactly what
+ * countFormatConversions() accepted.
+ */
+std::string
+renderLine(const std::string &format, const std::vector<double> &values)
+{
+    std::string out;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < format.size(); ++i) {
+        if (format[i] != '%') {
+            out += format[i];
+            continue;
+        }
+        if (format[i + 1] == '%') {
+            out += '%';
+            ++i;
+            continue;
+        }
+        std::size_t j = i + 1;
+        while (format[j] != 'f')
+            ++j;
+        const std::string conversion = format.substr(i, j - i + 1);
+        char buf[64];
+        std::snprintf(buf, sizeof buf, conversion.c_str(),
+                      values[next++]);
+        out += buf;
+        i = j;
+    }
+    return out;
+}
+
+void
+printCellHeader(const CellInfo &cell)
+{
+    if (!cell.label.empty())
+        std::printf("\n-- %s --\n", cell.label.c_str());
+}
+
+void
+printReport(const ScenarioPlan &plan,
+            const std::vector<sim::Metrics> &results)
+{
+    const ReportSpec &report = plan.spec.report;
+    std::printf("\n=== %s ===\n", report.banner.c_str());
+    for (std::size_t c = 0; c < plan.cells.size(); ++c) {
+        printCellHeader(plan.cells[c]);
+        sim::printDiscardTableHeader();
+        for (const std::string &row : report.rows)
+            sim::printDiscardTableRow(
+                row,
+                metricsFor(plan, results, c,
+                           populationIndex(plan, row)));
+        for (const ReportLine &line : report.lines) {
+            std::vector<double> values;
+            values.reserve(line.terms.size());
+            for (const ReportTerm &term : line.terms)
+                values.push_back(evalTerm(plan, results, c, term));
+            const std::string text = renderLine(line.format, values);
+            std::printf("%s\n", text.c_str());
+        }
+    }
+}
+
+void
+printSummary(const ScenarioPlan &plan,
+             const std::vector<sim::Metrics> &results)
+{
+    std::printf("scenario: %s (%zu runs)\n",
+                plan.spec.name.empty() ? "(unnamed)"
+                                       : plan.spec.name.c_str(),
+                plan.runs.size());
+    for (std::size_t c = 0; c < plan.cells.size(); ++c) {
+        printCellHeader(plan.cells[c]);
+        sim::printDiscardTableHeader();
+        for (std::size_t p = 0; p < plan.populationCount; ++p)
+            sim::printDiscardTableRow(
+                plan.spec.populations[p].name,
+                metricsFor(plan, results, c, p));
+    }
+}
+
+void
+writeCsv(const ScenarioPlan &plan,
+         const std::vector<sim::Metrics> &results)
+{
+    const std::string &path = plan.spec.output.csvPath;
+    FILE *out = stdout;
+    if (path != "-") {
+        out = std::fopen(path.c_str(), "wb");
+        if (out == nullptr)
+            util::fatal(util::msg("cannot open csv output: ", path));
+    }
+    std::fprintf(out,
+                 "scenario,cell,population,controller,events,seed,"
+                 "nominal_interesting,discarded_total,discarded_pct,"
+                 "ibo_interesting,fn_discards,tx_interesting_hq,"
+                 "tx_interesting_lq,hq_share,jobs,degraded_jobs,"
+                 "power_failures\n");
+    for (const RunSpec &run : plan.runs) {
+        const sim::Metrics &m =
+            results[run.cellIndex * plan.populationCount +
+                    run.populationIndex];
+        std::fprintf(
+            out,
+            "%s,%s,%s,%s,%zu,%llu,%llu,%llu,%.4f,%llu,%llu,%llu,"
+            "%llu,%.4f,%llu,%llu,%llu\n",
+            plan.spec.name.c_str(),
+            plan.cells[run.cellIndex].label.c_str(),
+            run.population.c_str(),
+            sim::experimentLabel(run.config).c_str(),
+            run.config.eventCount,
+            static_cast<unsigned long long>(run.config.seed),
+            static_cast<unsigned long long>(
+                m.interestingInputsNominal),
+            static_cast<unsigned long long>(
+                m.interestingDiscardedTotal()),
+            m.interestingDiscardedPct(),
+            static_cast<unsigned long long>(m.iboDropsInteresting +
+                                            m.unprocessedInteresting),
+            static_cast<unsigned long long>(m.fnDiscards),
+            static_cast<unsigned long long>(m.txInterestingHq),
+            static_cast<unsigned long long>(m.txInterestingLq),
+            m.highQualityShare(),
+            static_cast<unsigned long long>(m.jobsCompleted),
+            static_cast<unsigned long long>(m.degradedJobs),
+            static_cast<unsigned long long>(m.powerFailures));
+    }
+    if (out != stdout)
+        std::fclose(out);
+}
+
+void
+writeTrace(const ScenarioPlan &plan,
+           const std::vector<obs::VectorSink> &sinks)
+{
+    const TraceOutputSpec &trace = *plan.spec.output.trace;
+    std::ofstream file;
+    std::ostream *out = &std::cout;
+    if (trace.path != "-") {
+        file.open(trace.path, std::ios::binary);
+        if (!file)
+            util::fatal(
+                util::msg("cannot open trace output: ", trace.path));
+        out = &file;
+    }
+    if (trace.format == "chrome") {
+        obs::writeChromeTraceHeader(*out);
+        bool first = true;
+        for (std::size_t i = 0; i < sinks.size(); ++i)
+            first = obs::writeChromeTrace(*out, sinks[i].events(), i,
+                                          first);
+        obs::writeChromeTraceFooter(*out);
+    } else {
+        obs::writeJsonlHeader(*out);
+        for (std::size_t i = 0; i < sinks.size(); ++i)
+            obs::writeJsonl(*out, sinks[i].events(), i);
+    }
+    if (out == &file && !file)
+        util::fatal(
+            util::msg("error writing trace output: ", trace.path));
+}
+
+void
+printRollup(const ScenarioPlan &plan,
+            const std::vector<sim::Metrics> &results,
+            const std::vector<obs::VectorSink> &sinks)
+{
+    // Fleet-wide registry: every run's event stream, in run order.
+    obs::MetricsRegistry fleet;
+    for (const obs::VectorSink &sink : sinks) {
+        for (const obs::Event &event : sink.events())
+            fleet.record(event);
+    }
+    fleet.printSummary(std::cout, "fleet");
+
+    // Per-population ensemble statistics, in population order; each
+    // population's runs aggregate in cell order.
+    for (std::size_t p = 0; p < plan.populationCount; ++p) {
+        std::vector<sim::Metrics> populationMetrics;
+        populationMetrics.reserve(plan.cells.size());
+        for (std::size_t c = 0; c < plan.cells.size(); ++c)
+            populationMetrics.push_back(
+                metricsFor(plan, results, c, p));
+        sim::aggregateEnsemble(populationMetrics)
+            .printSummary(std::cout,
+                          plan.spec.populations[p].name);
+    }
+}
+
+} // namespace
+
+std::vector<sim::Metrics>
+runPlan(const ScenarioPlan &plan, const EngineOptions &options)
+{
+    const OutputSpec &output = plan.spec.output;
+    const bool tracing = output.trace.has_value() &&
+        output.trace->level != obs::ObsLevel::Off;
+
+    // Telemetry level: the trace request's, raised to Counters when
+    // the rollup needs event streams; Off otherwise (zero overhead).
+    obs::ObsLevel level = obs::ObsLevel::Off;
+    if (tracing)
+        level = output.trace->level;
+    if (output.rollup && level < obs::ObsLevel::Counters)
+        level = obs::ObsLevel::Counters;
+
+    std::vector<obs::VectorSink> sinks(
+        level != obs::ObsLevel::Off ? plan.runs.size() : 0);
+
+    std::vector<sim::ExperimentConfig> configs;
+    configs.reserve(plan.runs.size());
+    for (std::size_t i = 0; i < plan.runs.size(); ++i) {
+        sim::ExperimentConfig config = plan.runs[i].config;
+        if (options.eventCountOverride != 0)
+            config.eventCount = options.eventCountOverride;
+        if (!sinks.empty()) {
+            config.obsLevel = level;
+            config.obsSink = &sinks[i];
+        }
+        configs.push_back(std::move(config));
+    }
+
+    sim::ParallelRunner runner(options.jobs);
+    const std::vector<sim::Metrics> results = runner.runBatch(configs);
+
+    // Output writers run serially, in a fixed order, over in-order
+    // results: report/summary first (stdout), then CSV, traces and
+    // the rollup.
+    if (plan.spec.report.enabled)
+        printReport(plan, results);
+    const bool wantsSummary = output.summary ||
+        (!plan.spec.report.enabled && output.csvPath.empty() &&
+         !tracing && !output.rollup);
+    if (wantsSummary)
+        printSummary(plan, results);
+    if (!output.csvPath.empty())
+        writeCsv(plan, results);
+    if (tracing)
+        writeTrace(plan, sinks);
+    if (output.rollup)
+        printRollup(plan, results, sinks);
+    return results;
+}
+
+int
+runScenarioFile(const std::string &path, const EngineOptions &options)
+{
+    const auto reportErrors = [&](const std::vector<SpecError> &errors,
+                                  const char *stage) {
+        std::fprintf(stderr, "%s: invalid scenario (%s):\n",
+                     path.c_str(), stage);
+        for (const SpecError &error : errors)
+            std::fprintf(stderr, "  %s\n", error.describe().c_str());
+        return 1;
+    };
+
+    Expected<ScenarioSpec> spec = loadScenarioFile(path);
+    if (!spec.ok())
+        return reportErrors(spec.errors, "validation");
+
+    CompileOptions compileOptions;
+    compileOptions.eventCountOverride = options.eventCountOverride;
+    Expected<ScenarioPlan> plan =
+        compileScenario(*spec.value, compileOptions);
+    if (!plan.ok())
+        return reportErrors(plan.errors, "compilation");
+
+    if (options.validateOnly) {
+        std::printf("%s: OK — %zu cells x %zu populations = %zu "
+                    "runs\n",
+                    path.c_str(), plan.value->cells.size(),
+                    plan.value->populationCount,
+                    plan.value->runs.size());
+        return 0;
+    }
+
+    (void)runPlan(*plan.value, options);
+    return 0;
+}
+
+} // namespace scenario
+} // namespace quetzal

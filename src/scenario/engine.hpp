@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Scenario execution engine: run a compiled ScenarioPlan on the
+ * parallel experiment engine and produce the outputs the spec
+ * requests — figure-style report, per-run metrics table, CSV rows,
+ * JSONL/Chrome event traces, and the aggregate fleet rollup.
+ *
+ * Every output is written serially, in run order, from the in-order
+ * results of sim::ParallelRunner::runBatch(), so all of them are
+ * bit-identical for every jobs value. The report writer uses the
+ * same sim/metrics table printers as the bench drivers, which is
+ * what lets scenarios/fig09.json and scenarios/fig12.json reproduce
+ * the historical figure output byte-for-byte.
+ */
+
+#ifndef QUETZAL_SCENARIO_ENGINE_HPP
+#define QUETZAL_SCENARIO_ENGINE_HPP
+
+#include <string>
+#include <vector>
+
+#include "scenario/compile.hpp"
+#include "sim/metrics.hpp"
+
+namespace quetzal {
+namespace scenario {
+
+/** Engine knobs (CLI flags). */
+struct EngineOptions
+{
+    /** Worker threads; 0 = sim::defaultJobs() (QUETZAL_JOBS). */
+    unsigned jobs = 0;
+    /** Override every run's eventCount; 0 = scenario values. */
+    std::size_t eventCountOverride = 0;
+    /** Compile + validate only; don't run (quetzal_sim --validate). */
+    bool validateOnly = false;
+};
+
+/**
+ * Execute a compiled plan and write the spec's outputs (report /
+ * summary to stdout, CSV and traces to their configured paths).
+ * Returns the per-run metrics in run order.
+ */
+std::vector<sim::Metrics> runPlan(const ScenarioPlan &plan,
+                                  const EngineOptions &options = {});
+
+/**
+ * Load, validate, compile and run a scenario file. Validation
+ * problems are printed to stderr, one line per error with the JSON
+ * field path, and the function returns 1 without running anything —
+ * invalid input never crashes and never runs a partial fleet.
+ * Returns 0 on success (also in --validate mode, which prints a
+ * one-line plan summary instead of running).
+ */
+int runScenarioFile(const std::string &path,
+                    const EngineOptions &options = {});
+
+} // namespace scenario
+} // namespace quetzal
+
+#endif // QUETZAL_SCENARIO_ENGINE_HPP

@@ -55,13 +55,6 @@ runEnsemble(const ExperimentConfig &config,
 }
 
 EnsembleResult
-runEnsemble(const ExperimentConfig &config,
-            const std::vector<std::uint64_t> &seeds)
-{
-    return runEnsemble(config, seeds, 1);
-}
-
-EnsembleResult
 runEnsemble(const ExperimentConfig &config, std::size_t runs,
             unsigned jobs)
 {

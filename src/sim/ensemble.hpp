@@ -45,22 +45,18 @@ struct EnsembleResult
 EnsembleResult aggregateEnsemble(const std::vector<Metrics> &metrics);
 
 /**
- * Run the configuration once per seed (config.seed is overridden by
- * each entry) and aggregate.
+ * Run a seed ensemble (ParallelRunner::runSeeds vocabulary: one base
+ * configuration, config.seed overridden by each entry) and aggregate.
  *
  * Runs execute on the parallel experiment engine (sim::ParallelRunner)
  * with `jobs` worker threads (0 = defaultJobs(), which honors the
- * QUETZAL_JOBS environment variable). Aggregation always happens
- * serially in seed-list order, so the result is bit-identical for
- * every jobs value, including jobs=1.
+ * QUETZAL_JOBS environment variable; default 1 = serial). Aggregation
+ * always happens serially in seed-list order, so the result is
+ * bit-identical for every jobs value, including jobs=1.
  */
 EnsembleResult runEnsemble(const ExperimentConfig &config,
                            const std::vector<std::uint64_t> &seeds,
-                           unsigned jobs);
-
-/** Serial-compatible overload: single-threaded execution. */
-EnsembleResult runEnsemble(const ExperimentConfig &config,
-                           const std::vector<std::uint64_t> &seeds);
+                           unsigned jobs = 1);
 
 /** Convenience: seeds 1..runs. */
 EnsembleResult runEnsemble(const ExperimentConfig &config,

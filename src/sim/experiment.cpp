@@ -42,16 +42,18 @@ buildController(const ExperimentConfig &cfg,
     switch (cfg.controller) {
       case ControllerKind::Quetzal:
         return baselines::makeQuetzalVariantController(
-            SchedulerKind::EnergyAwareSjf, cfg.useCircuit, cfg.usePid);
+            SchedulerKind::EnergyAwareSjf, cfg.useCircuit, cfg.usePid,
+            cfg.pid);
       case ControllerKind::QuetzalFcfs:
         return baselines::makeQuetzalVariantController(
-            SchedulerKind::Fcfs, cfg.useCircuit, cfg.usePid);
+            SchedulerKind::Fcfs, cfg.useCircuit, cfg.usePid, cfg.pid);
       case ControllerKind::QuetzalLcfs:
         return baselines::makeQuetzalVariantController(
-            SchedulerKind::Lcfs, cfg.useCircuit, cfg.usePid);
+            SchedulerKind::Lcfs, cfg.useCircuit, cfg.usePid, cfg.pid);
       case ControllerKind::QuetzalAvgSe2e:
         return baselines::makeQuetzalVariantController(
-            SchedulerKind::AvgSe2e, cfg.useCircuit, cfg.usePid);
+            SchedulerKind::AvgSe2e, cfg.useCircuit, cfg.usePid,
+            cfg.pid);
       case ControllerKind::NoAdapt:
       case ControllerKind::Ideal:
         return baselines::makeNoAdaptController();
@@ -129,7 +131,7 @@ buildPowerTrace(const ExperimentConfig &config,
                                   config.powerTraceCsv));
         return energy::PowerTrace::readCsv(in);
     }
-    const Tick horizon = events.endTime() + config.drainTicks +
+    const Tick horizon = events.endTime() + config.sim.drainTicks +
         kTicksPerSecond;
     energy::HarvesterConfig harvesterCfg;
     harvesterCfg.cellCount = config.harvesterCells;
@@ -170,11 +172,9 @@ runExperiment(const ExperimentConfig &config)
     deviceProfile.checkpoint.periodicInterval =
         config.checkpointIntervalTicks;
 
-    core::SystemConfig systemCfg;
-    systemCfg.taskWindow = config.taskWindow;
-    systemCfg.arrivalWindow = config.arrivalWindow;
+    core::SystemConfig systemCfg = config.system;
     systemCfg.captureHz = static_cast<double>(kTicksPerSecond) /
-        static_cast<double>(config.capturePeriod);
+        static_cast<double>(config.sim.capturePeriod);
     core::TaskSystem system(systemCfg);
     const app::ApplicationModel appModel =
         app::buildPersonDetectionApp(system, deviceProfile);
@@ -183,15 +183,16 @@ runExperiment(const ExperimentConfig &config)
     auto controller = buildController(config, harvester, watts);
 
     // --- Simulation -----------------------------------------------------
-    SimulationConfig simCfg;
-    simCfg.capturePeriod = config.capturePeriod;
-    simCfg.bufferCapacity = config.bufferCapacity;
+    // Start from the caller's run-level knobs and derive the rest
+    // (these derived fields are documented as ignored on input).
+    SimulationConfig simCfg = config.sim;
     simCfg.infiniteBuffer = config.controller == ControllerKind::Ideal;
     simCfg.drainToEmpty = simCfg.infiniteBuffer;
-    simCfg.drainTicks = config.drainTicks;
     simCfg.outcomeSeed = config.seed ^ 0xc0ffee5ull;
     simCfg.schedulerPower = deviceProfile.mcu.activePower;
-    simCfg.executionJitterSigma = config.executionJitterSigma;
+    simCfg.schedulerOverheadSeconds = 0.0;
+    simCfg.schedulerOverheadEnergy = 0.0;
+    simCfg.observer = nullptr;
 
     if (isQuetzalVariant(config.controller)) {
         // Charge the modeled invocation cost of Alg. 1 + Alg. 2 on

@@ -15,9 +15,12 @@
 #include <string>
 
 #include "app/device_profiles.hpp"
+#include "core/pid.hpp"
+#include "core/system.hpp"
 #include "energy/power_trace.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
 #include "trace/event_generator.hpp"
 #include "util/types.hpp"
 
@@ -42,7 +45,16 @@ enum class ControllerKind {
 /** Short display name ("QZ", "NA", ...) matching the paper's bars. */
 std::string controllerKindName(ControllerKind kind);
 
-/** Full experiment description (paper Table 1 defaults). */
+/**
+ * Full experiment description (paper Table 1 defaults).
+ *
+ * Composes the subsystem configs instead of mirroring their fields:
+ * run-level knobs (capture period, buffer capacity, drain window,
+ * execution jitter) live in `sim`, tracker windows in `system`.
+ * runExperiment() derives the remaining fields of those sub-configs
+ * from the experiment description (see their doc comments); values
+ * set on a derived field are ignored.
+ */
 struct ExperimentConfig
 {
     app::DeviceKind device = app::DeviceKind::Apollo4;
@@ -50,17 +62,28 @@ struct ExperimentConfig
         trace::EnvironmentPreset::Crowded;
     std::size_t eventCount = 1000;  ///< 1000 sim / 100 "hardware"
     std::uint64_t seed = 42;
-    std::size_t bufferCapacity = 10;
-    Tick capturePeriod = 1000;      ///< 1 FPS
     int harvesterCells = 6;
-    std::uint32_t taskWindow = 64;
-    std::uint32_t arrivalWindow = 256;
     ControllerKind controller = ControllerKind::Quetzal;
     double bufferThreshold = 0.5;        ///< for BufferThreshold
     double powerThresholdFraction = 0.35; ///< for ZGO / ZGI
     bool usePid = true;    ///< section 4.3 loop (Quetzal variants)
     bool useCircuit = true; ///< Alg. 3 codes vs exact float power
-    Tick drainTicks = 600 * kTicksPerSecond;
+    /** PID gains/limits for Quetzal variants when usePid is set. */
+    core::PidConfig pid;
+    /**
+     * Run-level simulation knobs. Respected fields: capturePeriod,
+     * bufferCapacity, drainTicks, executionJitterSigma, debugLog.
+     * The rest (infiniteBuffer, drainToEmpty, outcomeSeed, scheduler
+     * overheads/power, observer) are derived per run by
+     * runExperiment() and ignored here.
+     */
+    SimulationConfig sim;
+    /**
+     * Tracker windows + measurement circuit. Respected fields:
+     * taskWindow, arrivalWindow, circuit. captureHz is derived from
+     * sim.capturePeriod and ignored here.
+     */
+    core::SystemConfig system;
     /**
      * Optional harvested-power CSV ("time_seconds,watts") replayed
      * instead of the synthetic solar model — the paper's methodology
@@ -69,13 +92,6 @@ struct ExperimentConfig
      * replayed traces (the file is already electrical power).
      */
     std::string powerTraceCsv;
-    /**
-     * Multiplicative execution-time jitter (log-normal sigma) applied
-     * per task execution. 0 = the paper's consistent-cost assumption
-     * (section 5.2); >0 exercises the future-work regime of variable
-     * execution costs, where the PID loop earns its keep.
-     */
-    double executionJitterSigma = 0.0;
     /** Intermittent checkpointing policy (DESIGN.md section 7). */
     app::CheckpointPolicy checkpointPolicy =
         app::CheckpointPolicy::JustInTime;

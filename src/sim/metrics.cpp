@@ -1,5 +1,7 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <ostream>
 
 namespace quetzal {
@@ -94,6 +96,48 @@ Metrics::printReport(std::ostream &out, const std::string &label) const
         << ticksToSeconds(simulatedTicks) << " s\n"
         << "  scheduler overhead: " << schedulerOverheadSeconds
         << " s, " << schedulerOverheadEnergy << " J\n";
+}
+
+void
+printDiscardTableHeader()
+{
+    std::printf("%-12s %10s %8s %8s %8s %8s %8s %6s\n", "system",
+                "disc-total%", "ibo%", "fn%", "txI-HQ", "txI-LQ",
+                "txU", "HQ%");
+}
+
+void
+printDiscardTableRow(const std::string &label, const Metrics &m)
+{
+    std::printf("%-12s %10.2f %8.2f %8.2f %8llu %8llu %8llu %6.1f\n",
+                label.c_str(), m.interestingDiscardedPct(),
+                m.iboDiscardedPct(), m.fnDiscardedPct(),
+                static_cast<unsigned long long>(m.txInterestingHq),
+                static_cast<unsigned long long>(m.txInterestingLq),
+                static_cast<unsigned long long>(m.txUninterestingHq +
+                                                m.txUninterestingLq),
+                100.0 * m.highQualityShare());
+}
+
+double
+discardRatio(const Metrics &baseline, const Metrics &quetzal)
+{
+    const double b =
+        static_cast<double>(baseline.interestingDiscardedTotal());
+    const double q = static_cast<double>(
+        std::max<std::uint64_t>(quetzal.interestingDiscardedTotal(), 1));
+    return b / q;
+}
+
+double
+iboRatio(const Metrics &baseline, const Metrics &quetzal)
+{
+    const double b = static_cast<double>(
+        baseline.iboDropsInteresting + baseline.unprocessedInteresting);
+    const double q = static_cast<double>(std::max<std::uint64_t>(
+        quetzal.iboDropsInteresting + quetzal.unprocessedInteresting,
+        1));
+    return b / q;
 }
 
 } // namespace sim

@@ -103,6 +103,25 @@ struct Metrics
     void printReport(std::ostream &out, const std::string &label) const;
 };
 
+/** @name Standard discard/report table (figures 9-13)
+ *  Shared by the bench drivers and the scenario engine so both paths
+ *  print byte-identical tables. Output goes to stdout (printf
+ *  formatting, matching the historical bench output).
+ */
+/// @{
+/** Header row of the standard discard/report table. */
+void printDiscardTableHeader();
+
+/** One row of the standard discard/report table. */
+void printDiscardTableRow(const std::string &label, const Metrics &m);
+
+/** "A discards Nx fewer than B" ratio with zero protection. */
+double discardRatio(const Metrics &baseline, const Metrics &quetzal);
+
+/** IBO-only discard ratio (IBO drops + unprocessed leftovers). */
+double iboRatio(const Metrics &baseline, const Metrics &quetzal);
+/// @}
+
 } // namespace sim
 } // namespace quetzal
 

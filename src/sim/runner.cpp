@@ -21,7 +21,7 @@ traceKey(const ExperimentConfig &cfg)
 {
     return util::msg(static_cast<int>(cfg.environment), '|',
                      cfg.eventCount, '|', cfg.seed, '|',
-                     cfg.harvesterCells, '|', cfg.drainTicks, '|',
+                     cfg.harvesterCells, '|', cfg.sim.drainTicks, '|',
                      cfg.powerTraceCsv);
 }
 
@@ -80,7 +80,7 @@ ParallelRunner::ParallelRunner(unsigned jobs)
 }
 
 std::vector<Metrics>
-ParallelRunner::runMany(std::vector<ExperimentConfig> configs)
+ParallelRunner::runBatch(std::vector<ExperimentConfig> configs)
 {
     for (ExperimentConfig &config : configs)
         cache.prepare(config);
@@ -133,7 +133,7 @@ ParallelRunner::runSeeds(const ExperimentConfig &config,
         cfg.sharedPowerTrace.reset();
         configs.push_back(std::move(cfg));
     }
-    return runMany(std::move(configs));
+    return runBatch(std::move(configs));
 }
 
 } // namespace sim

@@ -78,6 +78,11 @@ class TraceCache
  * the next config index from an atomic counter and write the result
  * into its submission slot, so the output vector is independent of
  * scheduling order.
+ *
+ * Submission vocabulary (shared with sim/ensemble.hpp): a *batch* is
+ * an explicit vector of configurations run in submission order; a
+ * *seed ensemble* is one base configuration repeated over a seed
+ * list. `jobs` always means worker threads (0 = defaultJobs()).
  */
 class ParallelRunner
 {
@@ -89,19 +94,25 @@ class ParallelRunner
     unsigned jobs() const { return jobCount; }
 
     /**
-     * Run every configuration and return metrics in submission
-     * order. Trace parameters shared between configs are built once
-     * via the runner's TraceCache.
+     * Run a batch: every configuration executes once and metrics
+     * come back in submission order. Trace parameters shared between
+     * configs are built once via the runner's TraceCache.
      */
-    std::vector<Metrics> runMany(std::vector<ExperimentConfig> configs);
+    std::vector<Metrics> runBatch(std::vector<ExperimentConfig> batch);
 
     /**
-     * Convenience: run one base configuration once per seed
-     * (overriding config.seed) and return per-seed metrics in seed
-     * order.
+     * Run a seed ensemble: the base configuration once per seed
+     * (overriding config.seed), metrics in seed-list order.
      */
     std::vector<Metrics> runSeeds(const ExperimentConfig &config,
                                   const std::vector<std::uint64_t> &seeds);
+
+    /** @deprecated old name for runBatch(). */
+    [[deprecated("use runBatch()")]]
+    std::vector<Metrics> runMany(std::vector<ExperimentConfig> configs)
+    {
+        return runBatch(std::move(configs));
+    }
 
   private:
     unsigned jobCount;

@@ -98,7 +98,7 @@ TEST(Experiments, CapturePeriodReducesCaptures)
 {
     auto cfg = baseConfig(ControllerKind::NoAdapt);
     const Metrics fast = runExperiment(cfg);
-    cfg.capturePeriod = 5000;
+    cfg.sim.capturePeriod = 5000;
     const Metrics slow = runExperiment(cfg);
     EXPECT_LT(slow.captures, fast.captures / 4);
     EXPECT_GT(slow.interestingMissedAtCapture(), 0u);

@@ -112,7 +112,7 @@ TEST(ExecutionJitter, RunsAndChangesOutcomes)
 {
     auto cfg = baseConfig();
     const Metrics steady = runExperiment(cfg);
-    cfg.executionJitterSigma = 0.4;
+    cfg.sim.executionJitterSigma = 0.4;
     const Metrics jittered = runExperiment(cfg);
     EXPECT_GT(jittered.jobsCompleted, 0u);
     // Observed service times now deviate from profiles.
@@ -124,7 +124,7 @@ TEST(ExecutionJitter, PredictionErrorGrowsWithJitter)
 {
     auto cfg = baseConfig();
     const Metrics steady = runExperiment(cfg);
-    cfg.executionJitterSigma = 0.5;
+    cfg.sim.executionJitterSigma = 0.5;
     const Metrics jittered = runExperiment(cfg);
     EXPECT_GT(jittered.predictionErrorSeconds.stddev(),
               steady.predictionErrorSeconds.stddev());
@@ -135,7 +135,7 @@ TEST(ExecutionJitter, SystemStaysEffectiveUnderJitter)
     // Even with heavily variable execution costs, Quetzal should
     // still beat NoAdapt clearly (robustness, not just calibration).
     auto cfg = baseConfig();
-    cfg.executionJitterSigma = 0.3;
+    cfg.sim.executionJitterSigma = 0.3;
     const Metrics qz = runExperiment(cfg);
     cfg.controller = ControllerKind::NoAdapt;
     const Metrics na = runExperiment(cfg);

@@ -178,7 +178,7 @@ TEST(Fig2bShape, LowerCaptureRatesMissEvents)
         cfg.environment = trace::EnvironmentPreset::Crowded;
         cfg.eventCount = 200;
         cfg.controller = ControllerKind::NoAdapt;
-        cfg.capturePeriod = period;
+        cfg.sim.capturePeriod = period;
         const Metrics m = runExperiment(cfg);
         EXPECT_GE(m.interestingMissedAtCapture(), previousMissed);
         previousMissed = m.interestingMissedAtCapture();

@@ -40,16 +40,16 @@ randomConfig(util::Rng &rng)
                                     : app::DeviceKind::Apollo4;
     cfg.eventCount = static_cast<std::size_t>(rng.uniformInt(20, 80));
     cfg.seed = static_cast<std::uint64_t>(rng.uniformInt(1, 1 << 20));
-    cfg.bufferCapacity =
+    cfg.sim.bufferCapacity =
         static_cast<std::size_t>(rng.uniformInt(2, 24));
     cfg.harvesterCells = static_cast<int>(rng.uniformInt(1, 12));
-    cfg.capturePeriod = rng.uniformInt(1, 4) * 1000;
+    cfg.sim.capturePeriod = rng.uniformInt(1, 4) * 1000;
     cfg.bufferThreshold = rng.uniform(0.05, 1.0);
-    cfg.taskWindow = 1u << rng.uniformInt(3, 8);
-    cfg.arrivalWindow = 1u << rng.uniformInt(4, 9);
+    cfg.system.taskWindow = 1u << rng.uniformInt(3, 8);
+    cfg.system.arrivalWindow = 1u << rng.uniformInt(4, 9);
     cfg.usePid = rng.bernoulli(0.8);
     cfg.useCircuit = rng.bernoulli(0.8);
-    cfg.executionJitterSigma = rng.bernoulli(0.3) ? 0.2 : 0.0;
+    cfg.sim.executionJitterSigma = rng.bernoulli(0.3) ? 0.2 : 0.0;
     if (rng.bernoulli(0.3)) {
         cfg.checkpointPolicy = app::CheckpointPolicy::Periodic;
         cfg.checkpointIntervalTicks = rng.uniformInt(100, 2000);

@@ -60,8 +60,8 @@ scenarioConfig(const GoldenScenario &scenario, std::size_t runIndex)
     config.environment = scenario.environment;
     config.eventCount = 3;
     config.seed = runIndex + 1;
-    config.bufferCapacity = 6;
-    config.drainTicks = 10 * kTicksPerSecond;
+    config.sim.bufferCapacity = 6;
+    config.sim.drainTicks = 10 * kTicksPerSecond;
     return config;
 }
 
@@ -80,9 +80,10 @@ traceScenario(const GoldenScenario &scenario, unsigned jobs)
     }
 
     sim::ParallelRunner runner(jobs);
-    (void)runner.runMany(configs);
+    (void)runner.runBatch(configs);
 
     std::ostringstream out;
+    writeJsonlHeader(out);
     for (std::size_t i = 0; i < sinks.size(); ++i)
         writeJsonl(out, sinks[i].events(), i);
     return out.str();

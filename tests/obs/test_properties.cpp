@@ -60,10 +60,10 @@ randomConfig(util::Rng &rng)
         : trace::EnvironmentPreset::LessCrowded;
     config.eventCount = static_cast<std::size_t>(rng.uniformInt(20, 60));
     config.seed = static_cast<std::uint64_t>(rng.uniformInt(1, 100000));
-    config.bufferCapacity = static_cast<std::size_t>(rng.uniformInt(4, 12));
-    config.drainTicks = 60 * kTicksPerSecond;
+    config.sim.bufferCapacity = static_cast<std::size_t>(rng.uniformInt(4, 12));
+    config.sim.drainTicks = 60 * kTicksPerSecond;
     if (rng.bernoulli(0.3))
-        config.executionJitterSigma = 0.2;
+        config.sim.executionJitterSigma = 0.2;
     if (rng.bernoulli(0.3))
         config.checkpointPolicy = app::CheckpointPolicy::Periodic;
     return config;

@@ -195,6 +195,46 @@ TEST(TraceJsonl, SkipsBlankAndCommentLines)
     EXPECT_EQ(records[0].event.value, 9);
 }
 
+TEST(TraceJsonl, SchemaHeaderRoundTrips)
+{
+    std::ostringstream out;
+    writeJsonlHeader(out);
+    EXPECT_EQ(out.str(), "# quetzal-trace schema_version=1.0\n");
+
+    out << "{\"run\":2,\"t\":5,\"kind\":\"recharge\",\"ticks\":9}\n";
+    std::istringstream in(out.str());
+    const auto records = readJsonl(in);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].run, 2u);
+}
+
+TEST(TraceJsonl, AcceptsSameMajorNewerMinor)
+{
+    // Minor bumps are backward compatible by definition.
+    std::istringstream in(
+        "# quetzal-trace schema_version=1.9\n"
+        "{\"run\":0,\"t\":5,\"kind\":\"recharge\",\"ticks\":9}\n");
+    const auto records = readJsonl(in);
+    ASSERT_EQ(records.size(), 1u);
+}
+
+TEST(TraceJsonlDeathTest, RejectsUnknownSchemaMajor)
+{
+    auto parse = [](const char *text) {
+        std::istringstream in(text);
+        (void)readJsonl(in);
+    };
+    EXPECT_EXIT(parse("# quetzal-trace schema_version=2.0\n"),
+                ::testing::ExitedWithCode(1),
+                "unsupported trace schema_version 2.0");
+    EXPECT_EXIT(parse("# quetzal-trace schema_version=0.9\n"),
+                ::testing::ExitedWithCode(1),
+                "unsupported trace schema_version 0.9");
+    EXPECT_EXIT(parse("# quetzal-trace schema_version=squid\n"),
+                ::testing::ExitedWithCode(1),
+                "malformed schema_version header");
+}
+
 TEST(TraceJsonlDeathTest, MalformedInputIsFatal)
 {
     auto parse = [](const char *text) {

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Scenario engine tests: a compiled plan produces exactly the
+ * metrics a direct runExperiment() loop produces, output is
+ * bit-identical across jobs counts (the determinism contract), the
+ * report renderer prints banner/sections/format lines, CSV lands on
+ * disk, and runScenarioFile() turns invalid input into a non-zero
+ * exit instead of a crash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/engine.hpp"
+#include "scenario/spec.hpp"
+#include "sim/experiment.hpp"
+
+namespace quetzal {
+namespace scenario {
+namespace {
+
+/** Small, fast scenario: 2 populations x 2 environments, 40 events. */
+const char kSmall[] = R"({
+  "name": "small",
+  "defaults": {"events": 40, "seed": 11, "buffer": 6},
+  "populations": [
+    {"name": "NA", "controller": "NA"},
+    {"name": "QZ", "controller": "QZ"}
+  ],
+  "sweep": {"axes": [
+    {"field": "environment", "values": ["msp430", "crowded"]}]}
+})";
+
+ScenarioPlan
+compileSmall(const std::string &text = kSmall)
+{
+    const Expected<ScenarioSpec> spec = parseScenarioText(text);
+    EXPECT_TRUE(spec.ok());
+    const Expected<ScenarioPlan> plan = compileScenario(*spec.value);
+    EXPECT_TRUE(plan.ok());
+    return *plan.value;
+}
+
+void
+expectSameMetrics(const sim::Metrics &a, const sim::Metrics &b)
+{
+    EXPECT_EQ(a.interestingDiscardedTotal(),
+              b.interestingDiscardedTotal());
+    EXPECT_EQ(a.txInterestingTotal(), b.txInterestingTotal());
+    EXPECT_EQ(a.jobsCompleted, b.jobsCompleted);
+    EXPECT_EQ(a.degradedJobs, b.degradedJobs);
+    EXPECT_EQ(a.powerFailures, b.powerFailures);
+    EXPECT_EQ(a.simulatedTicks, b.simulatedTicks);
+}
+
+TEST(ScenarioEngine, PlanMatchesDirectExperimentRuns)
+{
+    const ScenarioPlan plan = compileSmall();
+    ASSERT_EQ(plan.runs.size(), 4u);
+
+    testing::internal::CaptureStdout();
+    EngineOptions options;
+    options.jobs = 1;
+    const std::vector<sim::Metrics> results = runPlan(plan, options);
+    testing::internal::GetCapturedStdout();
+
+    ASSERT_EQ(results.size(), 4u);
+    for (std::size_t i = 0; i < plan.runs.size(); ++i) {
+        SCOPED_TRACE(i);
+        const sim::Metrics direct =
+            sim::runExperiment(plan.runs[i].config);
+        expectSameMetrics(results[i], direct);
+    }
+}
+
+TEST(ScenarioEngine, OutputIsIdenticalAcrossJobCounts)
+{
+    const ScenarioPlan plan = compileSmall();
+
+    testing::internal::CaptureStdout();
+    EngineOptions serial;
+    serial.jobs = 1;
+    const std::vector<sim::Metrics> one = runPlan(plan, serial);
+    const std::string serialOut =
+        testing::internal::GetCapturedStdout();
+
+    testing::internal::CaptureStdout();
+    EngineOptions parallel;
+    parallel.jobs = 4;
+    const std::vector<sim::Metrics> four = runPlan(plan, parallel);
+    const std::string parallelOut =
+        testing::internal::GetCapturedStdout();
+
+    EXPECT_EQ(serialOut, parallelOut);
+    ASSERT_FALSE(serialOut.empty());
+    ASSERT_EQ(one.size(), four.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectSameMetrics(one[i], four[i]);
+    }
+}
+
+TEST(ScenarioEngine, ReportRendersBannerSectionsAndLines)
+{
+    std::string text(kSmall);
+    text.insert(text.rfind('}'), R"(,
+      "report": {
+        "banner": "Test banner",
+        "table": ["NA", "QZ"],
+        "lines": [{
+          "format": "QZ vs NA: %.1fx, hq %.0f%% done",
+          "values": [
+            {"metric": "discard_ratio", "subject": "QZ",
+             "baseline": "NA"},
+            {"metric": "hq_share_pct", "subject": "QZ"}]}]
+      })");
+    const ScenarioPlan plan = compileSmall(text);
+
+    testing::internal::CaptureStdout();
+    runPlan(plan, {});
+    const std::string out = testing::internal::GetCapturedStdout();
+
+    EXPECT_NE(out.find("\n=== Test banner ===\n"), std::string::npos);
+    EXPECT_NE(out.find("\n-- environment: Msp430Short --\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("\n-- environment: Crowded --\n"),
+              std::string::npos);
+    // One comparison line per cell, % escapes unescaped.
+    EXPECT_NE(out.find("QZ vs NA: "), std::string::npos);
+    EXPECT_NE(out.find("% done"), std::string::npos);
+    EXPECT_EQ(out.find("%%"), std::string::npos);
+    // Table rows label populations.
+    EXPECT_NE(out.find("NA "), std::string::npos);
+    EXPECT_NE(out.find("QZ "), std::string::npos);
+}
+
+TEST(ScenarioEngine, CsvOutputLandsOnDisk)
+{
+    const std::string path =
+        testing::TempDir() + "scenario_engine_test.csv";
+    std::string text(kSmall);
+    text.insert(text.rfind('}'),
+                ",\n  \"output\": {\"csv\": \"" + path + "\"}");
+    const ScenarioPlan plan = compileSmall(text);
+
+    testing::internal::CaptureStdout();
+    runPlan(plan, {});
+    testing::internal::GetCapturedStdout();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    std::size_t lines = 0;
+    std::getline(in, line);
+    EXPECT_EQ(line.rfind("scenario,cell,population,", 0), 0u);
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_EQ(lines, plan.runs.size());
+    std::remove(path.c_str());
+}
+
+TEST(ScenarioEngine, EventCountOverrideShrinksRuns)
+{
+    const ScenarioPlan plan = compileSmall();
+    testing::internal::CaptureStdout();
+    EngineOptions options;
+    options.eventCountOverride = 5;
+    const std::vector<sim::Metrics> results = runPlan(plan, options);
+    testing::internal::GetCapturedStdout();
+    for (const sim::Metrics &m : results)
+        EXPECT_EQ(m.eventsTotal, 5u);
+}
+
+TEST(ScenarioEngine, RunScenarioFileRejectsInvalidInput)
+{
+    const std::string path =
+        testing::TempDir() + "scenario_engine_bad.json";
+    {
+        std::ofstream out(path);
+        out << R"({"name": "bad", "populations": [
+            {"name": "A", "controller": "WARP"}]})";
+    }
+    testing::internal::CaptureStderr();
+    const int exitCode = runScenarioFile(path, {});
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(exitCode, 1);
+    EXPECT_NE(err.find("populations[0].controller"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ScenarioEngine, RunScenarioFileValidateOnlyDoesNotRun)
+{
+    const std::string path =
+        testing::TempDir() + "scenario_engine_ok.json";
+    {
+        std::ofstream out(path);
+        out << kSmall;
+    }
+    testing::internal::CaptureStdout();
+    EngineOptions options;
+    options.validateOnly = true;
+    const int exitCode = runScenarioFile(path, options);
+    const std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_EQ(exitCode, 0);
+    EXPECT_NE(out.find("OK"), std::string::npos);
+    EXPECT_NE(out.find("2 cells x 2 populations = 4 runs"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace scenario
+} // namespace quetzal

@@ -71,7 +71,7 @@ TEST(ParallelRunner, RunManyMatchesIndividualRunsInOrder)
     configs[1].seed = 11; // mix seeds to exercise the trace cache
 
     ParallelRunner runner(4);
-    const std::vector<Metrics> batch = runner.runMany(configs);
+    const std::vector<Metrics> batch = runner.runBatch(configs);
     ASSERT_EQ(batch.size(), configs.size());
 
     for (std::size_t i = 0; i < configs.size(); ++i) {

@@ -5,6 +5,8 @@
  * (for scripting sweeps).
  *
  * Usage:
+ *   quetzal_sim --scenario FILE.json [--validate] [--jobs N]
+ *               [--events N]
  *   quetzal_sim [--controller QZ|NA|AD|CN|THR|PZO|PZI|Ideal|
  *                             QZ-FCFS|QZ-LCFS|QZ-AvgSe2e]
  *               [--env more-crowded|crowded|less-crowded|msp430]
@@ -17,6 +19,15 @@
  *               [--trace-out FILE|-] [--trace-level LVL]
  *               [--trace-format jsonl|chrome]
  *               [--no-pid] [--no-circuit] [--csv] [--csv-header]
+ *
+ * --scenario FILE.json runs a declarative scenario file (see
+ * scenarios/ and DESIGN.md section 10) on the parallel engine:
+ * populations x sweep cells, with the outputs the file requests.
+ * --validate parses + validates without running; invalid files list
+ * every problem with its JSON field path and exit with status 1.
+ * --events overrides every run's event count (reduced smoke runs);
+ * --jobs picks the worker count (output is identical for every
+ * value).
  *
  * --ensemble N runs the configuration over seeds 1..N on the
  * parallel experiment engine (--jobs worker threads, default
@@ -52,6 +63,7 @@
 #include <vector>
 
 #include "obs/trace_io.hpp"
+#include "scenario/engine.hpp"
 #include "sim/ensemble.hpp"
 #include "sim/experiment.hpp"
 #include "sim/runner.hpp"
@@ -65,7 +77,9 @@ using namespace quetzal;
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--controller KIND] [--env ENV] "
+                 "usage: %s --scenario FILE.json [--validate] "
+                 "[--jobs N] [--events N]\n"
+                 "       %s [--controller KIND] [--env ENV] "
                  "[--device DEV]\n"
                  "          [--events N] [--seed N] [--buffer N] "
                  "[--cells N]\n"
@@ -78,7 +92,7 @@ usage(const char *argv0)
                  "          [--trace-format jsonl|chrome]\n"
                  "          [--no-pid] [--no-circuit] [--csv] "
                  "[--csv-header]\n",
-                 argv0);
+                 argv0, argv0);
     std::exit(2);
 }
 
@@ -171,6 +185,7 @@ writeTraceOutput(const std::string &path, const std::string &format,
                                           first);
         obs::writeChromeTraceFooter(*out);
     } else {
+        obs::writeJsonlHeader(*out);
         for (std::size_t i = 0; i < sinks.size(); ++i)
             obs::writeJsonl(*out, sinks[i].events(), i);
     }
@@ -192,6 +207,9 @@ main(int argc, char **argv)
     std::string traceOut;
     std::string traceFormat = "jsonl";
     obs::ObsLevel traceLevel = obs::ObsLevel::Full;
+    std::string scenarioPath;
+    bool validateOnly = false;
+    bool eventsSet = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -200,7 +218,11 @@ main(int argc, char **argv)
                 usage(argv[0]);
             return argv[++i];
         };
-        if (arg == "--controller") {
+        if (arg == "--scenario") {
+            scenarioPath = value();
+        } else if (arg == "--validate") {
+            validateOnly = true;
+        } else if (arg == "--controller") {
             cfg.controller = parseController(value());
         } else if (arg == "--env") {
             environment = value();
@@ -215,26 +237,27 @@ main(int argc, char **argv)
                 util::fatal(util::msg("unknown device: ", dev));
         } else if (arg == "--events") {
             cfg.eventCount = std::strtoull(value().c_str(), nullptr, 10);
+            eventsSet = true;
         } else if (arg == "--seed") {
             cfg.seed = std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--buffer") {
-            cfg.bufferCapacity =
+            cfg.sim.bufferCapacity =
                 std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--cells") {
             cfg.harvesterCells =
                 static_cast<int>(std::strtol(value().c_str(), nullptr,
                                              10));
         } else if (arg == "--capture-period-ms") {
-            cfg.capturePeriod = std::strtoll(value().c_str(), nullptr,
+            cfg.sim.capturePeriod = std::strtoll(value().c_str(), nullptr,
                                              10);
         } else if (arg == "--threshold") {
             cfg.bufferThreshold =
                 std::strtod(value().c_str(), nullptr) / 100.0;
         } else if (arg == "--arrival-window") {
-            cfg.arrivalWindow = static_cast<std::uint32_t>(
+            cfg.system.arrivalWindow = static_cast<std::uint32_t>(
                 std::strtoul(value().c_str(), nullptr, 10));
         } else if (arg == "--task-window") {
-            cfg.taskWindow = static_cast<std::uint32_t>(
+            cfg.system.taskWindow = static_cast<std::uint32_t>(
                 std::strtoul(value().c_str(), nullptr, 10));
         } else if (arg == "--power-trace") {
             cfg.powerTraceCsv = value();
@@ -273,6 +296,17 @@ main(int argc, char **argv)
         }
     }
 
+    if (validateOnly && scenarioPath.empty())
+        util::fatal("--validate requires --scenario FILE.json");
+
+    if (!scenarioPath.empty()) {
+        scenario::EngineOptions options;
+        options.jobs = jobs;
+        options.eventCountOverride = eventsSet ? cfg.eventCount : 0;
+        options.validateOnly = validateOnly;
+        return scenario::runScenarioFile(scenarioPath, options);
+    }
+
     const bool tracing = !traceOut.empty() &&
         traceLevel != obs::ObsLevel::Off;
 
@@ -298,7 +332,7 @@ main(int argc, char **argv)
         }
 
         sim::ParallelRunner runner(jobs);
-        const std::vector<sim::Metrics> all = runner.runMany(configs);
+        const std::vector<sim::Metrics> all = runner.runBatch(configs);
 
         if (csv) {
             if (header)
