@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Stable-schema JSON emitter shared by the wall-clock micro
+ * benchmarks (micro_simulator, micro_buffer).
+ *
+ * Every bench emits exactly one line:
+ *
+ *   {"schema": "quetzal-bench-v1", "bench": "<name>",
+ *    "<field>": <value>, ...}
+ *
+ * Field order is insertion order, so a bench's line is reproducible
+ * run to run and scripts/check_bench.sh can parse it with any JSON
+ * reader and index the committed trajectory files
+ * (bench/baselines/BENCH_<name>.json) by field name. Keep fields
+ * append-only: removing or renaming one breaks the trajectory
+ * history that regression checks diff against.
+ */
+
+#ifndef QUETZAL_BENCH_BENCH_JSON_HPP
+#define QUETZAL_BENCH_BENCH_JSON_HPP
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace quetzal {
+namespace bench {
+
+/** Collects fields for one benchmark result line. */
+class JsonLine
+{
+  public:
+    explicit JsonLine(const std::string &benchName)
+    {
+        fields.emplace_back("schema", "\"quetzal-bench-v1\"");
+        fields.emplace_back("bench", "\"" + benchName + "\"");
+    }
+
+    JsonLine &
+    add(const std::string &key, const std::string &value)
+    {
+        fields.emplace_back(key, "\"" + value + "\"");
+        return *this;
+    }
+
+    JsonLine &
+    add(const std::string &key, double value, int precision = 0)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+        fields.emplace_back(key, buf);
+        return *this;
+    }
+
+    JsonLine &
+    add(const std::string &key, std::size_t value)
+    {
+        fields.emplace_back(key, std::to_string(value));
+        return *this;
+    }
+
+    JsonLine &
+    add(const std::string &key, unsigned value)
+    {
+        fields.emplace_back(key, std::to_string(value));
+        return *this;
+    }
+
+    /** Print the single-line JSON object (with trailing newline). */
+    void
+    print(std::FILE *out = stdout) const
+    {
+        std::fputc('{', out);
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+            if (i > 0)
+                std::fputs(", ", out);
+            std::fprintf(out, "\"%s\": %s", fields[i].first.c_str(),
+                         fields[i].second.c_str());
+        }
+        std::fputs("}\n", out);
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields;
+};
+
+} // namespace bench
+} // namespace quetzal
+
+#endif // QUETZAL_BENCH_BENCH_JSON_HPP

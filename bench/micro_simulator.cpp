@@ -22,8 +22,14 @@
  * benchmark's plain figures measure — the PR acceptance gate is
  * that those stay within 2 % of the pre-telemetry baseline.
  *
+ * --ideal switches the ensemble to the infinite-buffer Ideal
+ * baseline on the more-crowded environment — the large-buffer regime
+ * where occupancy grows into the thousands and the buffer index and
+ * E[S] memoization dominate; the reported figures track that
+ * scenario's cost per run.
+ *
  * Usage: micro_simulator [--jobs N] [--runs N] [--events N]
- *                        [--trace LEVEL]
+ *                        [--trace LEVEL] [--ideal]
  */
 
 #include <chrono>
@@ -34,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/ensemble.hpp"
 #include "sim/runner.hpp"
@@ -74,6 +81,7 @@ main(int argc, char **argv)
     std::size_t runs = 16;
     std::size_t events = 200;
     obs::ObsLevel traceLevel = obs::ObsLevel::Off;
+    bool ideal = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -97,6 +105,8 @@ main(int argc, char **argv)
             if (!level)
                 util::fatal("unknown trace level");
             traceLevel = *level;
+        } else if (arg == "--ideal") {
+            ideal = true;
         } else {
             std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
             return 2;
@@ -108,9 +118,11 @@ main(int argc, char **argv)
     }
 
     sim::ExperimentConfig cfg;
-    cfg.environment = trace::EnvironmentPreset::Crowded;
+    cfg.environment = ideal ? trace::EnvironmentPreset::MoreCrowded
+                            : trace::EnvironmentPreset::Crowded;
     cfg.eventCount = events;
-    cfg.controller = sim::ControllerKind::Quetzal;
+    cfg.controller = ideal ? sim::ControllerKind::Ideal
+                           : sim::ControllerKind::Quetzal;
 
     // Warm-up: touch every code path once so first-run effects
     // (allocator, page faults) do not skew either measurement.
@@ -159,21 +171,21 @@ main(int argc, char **argv)
             tracedEvents += sink.size();
     }
 
-    std::printf("{\"bench\": \"micro_simulator\", \"runs\": %zu, "
-                "\"events\": %zu, \"jobs\": %u, "
-                "\"serial_ns_per_run\": %.0f, "
-                "\"parallel_ns_per_run\": %.0f, "
-                "\"speedup\": %.2f, \"ns_per_run\": %.0f",
-                runs, events, jobs, serialNs, parallelNs,
-                serialNs / parallelNs, parallelNs);
+    bench::JsonLine line("micro_simulator");
+    line.add("mode", ideal ? "ideal" : "quetzal")
+        .add("runs", runs)
+        .add("events", events)
+        .add("jobs", jobs)
+        .add("serial_ns_per_run", serialNs)
+        .add("parallel_ns_per_run", parallelNs)
+        .add("speedup", serialNs / parallelNs, 2)
+        .add("ns_per_run", parallelNs);
     if (traceLevel != obs::ObsLevel::Off) {
-        std::printf(", \"trace_level\": \"%s\", "
-                    "\"traced_ns_per_run\": %.0f, "
-                    "\"trace_events\": %zu, "
-                    "\"traced_overhead\": %.3f",
-                    obs::obsLevelName(traceLevel).c_str(), tracedNs,
-                    tracedEvents, tracedNs / serialNs);
+        line.add("trace_level", obs::obsLevelName(traceLevel))
+            .add("traced_ns_per_run", tracedNs)
+            .add("trace_events", tracedEvents)
+            .add("traced_overhead", tracedNs / serialNs, 3);
     }
-    std::printf("}\n");
+    line.print();
     return 0;
 }

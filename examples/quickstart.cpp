@@ -77,7 +77,7 @@ main()
 
         // Pretend the job ran: consume the input, spawn the report
         // stage for every detection, close the loop.
-        const auto input2 = buffer.markInFlight(selection->bufferIndex);
+        const auto input2 = buffer.markInFlight(selection->slot);
         if (job.id == detectJob) {
             buffer.retag(input2.id, reportJob, now);
             system.recordSpawn();

@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# Perf-trajectory gate for the wall-clock micro benchmarks.
+#
+# Each bench emits one line of quetzal-bench-v1 JSON (see
+# bench/bench_json.hpp). This script runs the suite, compares every
+# bench's primary metric against the newest entry of its committed
+# trajectory file (bench/baselines/BENCH_<name>.json), and fails when
+# the measured value exceeds baseline * threshold. Wall-clock numbers
+# move with the host, so the threshold is deliberately generous: the
+# gate exists to catch complexity regressions (an O(occupancy) scan
+# sneaking back into a per-decision path is a 10-400x hit), not
+# percent-level noise.
+#
+# Trajectory schema (quetzal-bench-trajectory-v1):
+#   {
+#     "schema":  "quetzal-bench-trajectory-v1",
+#     "bench":   "<name>",             # must match the emitted line
+#     "primary": "<field>",            # metric the gate compares
+#     "args":        [...],            # full workload argv
+#     "smoke_args":  [...],            # reduced workload for ctest
+#     "entries": [                     # newest last; newest = baseline
+#       {"label": "<pr/commit>", ...full emitted JSON line...}
+#     ]
+#   }
+#
+# Usage: scripts/check_bench.sh [--smoke] [--update] [--self-test]
+#                               [build-dir]
+#   --smoke      reduced workloads (the ctest wiring uses this)
+#   --update     append the measurements to the trajectory files
+#                (label from QUETZAL_BENCH_LABEL, default git HEAD)
+#   --self-test  verify the gate trips on a synthetic regression
+#   build-dir    defaults to build/
+#
+# Environment:
+#   QUETZAL_BENCH_THRESHOLD  allowed current/baseline ratio (default 4.0)
+#   QUETZAL_BENCH_INJECT     multiply measurements by this factor
+#                            (testing aid; the self-test uses it)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+UPDATE=0
+SELFTEST=0
+BUILD_DIR="build"
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) SMOKE=1 ;;
+        --update) UPDATE=1 ;;
+        --self-test) SELFTEST=1 ;;
+        *) BUILD_DIR="$arg" ;;
+    esac
+done
+
+BASELINE_DIR="bench/baselines"
+THRESHOLD="${QUETZAL_BENCH_THRESHOLD:-4.0}"
+INJECT="${QUETZAL_BENCH_INJECT:-1.0}"
+
+if [ ! -d "$BASELINE_DIR" ]; then
+    echo "check_bench: no baseline dir at $BASELINE_DIR" >&2
+    exit 1
+fi
+
+for bin in micro_buffer micro_simulator; do
+    if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
+        echo "check_bench: $bin not found in $BUILD_DIR/bench;" \
+             "build it first: cmake --build $BUILD_DIR --target $bin" >&2
+        exit 1
+    fi
+done
+
+if [ "$SELFTEST" -eq 1 ]; then
+    # The gate must trip on a synthetic regression well past the
+    # threshold; run the suite once with inflated measurements and
+    # require failure.
+    if QUETZAL_BENCH_INJECT=100.0 "$0" --smoke "$BUILD_DIR" \
+            >/dev/null 2>&1; then
+        echo "check_bench: SELF-TEST FAILED (injected 100x regression" \
+             "passed the gate)" >&2
+        exit 1
+    fi
+    echo "check_bench: self-test OK (injected regression detected)"
+    exit 0
+fi
+
+status=0
+for baseline in "$BASELINE_DIR"/BENCH_*.json; do
+    name="$(basename "$baseline")"
+
+    # Workload argv and binary come from the committed file, so the
+    # measured configuration is itself versioned.
+    spec="$(python3 - "$baseline" "$SMOKE" <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+args = t["smoke_args"] if sys.argv[2] == "1" else t["args"]
+print(t["binary"])
+print(t["primary"])
+print(" ".join(args))
+EOF
+)"
+    binary="$(sed -n 1p <<<"$spec")"
+    primary="$(sed -n 2p <<<"$spec")"
+    read -r -a args <<<"$(sed -n 3p <<<"$spec")"
+
+    if ! out="$("$BUILD_DIR/bench/$binary" "${args[@]}")"; then
+        echo "check_bench: FAIL $name (bench run failed)" >&2
+        status=1
+        continue
+    fi
+
+    verdict="$(python3 - "$baseline" "$THRESHOLD" "$INJECT" "$UPDATE" \
+            "${QUETZAL_BENCH_LABEL:-$(git rev-parse --short HEAD \
+                2>/dev/null || echo local)}" "$out" <<'EOF'
+import json, sys
+path, threshold, inject, update, label, out = sys.argv[1:7]
+line = json.loads(out.splitlines()[-1])
+threshold, inject = float(threshold), float(inject)
+t = json.load(open(path))
+if line.get("schema") != "quetzal-bench-v1" or line["bench"] != t["bench"]:
+    print(f"FAIL schema mismatch (got {line.get('schema')}/"
+          f"{line.get('bench')})")
+    sys.exit(0)
+primary = t["primary"]
+current = float(line[primary]) * inject
+entries = t.get("entries", [])
+if not entries:
+    verdict = f"NEW {primary}={current:.0f} (no baseline yet)"
+else:
+    base = float(entries[-1][primary])
+    ratio = current / base if base > 0 else float("inf")
+    word = "FAIL" if ratio > threshold else "OK"
+    verdict = (f"{word} {primary}={current:.0f} baseline={base:.0f} "
+               f"ratio={ratio:.2f} (threshold {threshold:.1f})")
+if update == "1":
+    entry = dict(line)
+    entry["label"] = label
+    if inject != 1.0:
+        entry[primary] = float(line[primary]) * inject
+    t.setdefault("entries", []).append(entry)
+    with open(path, "w") as f:
+        json.dump(t, f, indent=2)
+        f.write("\n")
+    verdict += " [updated]"
+print(verdict)
+EOF
+)"
+
+    echo "check_bench: $verdict  $name"
+    case "$verdict" in FAIL*) status=1 ;; esac
+done
+
+if [ $status -ne 0 ]; then
+    echo "check_bench: FAILED" >&2
+    exit $status
+fi
+echo "check_bench: all benches OK"

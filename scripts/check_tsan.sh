@@ -12,7 +12,8 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DQUETZAL_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j --target test_sim test_obs micro_simulator
+cmake --build "$BUILD_DIR" -j --target test_sim test_obs test_queueing \
+    micro_simulator micro_buffer
 
 # TSan aborts with exit code 66 on the first detected race.
 export TSAN_OPTIONS="halt_on_error=1 exitcode=66 ${TSAN_OPTIONS:-}"
@@ -28,8 +29,16 @@ export TSAN_OPTIONS="halt_on_error=1 exitcode=66 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_obs \
     --gtest_filter='GoldenTrace.*:ObsProperties.*'
 
+# The indexed input buffer's randomized differential suite (also a
+# memory-safety workout for the slot/lane/free-list pointers).
+"$BUILD_DIR"/tests/test_queueing \
+    --gtest_filter='*InputBufferDifferential*'
+
 # Serial vs parallel ensembles on several worker threads; the binary
-# itself panics if the results diverge.
+# itself panics if the results diverge. Controllers (and their
+# estimators, whose instance-id counter is shared) are constructed on
+# the worker threads, so this also covers the E[S] memo-key path.
 "$BUILD_DIR"/bench/micro_simulator --jobs 4 --runs 8 --events 120
+"$BUILD_DIR"/bench/micro_buffer --occupancy 512 --ops 20000
 
 echo "check_tsan: OK"

@@ -11,6 +11,7 @@
 #define QUETZAL_APP_APPLICATION_HPP
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "app/camera.hpp"
@@ -32,6 +33,38 @@ struct ApplicationModel
     core::TaskId radioTask = 0;     ///< degradable transmit task
     queueing::JobId classifyJob = 0;
     queueing::JobId transmitJob = 0;
+    /// @}
+
+    /**
+     * @name Cached task positions
+     * Position of the inference/radio task within its job's task
+     * list, resolved once at build time so per-completion code never
+     * scans the task list. Unset when the task is absent from the
+     * job (option 0 applies, as in the original scan).
+     */
+    /// @{
+    std::optional<std::size_t> inferenceTaskPos;
+    std::optional<std::size_t> radioTaskPos;
+
+    /**
+     * Resolve the cached positions against the registered jobs,
+     * keeping the historical scan semantics (last match wins).
+     */
+    void
+    resolveTaskPositions(const core::Job &classify,
+                         const core::Job &transmit)
+    {
+        inferenceTaskPos.reset();
+        radioTaskPos.reset();
+        for (std::size_t i = 0; i < classify.tasks.size(); ++i) {
+            if (classify.tasks[i] == inferenceTask)
+                inferenceTaskPos = i;
+        }
+        for (std::size_t i = 0; i < transmit.tasks.size(); ++i) {
+            if (transmit.tasks[i] == radioTask)
+                radioTaskPos = i;
+        }
+    }
     /// @}
 
     /**

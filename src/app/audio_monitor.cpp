@@ -46,6 +46,8 @@ buildAudioMonitorApp(core::TaskSystem &system, const DeviceProfile &device,
     appModel.classifyJob = system.addJob("detect",
                                          {appModel.inferenceTask},
                                          appModel.transmitJob);
+    appModel.resolveTaskPositions(system.job(appModel.classifyJob),
+                                  system.job(appModel.transmitJob));
     return appModel;
 }
 

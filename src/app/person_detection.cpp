@@ -38,6 +38,8 @@ buildPersonDetectionApp(core::TaskSystem &system,
     appModel.classifyJob =
         system.addJob("classify", {appModel.inferenceTask},
                       appModel.transmitJob);
+    appModel.resolveTaskPositions(system.job(appModel.classifyJob),
+                                  system.job(appModel.transmitJob));
     return appModel;
 }
 

@@ -8,9 +8,10 @@ namespace baselines {
 namespace {
 
 /**
- * Shared scan: pick the buffered input ordered first/last by capture
- * time (enqueue time breaks ties so re-inserted inputs order behind
- * fresh ones captured at the same tick).
+ * Pick the buffered input ordered first/last by capture time
+ * (enqueue time breaks ties so re-inserted inputs order behind fresh
+ * ones captured at the same tick). The buffer answers both orderings
+ * without a scan in the runtime's monotonic-capture regime.
  */
 std::optional<core::SchedulerDecision>
 selectByOrder(const core::TaskSystem &system,
@@ -19,30 +20,15 @@ selectByOrder(const core::TaskSystem &system,
               const core::PowerReading &power, double pidCorrection,
               bool newestFirst)
 {
-    std::optional<std::size_t> bestIndex;
-    for (std::size_t i = 0; i < buffer.size(); ++i) {
-        const auto &candidate = buffer.at(i);
-        if (candidate.inFlight)
-            continue;
-        if (!bestIndex) {
-            bestIndex = i;
-            continue;
-        }
-        const auto &best = buffer.at(*bestIndex);
-        const bool earlier =
-            candidate.captureTick < best.captureTick ||
-            (candidate.captureTick == best.captureTick &&
-             candidate.enqueueTick < best.enqueueTick);
-        if (earlier != newestFirst)
-            bestIndex = i;
-    }
-    if (!bestIndex)
+    const auto slot = newestFirst ? buffer.newestSchedulable()
+                                  : buffer.oldestSchedulable();
+    if (!slot)
         return std::nullopt;
 
-    const auto &chosen = buffer.at(*bestIndex);
+    const auto &chosen = buffer.record(*slot);
     core::SchedulerDecision decision;
     decision.jobId = chosen.jobId;
-    decision.bufferIndex = *bestIndex;
+    decision.slot = *slot;
     // Order-based policies do not *use* E[S], but reporting it keeps
     // the prediction-error feedback meaningful for the IBO engine
     // variants of Figure 12.

@@ -13,19 +13,30 @@ IboReactionEngine::backlogServiceSeconds(
         const ServiceTimeEstimator &estimator, const PowerReading &power,
         TaskId overrideTask, std::size_t overrideOption) const
 {
-    double total = 0.0;
-    for (std::size_t i = 0; i < buffer.size(); ++i) {
-        const Job &job = system.job(buffer.at(i).jobId);
-        for (TaskId taskId : job.tasks) {
-            const Task &task = system.task(taskId);
-            std::size_t option = taskId < currentOption.size() ?
-                currentOption[taskId] : 0;
-            if (taskId == overrideTask)
-                option = overrideOption;
-            total += system.executionProbability(taskId) *
-                estimator.estimate(task.option(option), power);
-        }
+    // Each buffered input contributes its job's per-task terms; the
+    // term of a task is fixed for the whole walk (the option map does
+    // not change mid-call), so derive every term once up front and
+    // leave only additions in the per-record loop. The accumulation
+    // order over records and tasks is unchanged, so the sum is
+    // bit-identical to deriving each term in place.
+    taskTermScratch.resize(system.taskCount());
+    for (TaskId taskId = 0; taskId < system.taskCount(); ++taskId) {
+        const Task &task = system.task(taskId);
+        std::size_t option = taskId < currentOption.size() ?
+            currentOption[taskId] : 0;
+        if (taskId == overrideTask)
+            option = overrideOption;
+        taskTermScratch[taskId] = system.executionProbability(taskId) *
+            estimator.estimate(task.option(option), power);
     }
+
+    double total = 0.0;
+    buffer.forEachFifo([&](queueing::SlotId,
+                           const queueing::InputRecord &rec) {
+        const Job &job = system.job(rec.jobId);
+        for (TaskId taskId : job.tasks)
+            total += taskTermScratch[taskId];
+    });
     return total;
 }
 

@@ -107,6 +107,14 @@ class IboReactionEngine : public AdaptationPolicy
 
     /** Last option the engine chose per task (lazily sized). */
     std::vector<std::size_t> currentOption;
+
+    /**
+     * Per-task E[S] term (execution probability x estimate) scratch,
+     * rebuilt by backlogServiceSeconds so the per-record loop costs
+     * two additions per buffered input instead of re-deriving the
+     * estimate occupancy times.
+     */
+    mutable std::vector<double> taskTermScratch;
 };
 
 } // namespace core

@@ -43,7 +43,7 @@ Controller::selectJob(TaskSystem &system,
 
     JobSelection selection;
     selection.jobId = decision->jobId;
-    selection.bufferIndex = decision->bufferIndex;
+    selection.slot = decision->slot;
     selection.optionPerTask = adapted.optionPerTask;
     if (selection.optionPerTask.empty())
         selection.optionPerTask.assign(job.tasks.size(), 0);

@@ -36,7 +36,7 @@ namespace core {
 struct JobSelection
 {
     JobId jobId = 0;
-    std::size_t bufferIndex = 0;
+    queueing::SlotId slot = 0; ///< buffer slot of the consumed input
     std::vector<std::size_t> optionPerTask;
     double predictedServiceSeconds = 0.0;
     bool iboPredicted = false;

@@ -16,8 +16,8 @@ EnergyAwareSjfPolicy::select(const TaskSystem &system,
     Tick bestCaptureTick = kTickNever;
 
     for (const Job &job : system.jobs()) {
-        const auto index = buffer.oldestIndexForJob(job.id);
-        if (!index)
+        const auto slot = buffer.oldestSlotForJob(job.id);
+        if (!slot)
             continue;
 
         // Alg. 1 lines 5-8: E[S] = sum of per-task S_e2e weighted by
@@ -28,13 +28,13 @@ EnergyAwareSjfPolicy::select(const TaskSystem &system,
             0.0, system.expectedJobService(job, estimator, power) +
                      pidCorrection);
 
-        const Tick captureTick = buffer.at(*index).captureTick;
+        const Tick captureTick = buffer.record(*slot).captureTick;
         const bool better = !best ||
             expected < best->expectedServiceSeconds ||
             (expected == best->expectedServiceSeconds &&
              captureTick < bestCaptureTick);
         if (better) {
-            best = SchedulerDecision{job.id, *index, expected};
+            best = SchedulerDecision{job.id, *slot, expected};
             bestCaptureTick = captureTick;
         }
     }

@@ -28,8 +28,8 @@ namespace core {
 /** A policy's choice of what to run next. */
 struct SchedulerDecision
 {
-    JobId jobId = 0;             ///< job class to execute
-    std::size_t bufferIndex = 0; ///< buffered input it consumes
+    JobId jobId = 0;              ///< job class to execute
+    queueing::SlotId slot = 0;    ///< buffer slot of the input it consumes
     /**
      * The policy's E[S] estimate for the chosen job (0 for policies
      * that do not estimate service times, e.g. FCFS).

@@ -40,10 +40,17 @@ struct PowerReading
 
 /**
  * Strategy interface for predicting a task option's S_e2e.
+ *
+ * Estimates are pure in (option, power, internal history), which is
+ * what lets TaskSystem memoize whole-job E[S] sums: an estimator
+ * advertises a version() that changes whenever recorded history
+ * would change an estimate, and a powerKey() identifying which part
+ * of a PowerReading its estimates actually depend on.
  */
 class ServiceTimeEstimator
 {
   public:
+    ServiceTimeEstimator();
     virtual ~ServiceTimeEstimator() = default;
 
     /**
@@ -67,6 +74,29 @@ class ServiceTimeEstimator
 
     /** Human-readable strategy name. */
     virtual std::string name() const = 0;
+
+    /**
+     * Process-unique identity of this estimator instance; cache keys
+     * use it instead of the address so a recycled allocation can
+     * never impersonate a dead estimator.
+     */
+    std::uint64_t instanceId() const { return uniqueId; }
+
+    /**
+     * Monotonic counter that changes whenever internal history would
+     * change estimate() results. Stateless estimators return 0.
+     */
+    virtual std::uint64_t version() const { return 0; }
+
+    /**
+     * Collapse a PowerReading to the value estimate() depends on
+     * (e.g. the ADC code for the circuit path). Readings with equal
+     * keys must produce equal estimates for every option.
+     */
+    virtual std::uint64_t powerKey(const PowerReading &power) const;
+
+  private:
+    std::uint64_t uniqueId;
 };
 
 /**
@@ -88,6 +118,9 @@ class EnergyAwareEstimator : public ServiceTimeEstimator
     std::string name() const override;
 
     bool usesCircuit() const { return circuitPath; }
+
+    /** The circuit path reads only the ADC code; exact only watts. */
+    std::uint64_t powerKey(const PowerReading &power) const override;
 
   private:
     bool circuitPath;
@@ -113,6 +146,17 @@ class AverageServiceTimeEstimator : public ServiceTimeEstimator
     /** Observation count for one option (testing aid). */
     std::size_t observationCount(const DegradationOption &option) const;
 
+    /** Bumped per observation (history changes estimates). */
+    std::uint64_t version() const override { return revision; }
+
+    /** Deliberately power-blind: every reading keys the same. */
+    std::uint64_t
+    powerKey(const PowerReading &power) const override
+    {
+        (void)power;
+        return 0;
+    }
+
   private:
     /**
      * History is keyed by the option's cost identity (latency,
@@ -126,6 +170,7 @@ class AverageServiceTimeEstimator : public ServiceTimeEstimator
     static Key keyFor(const DegradationOption &option);
 
     std::map<Key, util::RunningStats> history;
+    std::uint64_t revision = 0;
 };
 
 } // namespace core

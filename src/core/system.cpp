@@ -40,6 +40,7 @@ TaskSystem::addTask(const std::string &name,
     const auto id = static_cast<TaskId>(taskList.size());
     taskList.emplace_back(id, name, std::move(profiled));
     probTrackers.emplace_back(cfg.taskWindow);
+    ++stateRevision;
     return id;
 }
 
@@ -121,6 +122,7 @@ TaskSystem::recordJobCompletion(const Job &job,
     // jobs are not diluted by this job's completions).
     for (std::size_t i = 0; i < job.tasks.size(); ++i)
         probTrackers[job.tasks[i]].recordExecution(executedPerTask[i]);
+    ++stateRevision;
 }
 
 double
@@ -151,6 +153,33 @@ TaskSystem::expectedJobService(const Job &job,
     if (!optionPerTask.empty() && optionPerTask.size() != job.tasks.size())
         util::panic("option choices do not match job task count");
 
+    // An explicit all-zero option vector asks for the same
+    // full-quality configuration as the empty default, so both shapes
+    // share one memo slot (the walk below is identical either way).
+    bool fullQuality = true;
+    for (const std::size_t opt : optionPerTask) {
+        if (opt != 0) {
+            fullQuality = false;
+            break;
+        }
+    }
+
+    ServiceMemo *memo = nullptr;
+    if (fullQuality) {
+        if (serviceMemo.size() < jobList.size())
+            serviceMemo.resize(jobList.size());
+        memo = &serviceMemo[job.id];
+        const std::uint64_t key = estimator.powerKey(power);
+        if (memo->valid && memo->estimatorId == estimator.instanceId() &&
+            memo->estimatorVersion == estimator.version() &&
+            memo->powerKey == key && memo->systemRevision == stateRevision)
+            return memo->value;
+        memo->estimatorId = estimator.instanceId();
+        memo->estimatorVersion = estimator.version();
+        memo->powerKey = key;
+        memo->systemRevision = stateRevision;
+    }
+
     double expected = 0.0;
     for (std::size_t i = 0; i < job.tasks.size(); ++i) {
         const Task &t = task(job.tasks[i]);
@@ -158,6 +187,10 @@ TaskSystem::expectedJobService(const Job &job,
             optionPerTask.empty() ? 0 : optionPerTask[i];
         expected += executionProbability(t.id()) *
             estimator.estimate(t.option(optIdx), power);
+    }
+    if (memo != nullptr) {
+        memo->value = expected;
+        memo->valid = true;
     }
     return expected;
 }

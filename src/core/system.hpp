@@ -130,13 +130,41 @@ class TaskSystem
                               const std::vector<std::size_t>
                                   &optionPerTask = {}) const;
 
+    /**
+     * Monotonic counter covering every mutation that can change an
+     * E[S] prediction (task registration, execution-probability
+     * updates). The memo cache below keys on it.
+     */
+    std::uint64_t revision() const { return stateRevision; }
+
   private:
+    /**
+     * One full-quality E[S] memo per job. Schedulers and the IBO
+     * engine re-evaluate every job's E[S] on each decision, but the
+     * inputs (estimator history, power reading, probability windows)
+     * change far less often than decisions are made — between two
+     * captures on the same trace segment every lookup repeats. The
+     * cached value is the very double the full walk produced, so a
+     * hit is bit-identical to recomputing.
+     */
+    struct ServiceMemo
+    {
+        std::uint64_t estimatorId = 0;
+        std::uint64_t estimatorVersion = 0;
+        std::uint64_t powerKey = 0;
+        std::uint64_t systemRevision = 0;
+        double value = 0.0;
+        bool valid = false;
+    };
+
     SystemConfig cfg;
     hw::PowerMonitorCircuit monitor;
     std::vector<Task> taskList;
     std::vector<Job> jobList;
     queueing::ArrivalRateTracker arrivalTracker;
     std::vector<queueing::ExecutionProbabilityTracker> probTrackers;
+    std::uint64_t stateRevision = 0;
+    mutable std::vector<ServiceMemo> serviceMemo;
 };
 
 } // namespace core

@@ -5,8 +5,13 @@
 namespace quetzal {
 namespace queueing {
 
-InputBuffer::InputBuffer(std::size_t capacity) : entries(capacity)
+InputBuffer::InputBuffer(std::size_t capacity) : cap(capacity)
 {
+    if (capacity == 0)
+        util::panic("InputBuffer capacity must be positive");
+    // Slots are allocated lazily as occupancy actually grows, so an
+    // "infinite" capacity costs memory proportional to the occupancy
+    // high-water mark, not to the configured bound.
 }
 
 double
@@ -15,98 +20,312 @@ InputBuffer::occupancyFraction() const
     return static_cast<double>(size()) / static_cast<double>(capacity());
 }
 
+SlotId
+InputBuffer::allocateSlot()
+{
+    if (!freeSlots.empty()) {
+        const SlotId slot = freeSlots.back();
+        freeSlots.pop_back();
+        return slot;
+    }
+    slots.emplace_back();
+    return static_cast<SlotId>(slots.size() - 1);
+}
+
+InputBuffer::Lane &
+InputBuffer::laneFor(JobId job)
+{
+    if (job >= lanes.size())
+        lanes.resize(static_cast<std::size_t>(job) + 1);
+    return lanes[job];
+}
+
+void
+InputBuffer::laneAppend(JobId job, SlotId slot)
+{
+    Lane &lane = laneFor(job);
+    Slot &s = slots[slot];
+    s.prevLane = lane.tail;
+    s.nextLane = kNoSlot;
+    if (lane.tail != kNoSlot)
+        slots[lane.tail].nextLane = slot;
+    else
+        lane.head = slot;
+    lane.tail = slot;
+    ++lane.count;
+    ++schedulableCount;
+}
+
+void
+InputBuffer::laneInsertOrdered(JobId job, SlotId slot)
+{
+    // Lanes are kept in arrival order. The runtime consumes each
+    // lane oldest-first, so a retagged record almost always carries
+    // the largest arrivalSeq seen by its new lane and the backward
+    // walk stops immediately — amortized O(1).
+    Lane &lane = laneFor(job);
+    SlotId after = lane.tail;
+    const std::uint64_t seq = slots[slot].arrivalSeq;
+    while (after != kNoSlot && slots[after].arrivalSeq > seq)
+        after = slots[after].prevLane;
+
+    Slot &s = slots[slot];
+    s.prevLane = after;
+    if (after == kNoSlot) {
+        s.nextLane = lane.head;
+        if (lane.head != kNoSlot)
+            slots[lane.head].prevLane = slot;
+        lane.head = slot;
+    } else {
+        s.nextLane = slots[after].nextLane;
+        if (slots[after].nextLane != kNoSlot)
+            slots[slots[after].nextLane].prevLane = slot;
+        slots[after].nextLane = slot;
+    }
+    if (s.nextLane == kNoSlot)
+        lane.tail = slot;
+    ++lane.count;
+    ++schedulableCount;
+}
+
+void
+InputBuffer::laneRemove(JobId job, SlotId slot)
+{
+    Lane &lane = lanes[job];
+    Slot &s = slots[slot];
+    if (s.prevLane != kNoSlot)
+        slots[s.prevLane].nextLane = s.nextLane;
+    else
+        lane.head = s.nextLane;
+    if (s.nextLane != kNoSlot)
+        slots[s.nextLane].prevLane = s.prevLane;
+    else
+        lane.tail = s.prevLane;
+    s.prevLane = kNoSlot;
+    s.nextLane = kNoSlot;
+    --lane.count;
+    --schedulableCount;
+}
+
 bool
 InputBuffer::tryPush(const InputRecord &record)
 {
     if (record.inFlight)
         util::panic("cannot push an in-flight record");
-    if (!entries.pushBack(record)) {
+    if (full()) {
         ++overflowCounts.total;
         if (record.interesting)
             ++overflowCounts.interesting;
         return false;
     }
+    if (idToSlot.count(record.id) != 0)
+        util::panic(util::msg("duplicate input id ", record.id));
+
+    if (anyPush && record.captureTick <= lastPushCaptureTick)
+        captureStrictlyIncreasing = false;
+    anyPush = true;
+    lastPushCaptureTick = record.captureTick;
+
+    const SlotId slot = allocateSlot();
+    Slot &s = slots[slot];
+    s.rec = record;
+    s.arrivalSeq = nextArrivalSeq++;
+    s.occupied = true;
+
+    // Append to the global FIFO.
+    s.prevFifo = fifoTail;
+    s.nextFifo = kNoSlot;
+    if (fifoTail != kNoSlot)
+        slots[fifoTail].nextFifo = slot;
+    else
+        fifoHead = slot;
+    fifoTail = slot;
+
+    laneAppend(record.jobId, slot);
+    idToSlot.emplace(record.id, slot);
+    ++occupiedCount;
     return true;
 }
 
 std::size_t
 InputBuffer::countForJob(JobId job) const
 {
-    std::size_t count = 0;
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        const InputRecord &record = entries.at(i);
-        if (record.jobId == job && !record.inFlight)
-            ++count;
-    }
-    return count;
+    return job < lanes.size() ? lanes[job].count : 0;
 }
 
 bool
 InputBuffer::hasSchedulable() const
 {
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        if (!entries.at(i).inFlight)
-            return true;
-    }
-    return false;
+    return schedulableCount > 0;
 }
 
-std::optional<std::size_t>
-InputBuffer::oldestIndexForJob(JobId job) const
+std::optional<SlotId>
+InputBuffer::oldestSlotForJob(JobId job) const
 {
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        const InputRecord &record = entries.at(i);
-        if (record.jobId == job && !record.inFlight)
-            return i;
+    if (job >= lanes.size() || lanes[job].head == kNoSlot)
+        return std::nullopt;
+    return lanes[job].head;
+}
+
+std::optional<SlotId>
+InputBuffer::oldestSchedulable() const
+{
+    if (schedulableCount == 0)
+        return std::nullopt;
+    if (captureStrictlyIncreasing) {
+        // Every lane is capture-ordered, so the FCFS choice is the
+        // lane head with the smallest captureTick (globally unique).
+        SlotId best = kNoSlot;
+        for (const Lane &lane : lanes) {
+            if (lane.head == kNoSlot)
+                continue;
+            if (best == kNoSlot ||
+                slots[lane.head].rec.captureTick <
+                    slots[best].rec.captureTick)
+                best = lane.head;
+        }
+        return best;
     }
-    return std::nullopt;
+    // Fallback: arrival-order scan with the legacy tie-break (the
+    // first record scanned wins among equals).
+    SlotId best = kNoSlot;
+    for (SlotId s = fifoHead; s != kNoSlot; s = slots[s].nextFifo) {
+        const InputRecord &candidate = slots[s].rec;
+        if (candidate.inFlight)
+            continue;
+        if (best == kNoSlot) {
+            best = s;
+            continue;
+        }
+        const InputRecord &incumbent = slots[best].rec;
+        if (candidate.captureTick < incumbent.captureTick ||
+            (candidate.captureTick == incumbent.captureTick &&
+             candidate.enqueueTick < incumbent.enqueueTick))
+            best = s;
+    }
+    return best;
+}
+
+std::optional<SlotId>
+InputBuffer::newestSchedulable() const
+{
+    if (schedulableCount == 0)
+        return std::nullopt;
+    if (captureStrictlyIncreasing) {
+        SlotId best = kNoSlot;
+        for (const Lane &lane : lanes) {
+            if (lane.tail == kNoSlot)
+                continue;
+            if (best == kNoSlot ||
+                slots[lane.tail].rec.captureTick >
+                    slots[best].rec.captureTick)
+                best = lane.tail;
+        }
+        return best;
+    }
+    // Fallback: the last record scanned wins among equals, matching
+    // the legacy newest-first scan.
+    SlotId best = kNoSlot;
+    for (SlotId s = fifoHead; s != kNoSlot; s = slots[s].nextFifo) {
+        const InputRecord &candidate = slots[s].rec;
+        if (candidate.inFlight)
+            continue;
+        if (best == kNoSlot) {
+            best = s;
+            continue;
+        }
+        const InputRecord &incumbent = slots[best].rec;
+        const bool earlier =
+            candidate.captureTick < incumbent.captureTick ||
+            (candidate.captureTick == incumbent.captureTick &&
+             candidate.enqueueTick < incumbent.enqueueTick);
+        if (!earlier)
+            best = s;
+    }
+    return best;
 }
 
 const InputRecord &
-InputBuffer::at(std::size_t index) const
+InputBuffer::record(SlotId slot) const
 {
-    return entries.at(index);
+    if (slot >= slots.size() || !slots[slot].occupied)
+        util::panic(util::msg("InputBuffer: unknown slot ", slot));
+    return slots[slot].rec;
 }
 
 InputRecord
-InputBuffer::markInFlight(std::size_t index)
+InputBuffer::markInFlight(SlotId slot)
 {
-    InputRecord &record = entries.at(index);
-    if (record.inFlight)
+    if (slot >= slots.size() || !slots[slot].occupied)
+        util::panic(util::msg("InputBuffer: unknown slot ", slot));
+    Slot &s = slots[slot];
+    if (s.rec.inFlight)
         util::panic("input already in flight");
-    record.inFlight = true;
-    return record;
+    laneRemove(s.rec.jobId, slot);
+    s.rec.inFlight = true;
+    return s.rec;
+}
+
+SlotId
+InputBuffer::slotForId(std::uint64_t id, const char *op) const
+{
+    const auto it = idToSlot.find(id);
+    if (it == idToSlot.end())
+        util::panic(util::msg(op, " of unknown input id ", id));
+    return it->second;
 }
 
 void
 InputBuffer::release(std::uint64_t id)
 {
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        if (entries.at(i).id == id) {
-            if (!entries.at(i).inFlight)
-                util::panic("releasing an input that is not in flight");
-            entries.removeAt(i);
-            return;
-        }
-    }
-    util::panic(util::msg("release of unknown input id ", id));
+    const SlotId slot = slotForId(id, "release");
+    Slot &s = slots[slot];
+    if (!s.rec.inFlight)
+        util::panic("releasing an input that is not in flight");
+
+    if (s.prevFifo != kNoSlot)
+        slots[s.prevFifo].nextFifo = s.nextFifo;
+    else
+        fifoHead = s.nextFifo;
+    if (s.nextFifo != kNoSlot)
+        slots[s.nextFifo].prevFifo = s.prevFifo;
+    else
+        fifoTail = s.prevFifo;
+
+    s = Slot{};
+    idToSlot.erase(id);
+    freeSlots.push_back(slot);
+    --occupiedCount;
 }
 
 void
 InputBuffer::retag(std::uint64_t id, JobId nextJob, Tick enqueueTick)
 {
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        InputRecord &record = entries.at(i);
-        if (record.id == id) {
-            if (!record.inFlight)
-                util::panic("retagging an input that is not in flight");
-            record.inFlight = false;
-            record.jobId = nextJob;
-            record.enqueueTick = enqueueTick;
-            return;
-        }
-    }
-    util::panic(util::msg("retag of unknown input id ", id));
+    const SlotId slot = slotForId(id, "retag");
+    Slot &s = slots[slot];
+    if (!s.rec.inFlight)
+        util::panic("retagging an input that is not in flight");
+    s.rec.inFlight = false;
+    s.rec.jobId = nextJob;
+    s.rec.enqueueTick = enqueueTick;
+    laneInsertOrdered(nextJob, slot);
+}
+
+void
+InputBuffer::clear()
+{
+    slots.clear();
+    freeSlots.clear();
+    lanes.clear();
+    idToSlot.clear();
+    fifoHead = kNoSlot;
+    fifoTail = kNoSlot;
+    occupiedCount = 0;
+    schedulableCount = 0;
+    nextArrivalSeq = 0;
+    captureStrictlyIncreasing = true;
+    anyPush = false;
+    lastPushCaptureTick = 0;
 }
 
 } // namespace queueing

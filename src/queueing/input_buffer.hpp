@@ -10,6 +10,20 @@
  * Quetzal exists to prevent — and are counted by ground-truth
  * interestingness so experiments can report exactly the paper's
  * metrics.
+ *
+ * Storage is indexed so every per-decision query is O(1) even at
+ * the huge occupancies of the infinite-buffer (Ideal) experiments:
+ *   - slots: lazily grown array; a record keeps its slot (a stable
+ *     SlotId handle) from insert to release,
+ *   - a global intrusive FIFO list in arrival order (the iteration
+ *     and tie-break order of every policy),
+ *   - one intrusive lane per job holding its schedulable records in
+ *     arrival order (oldestSlotForJob / countForJob),
+ *   - an id → slot map (release / retag),
+ *   - a free-list recycling released slots.
+ * Overall capacity can therefore be "practically infinite" without
+ * eagerly allocating it: memory tracks the occupancy high-water
+ * mark, not the configured capacity.
  */
 
 #ifndef QUETZAL_QUEUEING_INPUT_BUFFER_HPP
@@ -17,8 +31,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
-#include "util/ring_buffer.hpp"
 #include "util/types.hpp"
 
 namespace quetzal {
@@ -26,6 +41,13 @@ namespace queueing {
 
 /** Identifies which job class must process an input next. */
 using JobId = std::uint32_t;
+
+/**
+ * Stable handle to a buffered record: valid from the query that
+ * produced it until the record's release (or clear()). Handles are
+ * recycled after release, so do not hold one across mutations.
+ */
+using SlotId = std::uint32_t;
 
 /** One buffered input (e.g. a compressed image). */
 struct InputRecord
@@ -53,10 +75,15 @@ struct OverflowCounts
 };
 
 /**
- * Bounded FIFO of InputRecords with per-job queries.
+ * Bounded FIFO of InputRecords with O(1) per-job queries.
  *
  * Invariant: size() <= capacity() always; the only way an input is
  * lost is an explicit rejected push, which is recorded.
+ *
+ * FIFO ("oldest") order is arrival order: tryPush appends, release
+ * preserves the order of the remaining records, and retag keeps the
+ * record's original position — exactly the semantics the scheduling
+ * policies tie-break on.
  */
 class InputBuffer
 {
@@ -64,48 +91,62 @@ class InputBuffer
     /** @param capacity maximum buffered inputs (paper: 10 images) */
     explicit InputBuffer(std::size_t capacity);
 
-    std::size_t capacity() const { return entries.capacity(); }
-    std::size_t size() const { return entries.size(); }
-    bool empty() const { return entries.empty(); }
-    bool full() const { return entries.full(); }
+    std::size_t capacity() const { return cap; }
+    std::size_t size() const { return occupiedCount; }
+    bool empty() const { return occupiedCount == 0; }
+    bool full() const { return occupiedCount == cap; }
 
     /** Occupancy as a fraction of capacity, in [0, 1]. */
     double occupancyFraction() const;
 
     /**
      * Insert an input. On a full buffer the input is dropped, the
-     * overflow counters advance, and false is returned.
+     * overflow counters advance, and false is returned. Record ids
+     * must be unique among resident records.
      */
     bool tryPush(const InputRecord &record);
 
-    /** Number of schedulable (not in-flight) inputs awaiting a job. */
+    /** Number of schedulable (not in-flight) inputs awaiting a job. O(1). */
     std::size_t countForJob(JobId job) const;
 
-    /** True when any schedulable input exists. */
+    /** True when any schedulable input exists. O(1). */
     bool hasSchedulable() const;
 
     /**
-     * Logical index (0 == oldest overall) of the oldest schedulable
-     * input for the given job, or nullopt when none is queued.
+     * Slot of the oldest (arrival order) schedulable input for the
+     * given job, or nullopt when none is queued. O(1).
      */
-    std::optional<std::size_t> oldestIndexForJob(JobId job) const;
-
-    /** Input at a logical index (0 == oldest). */
-    const InputRecord &at(std::size_t index) const;
+    std::optional<SlotId> oldestSlotForJob(JobId job) const;
 
     /**
-     * Mark the input at a logical index in-flight and return a copy.
-     * The slot stays occupied until release() or retag().
+     * Slot of the schedulable input that orders first by
+     * (captureTick, enqueueTick, arrival): the FCFS choice. O(jobs)
+     * when capture ticks arrived strictly increasing (the runtime's
+     * one-capture-per-tick regime), O(occupancy) otherwise.
      */
-    InputRecord markInFlight(std::size_t index);
+    std::optional<SlotId> oldestSchedulable() const;
 
-    /** Release (remove) the in-flight input with the given id. */
+    /** The LCFS counterpart of oldestSchedulable(). */
+    std::optional<SlotId> newestSchedulable() const;
+
+    /** Record held by a slot. The slot must be occupied. O(1). */
+    const InputRecord &record(SlotId slot) const;
+
+    /**
+     * Mark the input in the given slot in-flight and return a copy.
+     * The slot stays occupied until release() or retag(). O(1).
+     */
+    InputRecord markInFlight(SlotId slot);
+
+    /** Release (remove) the in-flight input with the given id. O(1). */
     void release(std::uint64_t id);
 
     /**
      * Retag the in-flight input for a successor job (spawn): clears
      * the in-flight mark and stamps the re-enqueue time. Never
-     * overflows — the input already owns its slot.
+     * overflows — the input already owns its slot. Amortized O(1)
+     * for the runtime's oldest-first consumption order (worst case
+     * O(lane length) for adversarial orders).
      */
     void retag(std::uint64_t id, JobId nextJob, Tick enqueueTick);
 
@@ -113,10 +154,71 @@ class InputBuffer
     const OverflowCounts &overflows() const { return overflowCounts; }
 
     /** Remove everything (does not touch overflow counters). */
-    void clear() { entries.clear(); }
+    void clear();
+
+    /**
+     * Visit every resident record (in-flight included) oldest-first.
+     * fn receives (SlotId, const InputRecord &). Mutating the buffer
+     * during iteration is undefined.
+     */
+    template <typename Fn>
+    void
+    forEachFifo(Fn &&fn) const
+    {
+        for (SlotId s = fifoHead; s != kNoSlot; s = slots[s].nextFifo)
+            fn(s, slots[s].rec);
+    }
 
   private:
-    util::RingBuffer<InputRecord> entries;
+    static constexpr SlotId kNoSlot = 0xffffffffu;
+
+    struct Slot
+    {
+        InputRecord rec;
+        /** Arrival order (push order); retag keeps it. */
+        std::uint64_t arrivalSeq = 0;
+        SlotId prevFifo = kNoSlot;
+        SlotId nextFifo = kNoSlot;
+        SlotId prevLane = kNoSlot;
+        SlotId nextLane = kNoSlot;
+        bool occupied = false;
+    };
+
+    /** Per-job FIFO of schedulable records, in arrival order. */
+    struct Lane
+    {
+        SlotId head = kNoSlot;
+        SlotId tail = kNoSlot;
+        std::size_t count = 0;
+    };
+
+    SlotId allocateSlot();
+    Lane &laneFor(JobId job);
+    void laneAppend(JobId job, SlotId slot);
+    void laneInsertOrdered(JobId job, SlotId slot);
+    void laneRemove(JobId job, SlotId slot);
+    SlotId slotForId(std::uint64_t id, const char *op) const;
+
+    std::size_t cap;
+    std::size_t occupiedCount = 0;
+    std::size_t schedulableCount = 0;
+    std::vector<Slot> slots;
+    std::vector<SlotId> freeSlots;
+    std::vector<Lane> lanes;
+    std::unordered_map<std::uint64_t, SlotId> idToSlot;
+    SlotId fifoHead = kNoSlot;
+    SlotId fifoTail = kNoSlot;
+    std::uint64_t nextArrivalSeq = 0;
+    /**
+     * True while every push carried a captureTick strictly greater
+     * than its predecessor's (the simulator's one-capture-per-tick
+     * regime). Enables the O(jobs) FCFS/LCFS fast path: each lane is
+     * then also capture-ordered, so the global extreme is an extreme
+     * over lane heads/tails.
+     */
+    bool captureStrictlyIncreasing = true;
+    bool anyPush = false;
+    Tick lastPushCaptureTick = 0;
     OverflowCounts overflowCounts;
 };
 

@@ -253,11 +253,12 @@ Simulator::tryBeginJob(Tick now)
 
     ActiveJob job;
     job.selection = *selection;
-    job.input = buffer.markInFlight(selection->bufferIndex);
+    job.input = buffer.markInFlight(selection->slot);
     job.jobStart = now;
     job.dropsAtStart = totalDrops();
-    job.executed.assign(
+    executedScratch.assign(
         system.job(selection->jobId).tasks.size(), true);
+    job.executed = std::move(executedScratch);
     activeJob = std::move(job);
 
     // Charge the controller's modeled invocation cost (section 6.3:
@@ -356,11 +357,18 @@ Simulator::finishJob(Tick now)
         jobFlags |= obs::kFlagInteresting;
 
     if (job.id == appModel.classifyJob) {
-        // Which option the (degradable) inference task ran at.
+        // Which option the (degradable) inference task ran at. The
+        // position is resolved at application-build time; fall back
+        // to the scan for hand-built models that never resolved it.
         std::size_t mlOption = 0;
-        for (std::size_t i = 0; i < job.tasks.size(); ++i) {
-            if (job.tasks[i] == appModel.inferenceTask)
-                mlOption = activeJob->selection.optionPerTask[i];
+        if (appModel.inferenceTaskPos) {
+            mlOption = activeJob->selection
+                .optionPerTask[*appModel.inferenceTaskPos];
+        } else {
+            for (std::size_t i = 0; i < job.tasks.size(); ++i) {
+                if (job.tasks[i] == appModel.inferenceTask)
+                    mlOption = activeJob->selection.optionPerTask[i];
+            }
         }
         const bool positive = appModel.classifyPositive(
             outcomeRng, mlOption, input.interesting);
@@ -386,9 +394,14 @@ Simulator::finishJob(Tick now)
         }
     } else if (job.id == appModel.transmitJob) {
         std::size_t radioOption = 0;
-        for (std::size_t i = 0; i < job.tasks.size(); ++i) {
-            if (job.tasks[i] == appModel.radioTask)
-                radioOption = activeJob->selection.optionPerTask[i];
+        if (appModel.radioTaskPos) {
+            radioOption = activeJob->selection
+                .optionPerTask[*appModel.radioTaskPos];
+        } else {
+            for (std::size_t i = 0; i < job.tasks.size(); ++i) {
+                if (job.tasks[i] == appModel.radioTask)
+                    radioOption = activeJob->selection.optionPerTask[i];
+            }
         }
         const bool highQuality = radioOption == 0;
         jobFlags |= obs::kFlagTransmit;
@@ -437,6 +450,7 @@ Simulator::finishJob(Tick now)
         }
     }
 
+    executedScratch = std::move(activeJob->executed);
     activeJob.reset();
 }
 
@@ -445,10 +459,11 @@ Simulator::accountLeftovers()
 {
     // In-flight records still live in the buffer, so this single
     // scan covers a job interrupted by the horizon as well.
-    for (std::size_t i = 0; i < buffer.size(); ++i) {
-        if (buffer.at(i).interesting)
+    buffer.forEachFifo([this](queueing::SlotId,
+                              const queueing::InputRecord &rec) {
+        if (rec.interesting)
             ++metrics.unprocessedInteresting;
-    }
+    });
 }
 
 } // namespace sim

@@ -136,6 +136,12 @@ class Simulator
     util::Rng outcomeRng;
 
     std::optional<ActiveJob> activeJob;
+    /**
+     * Recycled backing storage for ActiveJob::executed, so beginning
+     * a job reuses the previous job's allocation instead of paying
+     * one heap round-trip per completion.
+     */
+    std::vector<bool> executedScratch;
     bool inOverheadPhase = false;
     double overheadCarrySeconds = 0.0;
     std::uint64_t nextInputId = 1;

@@ -27,7 +27,7 @@ TEST(Fcfs, PicksOldestCapture)
     const auto decision =
         policy.select(*s.system, buffer, exact, {1.0, 255}, 0.0);
     ASSERT_TRUE(decision.has_value());
-    EXPECT_EQ(buffer.at(decision->bufferIndex).id, 2u);
+    EXPECT_EQ(buffer.record(decision->slot).id, 2u);
     EXPECT_EQ(decision->jobId, s.transmitJob);
 }
 
@@ -43,7 +43,7 @@ TEST(Lcfs, PicksNewestCapture)
     const auto decision =
         policy.select(*s.system, buffer, exact, {1.0, 255}, 0.0);
     ASSERT_TRUE(decision.has_value());
-    EXPECT_EQ(buffer.at(decision->bufferIndex).id, 3u);
+    EXPECT_EQ(buffer.record(decision->slot).id, 3u);
 }
 
 TEST(Fcfs, TieBreaksOnEnqueueTime)
@@ -68,7 +68,7 @@ TEST(Fcfs, TieBreaksOnEnqueueTime)
     const auto decision =
         policy.select(*s.system, buffer, exact, {1.0, 255}, 0.0);
     ASSERT_TRUE(decision.has_value());
-    EXPECT_EQ(buffer.at(decision->bufferIndex).id, 1u);
+    EXPECT_EQ(buffer.record(decision->slot).id, 1u);
 }
 
 TEST(Fcfs, SkipsInFlight)
@@ -77,13 +77,13 @@ TEST(Fcfs, SkipsInFlight)
     queueing::InputBuffer buffer(10);
     pushInput(buffer, s, 1, 100, s.classifyJob);
     pushInput(buffer, s, 2, 200, s.classifyJob);
-    buffer.markInFlight(0);
+    buffer.markInFlight(*buffer.oldestSlotForJob(s.classifyJob));
     FcfsPolicy policy;
     core::EnergyAwareEstimator exact(false);
     const auto decision =
         policy.select(*s.system, buffer, exact, {1.0, 255}, 0.0);
     ASSERT_TRUE(decision.has_value());
-    EXPECT_EQ(buffer.at(decision->bufferIndex).id, 2u);
+    EXPECT_EQ(buffer.record(decision->slot).id, 2u);
 }
 
 TEST(Fcfs, EmptyAndAllInFlightGiveNothing)
@@ -96,7 +96,7 @@ TEST(Fcfs, EmptyAndAllInFlightGiveNothing)
                                0.0)
                      .has_value());
     pushInput(buffer, s, 1, 100, s.classifyJob);
-    buffer.markInFlight(0);
+    buffer.markInFlight(*buffer.oldestSlotForJob(s.classifyJob));
     EXPECT_FALSE(policy.select(*s.system, buffer, exact, {1.0, 255},
                                0.0)
                      .has_value());

@@ -90,8 +90,8 @@ TEST(EnergyAwareSjf, SelectsOldestInputOfChosenJob)
     const auto decision =
         policy.select(*s.system, buffer, exact, {1.0, 255}, 0.0);
     ASSERT_TRUE(decision.has_value());
-    // oldestIndexForJob returns the first (oldest-enqueued) entry.
-    EXPECT_EQ(buffer.at(decision->bufferIndex).id, 1u);
+    // oldestSlotForJob returns the first (oldest-enqueued) entry.
+    EXPECT_EQ(buffer.record(decision->slot).id, 1u);
 }
 
 TEST(EnergyAwareSjf, PidCorrectionAddsUniformly)
@@ -128,7 +128,7 @@ TEST(EnergyAwareSjf, SkipsInFlightInputs)
     auto s = makeSmallSystem();
     queueing::InputBuffer buffer(10);
     pushInput(buffer, s, 1, 100, s.classifyJob);
-    buffer.markInFlight(0);
+    buffer.markInFlight(*buffer.oldestSlotForJob(s.classifyJob));
     EnergyAwareSjfPolicy policy;
     EnergyAwareEstimator exact(false);
     EXPECT_FALSE(policy.select(*s.system, buffer, exact, {1.0, 255},

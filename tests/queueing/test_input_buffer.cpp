@@ -57,10 +57,10 @@ TEST(InputBuffer, PerJobQueries)
     EXPECT_EQ(buffer.countForJob(0), 2u);
     EXPECT_EQ(buffer.countForJob(1), 1u);
     EXPECT_EQ(buffer.countForJob(7), 0u);
-    ASSERT_TRUE(buffer.oldestIndexForJob(0).has_value());
-    EXPECT_EQ(*buffer.oldestIndexForJob(0), 0u);
-    EXPECT_EQ(*buffer.oldestIndexForJob(1), 1u);
-    EXPECT_FALSE(buffer.oldestIndexForJob(7).has_value());
+    ASSERT_TRUE(buffer.oldestSlotForJob(0).has_value());
+    EXPECT_EQ(buffer.record(*buffer.oldestSlotForJob(0)).id, 1u);
+    EXPECT_EQ(buffer.record(*buffer.oldestSlotForJob(1)).id, 2u);
+    EXPECT_FALSE(buffer.oldestSlotForJob(7).has_value());
 }
 
 TEST(InputBuffer, InFlightKeepsSlotButNotSchedulable)
@@ -68,14 +68,15 @@ TEST(InputBuffer, InFlightKeepsSlotButNotSchedulable)
     InputBuffer buffer(2);
     buffer.tryPush(record(1, 0));
     buffer.tryPush(record(2, 0));
-    const InputRecord taken = buffer.markInFlight(0);
+    const InputRecord taken =
+        buffer.markInFlight(*buffer.oldestSlotForJob(0));
     EXPECT_EQ(taken.id, 1u);
     // Slot still occupied: buffer remains full.
     EXPECT_TRUE(buffer.full());
     EXPECT_FALSE(buffer.tryPush(record(3, 0)));
     // But only record 2 is schedulable.
     EXPECT_EQ(buffer.countForJob(0), 1u);
-    EXPECT_EQ(*buffer.oldestIndexForJob(0), 1u);
+    EXPECT_EQ(buffer.record(*buffer.oldestSlotForJob(0)).id, 2u);
     EXPECT_TRUE(buffer.hasSchedulable());
 }
 
@@ -84,7 +85,7 @@ TEST(InputBuffer, ReleaseFreesSlot)
     InputBuffer buffer(2);
     buffer.tryPush(record(1, 0));
     buffer.tryPush(record(2, 0));
-    buffer.markInFlight(0);
+    buffer.markInFlight(*buffer.oldestSlotForJob(0));
     buffer.release(1);
     EXPECT_EQ(buffer.size(), 1u);
     EXPECT_TRUE(buffer.tryPush(record(3, 0)));
@@ -95,13 +96,13 @@ TEST(InputBuffer, RetagNeverOverflows)
     InputBuffer buffer(2);
     buffer.tryPush(record(1, 0));
     buffer.tryPush(record(2, 0));
-    buffer.markInFlight(0);
+    buffer.markInFlight(*buffer.oldestSlotForJob(0));
     // Spawn: retag for job 1 even though the buffer is full.
     buffer.retag(1, 1, 555);
     EXPECT_TRUE(buffer.full());
     EXPECT_EQ(buffer.overflows().total, 0u);
-    ASSERT_TRUE(buffer.oldestIndexForJob(1).has_value());
-    const auto &retagged = buffer.at(*buffer.oldestIndexForJob(1));
+    ASSERT_TRUE(buffer.oldestSlotForJob(1).has_value());
+    const auto &retagged = buffer.record(*buffer.oldestSlotForJob(1));
     EXPECT_EQ(retagged.id, 1u);
     EXPECT_EQ(retagged.enqueueTick, 555);
     EXPECT_FALSE(retagged.inFlight);
@@ -111,17 +112,18 @@ TEST(InputBuffer, HasSchedulableFalseWhenAllInFlight)
 {
     InputBuffer buffer(2);
     buffer.tryPush(record(1, 0));
-    buffer.markInFlight(0);
+    buffer.markInFlight(*buffer.oldestSlotForJob(0));
     EXPECT_FALSE(buffer.hasSchedulable());
-    EXPECT_FALSE(buffer.oldestIndexForJob(0).has_value());
+    EXPECT_FALSE(buffer.oldestSlotForJob(0).has_value());
 }
 
 TEST(InputBufferDeathTest, DoubleInFlightPanics)
 {
     InputBuffer buffer(2);
     buffer.tryPush(record(1, 0));
-    buffer.markInFlight(0);
-    EXPECT_DEATH(buffer.markInFlight(0), "in flight");
+    const SlotId slot = *buffer.oldestSlotForJob(0);
+    buffer.markInFlight(slot);
+    EXPECT_DEATH(buffer.markInFlight(slot), "in flight");
 }
 
 TEST(InputBufferDeathTest, ReleaseNotInFlightPanics)
@@ -135,7 +137,7 @@ TEST(InputBufferDeathTest, RetagUnknownIdPanics)
 {
     InputBuffer buffer(2);
     buffer.tryPush(record(1, 0));
-    buffer.markInFlight(0);
+    buffer.markInFlight(*buffer.oldestSlotForJob(0));
     EXPECT_DEATH(buffer.retag(99, 1, 0), "unknown");
 }
 
