@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Line-coverage gate over the scheduling core (src/core) and the
-# queueing layer (src/queueing): build with gcov instrumentation, run
-# the test binaries that exercise those modules, aggregate gcov's
-# per-file "Lines executed" reports and fail if overall line coverage
+# Line-coverage gate over the scheduling core (src/core), the
+# queueing layer (src/queueing), the simulation engine (src/sim), the
+# hardware models (src/hw) and the fault-injection layer (src/fault):
+# build with gcov instrumentation, run the test binaries that exercise
+# those modules, aggregate gcov's per-file "Lines executed" reports,
+# print a per-directory breakdown and fail if overall line coverage
 # drops below the floor.
 #
 # Usage: scripts/check_coverage.sh [build-dir]   (default build-cov)
@@ -16,13 +18,14 @@ FLOOR="${QUETZAL_COVERAGE_FLOOR:-85}"
 cmake -B "$BUILD_DIR" -S . -DQUETZAL_COVERAGE=ON \
     -DCMAKE_BUILD_TYPE=Debug
 cmake --build "$BUILD_DIR" -j --target \
-    test_core test_queueing test_sim test_obs test_integration
+    test_core test_queueing test_sim test_obs test_hw test_fault \
+    test_integration
 
 # Fresh counters: each binary appends to the same .gcda files.
 find "$BUILD_DIR" -name '*.gcda' -delete
 
-for test_bin in test_core test_queueing test_sim test_obs \
-        test_integration; do
+for test_bin in test_core test_queueing test_sim test_obs test_hw \
+        test_fault test_integration; do
     "$BUILD_DIR/tests/$test_bin" --gtest_brief=1
 done
 
@@ -33,7 +36,8 @@ done
 # Sum executed/total over files under the gated directories only
 # (headers included — templates and inline hot paths count).
 summary="$(
-    for module in quetzal_core quetzal_queueing; do
+    for module in quetzal_core quetzal_queueing quetzal_sim \
+            quetzal_hw quetzal_fault; do
         objdir="$BUILD_DIR/src/CMakeFiles/$module.dir"
         find "$objdir" -name '*.gcno' | while read -r gcno; do
             gcov -n -o "$(dirname "$gcno")" "$gcno" 2>/dev/null
@@ -43,7 +47,11 @@ summary="$(
 
 echo "$summary" | awk -v floor="$FLOOR" '
     /^File / {
-        gated = ($0 ~ /src\/(core|queueing)\//)
+        gated = 0
+        if (match($0, /src\/(core|queueing|sim|hw|fault)\//)) {
+            gated = 1
+            dir = substr($0, RSTART + 4, RLENGTH - 5)
+        }
     }
     gated && /^Lines executed:/ {
         # "Lines executed:NN.NN% of M"
@@ -52,6 +60,8 @@ echo "$summary" | awk -v floor="$FLOOR" '
         n = $NF
         executed += pct / 100.0 * n
         total += n
+        dirExecuted[dir] += pct / 100.0 * n
+        dirTotal[dir] += n
         gated = 0  # count each file once per gcov invocation block
     }
     END {
@@ -59,8 +69,16 @@ echo "$summary" | awk -v floor="$FLOOR" '
             print "check_coverage: no gcov data found" > "/dev/stderr"
             exit 2
         }
+        ndirs = split("core queueing sim hw fault", order, " ")
+        for (i = 1; i <= ndirs; ++i) {
+            d = order[i]
+            if (dirTotal[d] == 0)
+                continue
+            printf "check_coverage:   src/%-9s %6.1f%% of %5d lines\n",
+                d, 100.0 * dirExecuted[d] / dirTotal[d], dirTotal[d]
+        }
         coverage = 100.0 * executed / total
-        printf "check_coverage: %.1f%% of %d lines in src/core + src/queueing (floor %s%%)\n",
+        printf "check_coverage: %.1f%% of %d lines overall (floor %s%%)\n",
             coverage, total, floor
         if (coverage < floor) {
             print "check_coverage: FAIL — below floor" > "/dev/stderr"

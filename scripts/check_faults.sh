@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Fault-injection gates, cheap enough to run with the suite:
+#
+#  1. Every committed fault scenario (scenarios/fault*.json) validates
+#     and produces byte-identical output for --jobs 1 vs --jobs 4.
+#  2. Inertness: a population with "faults": {} produces output
+#     byte-identical to the same population without the key at all —
+#     the disabled fault plumbing must not disturb a single byte.
+#  3. Liveness: an active fault block DOES change the output, so the
+#     inertness diff above cannot pass vacuously.
+#
+# Usage: scripts/check_faults.sh [quetzal-sim] [scenario-dir]
+#   quetzal-sim   path to the CLI (default build/tools/quetzal-sim)
+#   scenario-dir  directory of fault*.json (default scenarios/)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SIM="${1:-build/tools/quetzal-sim}"
+DIR="${2:-scenarios}"
+EVENTS="${CHECK_FAULTS_EVENTS:-60}"
+
+if [ ! -x "$SIM" ]; then
+    echo "check_faults: simulator not found at $SIM" >&2
+    echo "  build it first: cmake --build build --target quetzal_sim_cli" >&2
+    exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+status=0
+
+# --- Gate 1: committed fault scenarios -------------------------------
+shopt -s nullglob
+files=("$DIR"/fault*.json)
+if [ ${#files[@]} -eq 0 ]; then
+    echo "check_faults: no fault scenarios in $DIR" >&2
+    exit 1
+fi
+
+for file in "${files[@]}"; do
+    name="$(basename "$file")"
+    if ! "$SIM" --scenario "$file" --validate >/dev/null; then
+        echo "check_faults: FAIL $name (validation)" >&2
+        status=1
+        continue
+    fi
+    "$SIM" --scenario "$file" --events "$EVENTS" --jobs 1 \
+        >"$tmp/serial.out"
+    "$SIM" --scenario "$file" --events "$EVENTS" --jobs 4 \
+        >"$tmp/parallel.out"
+    if ! diff -u "$tmp/serial.out" "$tmp/parallel.out"; then
+        echo "check_faults: FAIL $name (nondeterministic across" \
+             "--jobs 1 vs --jobs 4)" >&2
+        status=1
+        continue
+    fi
+    echo "check_faults: OK $name ($EVENTS events)"
+done
+
+# --- Gates 2 + 3: inertness and liveness -----------------------------
+# Three single-population scenarios, identical but for the faults key.
+# The FAULTS line is spliced in so everything else is byte-for-byte
+# the same input text.
+scenario() {
+    local faults_line="$1"
+    cat <<EOF
+{
+  "schema_version": 1,
+  "name": "faults_inertness_probe",
+  "defaults": {"device": "apollo4", "events": $EVENTS,
+               "seed": 7, "buffer": 8},
+  "populations": [
+    {"name": "QZ", "controller": "QZ"$faults_line}
+  ]
+}
+EOF
+}
+
+scenario ''                      >"$tmp/absent.json"
+scenario ', "faults": {}'        >"$tmp/empty.json"
+scenario ', "faults": {"seed": 11, "execution": {"overrun_probability": 0.5, "overrun_factor": 2.0}}' \
+                                 >"$tmp/active.json"
+
+"$SIM" --scenario "$tmp/absent.json" --jobs 1 >"$tmp/absent.out"
+"$SIM" --scenario "$tmp/empty.json"  --jobs 1 >"$tmp/empty.out"
+"$SIM" --scenario "$tmp/active.json" --jobs 1 >"$tmp/active.out"
+
+if ! diff -u "$tmp/absent.out" "$tmp/empty.out"; then
+    echo "check_faults: FAIL inertness — \"faults\": {} changed the" \
+         "output vs no faults key" >&2
+    status=1
+else
+    echo "check_faults: OK inertness (empty fault block is byte-inert)"
+fi
+
+if diff -q "$tmp/absent.out" "$tmp/active.out" >/dev/null; then
+    echo "check_faults: FAIL liveness — an active fault block left" \
+         "the output unchanged" >&2
+    status=1
+else
+    echo "check_faults: OK liveness (active faults perturb the run)"
+fi
+
+if [ $status -ne 0 ]; then
+    echo "check_faults: FAILED" >&2
+    exit $status
+fi
+echo "check_faults: all fault gates OK"

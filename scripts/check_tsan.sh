@@ -13,7 +13,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DQUETZAL_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target test_sim test_obs test_queueing \
-    micro_simulator micro_buffer
+    test_fault micro_simulator micro_buffer
 
 # TSan aborts with exit code 66 on the first detected race.
 export TSAN_OPTIONS="halt_on_error=1 exitcode=66 ${TSAN_OPTIONS:-}"
@@ -33,6 +33,17 @@ export TSAN_OPTIONS="halt_on_error=1 exitcode=66 ${TSAN_OPTIONS:-}"
 # memory-safety workout for the slot/lane/free-list pointers).
 "$BUILD_DIR"/tests/test_queueing \
     --gtest_filter='*InputBufferDifferential*'
+
+# The analytical queueing oracle's conformance grid drives the seeded
+# mini queue simulator from test threads alongside the closed form.
+"$BUILD_DIR"/tests/test_queueing \
+    --gtest_filter='*OracleConformance*:OracleSimulation.*'
+
+# Faulted ensembles on 1 and 4 workers: the per-run FaultInjector and
+# its fork()ed RNG streams are built on worker threads, and the golden
+# tests compare the serialized bytes across job counts.
+"$BUILD_DIR"/tests/test_fault \
+    --gtest_filter='GoldenFaultTrace.*:FaultInjector.*'
 
 # Serial vs parallel ensembles on several worker threads; the binary
 # itself panics if the results diverge. Controllers (and their

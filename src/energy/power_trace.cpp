@@ -191,6 +191,62 @@ PowerTrace::scaled(double factor) const
     return PowerTrace(std::move(copy));
 }
 
+PowerTrace
+PowerTrace::overlaid(const std::vector<OverlayWindow> &windows) const
+{
+    Tick previousEnd = kTickNever;
+    bool anyActive = false;
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        const OverlayWindow &w = windows[i];
+        if (w.end < w.start)
+            util::panic("PowerTrace overlay window ends before it starts");
+        if (i > 0 && w.start < previousEnd)
+            util::panic("PowerTrace overlay windows must be sorted and "
+                        "non-overlapping");
+        previousEnd = w.end;
+        if (w.end > w.start && w.factor != 1.0)
+            anyActive = true;
+    }
+    if (!anyActive || segments.empty())
+        return *this;
+
+    // Merge the segment starts with the window boundaries: at every
+    // boundary the new value is valueAt(t) times the factor of the
+    // window holding at t (1 outside all windows).
+    std::vector<Tick> boundaries;
+    boundaries.reserve(segments.size() + 2 * windows.size());
+    for (const Segment &seg : segments)
+        boundaries.push_back(seg.start);
+    for (const OverlayWindow &w : windows) {
+        if (w.end == w.start || w.factor == 1.0)
+            continue;
+        boundaries.push_back(w.start);
+        boundaries.push_back(w.end);
+    }
+    std::sort(boundaries.begin(), boundaries.end());
+    boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                     boundaries.end());
+
+    auto factorAt = [&](Tick tick) {
+        for (const OverlayWindow &w : windows) {
+            if (tick < w.start)
+                break;
+            if (tick < w.end)
+                return w.factor;
+        }
+        return 1.0;
+    };
+
+    std::vector<Segment> merged;
+    merged.reserve(boundaries.size());
+    for (Tick tick : boundaries) {
+        const double value = valueAt(tick) * factorAt(tick);
+        if (merged.empty() || merged.back().value != value)
+            merged.push_back({tick, value});
+    }
+    return PowerTrace(std::move(merged));
+}
+
 void
 PowerTrace::writeCsv(std::ostream &out) const
 {

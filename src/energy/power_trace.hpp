@@ -127,6 +127,26 @@ class PowerTrace
     PowerTrace scaled(double factor) const;
 
     /**
+     * One multiplicative overlay window: value *= factor over the
+     * right-open tick range [start, end). Used by the fault layer for
+     * harvest dropouts (factor 0) and spikes (factor > 1).
+     */
+    struct OverlayWindow
+    {
+        Tick start = 0;
+        Tick end = 0;
+        double factor = 1.0;
+    };
+
+    /**
+     * Return a copy with the windows spliced in. Windows must be
+     * sorted by start and non-overlapping (panics otherwise); empty
+     * or identity (factor 1) windows are dropped. Outside every
+     * window the copy is value-identical to this trace.
+     */
+    PowerTrace overlaid(const std::vector<OverlayWindow> &windows) const;
+
+    /**
      * Serialize as CSV rows "time_seconds,value".
      */
     void writeCsv(std::ostream &out) const;

@@ -1,0 +1,38 @@
+#include "fault/fault_spec.hpp"
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace fault {
+
+namespace {
+
+constexpr const char *kClassNames[kFaultClassCount] = {
+    "measurement_bias", "measurement_noise", "adc_code",
+    "power_dropout",    "power_spike",       "arrival_burst",
+    "capture_jitter",   "exec_overrun",
+};
+
+} // namespace
+
+std::string
+faultClassName(FaultClass cls)
+{
+    const auto index = static_cast<std::size_t>(cls);
+    if (index >= kFaultClassCount)
+        util::panic("unknown fault class");
+    return kClassNames[index];
+}
+
+std::optional<FaultClass>
+parseFaultClass(const std::string &name)
+{
+    for (std::size_t i = 0; i < kFaultClassCount; ++i) {
+        if (name == kClassNames[i])
+            return static_cast<FaultClass>(i);
+    }
+    return std::nullopt;
+}
+
+} // namespace fault
+} // namespace quetzal

@@ -26,7 +26,19 @@ std::uint8_t
 Adc8::sample(Volts voltage) const
 {
     const double code = std::round(voltage / lsbVolts());
-    return static_cast<std::uint8_t>(std::clamp(code, 0.0, 255.0));
+    return applyFaults(
+        static_cast<std::uint8_t>(std::clamp(code, 0.0, 255.0)));
+}
+
+std::uint8_t
+Adc8::applyFaults(std::uint8_t code) const
+{
+    if (cfg.faultFree())
+        return code;
+    code = static_cast<std::uint8_t>(
+        (code | cfg.stuckHighMask) & ~cfg.stuckLowMask);
+    code = static_cast<std::uint8_t>(code ^ cfg.flipMask);
+    return std::min(code, cfg.saturateMax);
 }
 
 std::uint8_t

@@ -23,6 +23,28 @@ struct AdcConfig
 {
     Volts vRef = 0.6;       ///< full-scale voltage (paper's V_ADCMax)
     double noiseLsb = 0.0;  ///< std-dev of additive noise, in LSBs
+
+    /**
+     * @name Hardware-fault masks (src/fault)
+     * Applied to every quantized code, in this order: bits in
+     * stuckHighMask read as 1, bits in stuckLowMask read as 0, bits
+     * in flipMask invert, and the result saturates at saturateMax.
+     * The defaults are the identity, so a clean AdcConfig is exactly
+     * the pre-fault ADC.
+     */
+    /// @{
+    std::uint8_t stuckHighMask = 0;
+    std::uint8_t stuckLowMask = 0;
+    std::uint8_t flipMask = 0;
+    std::uint8_t saturateMax = 255;
+    /// @}
+
+    /** True when the fault masks are the identity. */
+    bool faultFree() const
+    {
+        return stuckHighMask == 0 && stuckLowMask == 0 &&
+            flipMask == 0 && saturateMax == 255;
+    }
 };
 
 /**
@@ -53,6 +75,9 @@ class Adc8
 
     /** Reconstruct the voltage a code represents (bin center). */
     Volts voltageForCode(std::uint8_t code) const;
+
+    /** Apply the config's fault masks to an already-quantized code. */
+    std::uint8_t applyFaults(std::uint8_t code) const;
 
   private:
     AdcConfig cfg;

@@ -29,6 +29,9 @@ constexpr KindInfo kKinds[kEventKindCount] = {
     {EventKind::RechargeInterval, "recharge", ObsLevel::Counters},
     {EventKind::BufferOccupancy, "occupancy", ObsLevel::Full},
     {EventKind::RunEnd, "run_end", ObsLevel::Counters},
+    {EventKind::FaultInjected, "fault_injected", ObsLevel::Counters},
+    {EventKind::FaultDetected, "fault_detected", ObsLevel::Counters},
+    {EventKind::FaultMitigated, "fault_mitigated", ObsLevel::Counters},
 };
 
 const KindInfo &

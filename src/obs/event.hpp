@@ -63,10 +63,13 @@ enum class EventKind : std::uint8_t {
     RechargeInterval, ///< ticks spent off, recharging
     BufferOccupancy,  ///< queue-depth sample
     RunEnd,           ///< run-level totals (horizon, nominal inputs)
+    FaultInjected,    ///< fault layer perturbed the run (src/fault)
+    FaultDetected,    ///< prediction error crossed the fault threshold
+    FaultMitigated,   ///< error back under threshold while fault active
 };
 
 /** Number of distinct event kinds. */
-constexpr std::size_t kEventKindCount = 13;
+constexpr std::size_t kEventKindCount = 16;
 
 /** Kind display name ("capture", "schedule", ...). */
 std::string eventKindName(EventKind kind);
@@ -109,6 +112,9 @@ constexpr std::uint32_t kFlagUnfinished = 1u << 9;   ///< cut by horizon
  * RechargeInterval | —            | ticks off    | —            | —            | —          | —
  * BufferOccupancy  | —            | occupancy    | capacity     | —            | —          | —
  * RunEnd           | env events   | nominal interesting | unprocessed interesting | env interesting events | simulated ticks | —
+ * FaultInjected    | injection seq| fault class  | window end tick (0 = point/persistent) | magnitude | — | —
+ * FaultDetected    | episode seq  | —            | —            | error (s)    | threshold (s) | —
+ * FaultMitigated   | episode seq  | calm streak  | —            | error (s)    | PID output (s) | —
  *
  * `tick` is the simulated time the event was recorded at.
  */

@@ -180,6 +180,18 @@ MetricsRegistry::record(const Event &event)
         replay.eventsInteresting = static_cast<std::uint64_t>(event.a);
         replay.simulatedTicks = static_cast<Tick>(event.b);
         break;
+
+      case EventKind::FaultInjected:
+        ++replay.faultsInjected;
+        break;
+
+      case EventKind::FaultDetected:
+        ++replay.faultsDetected;
+        break;
+
+      case EventKind::FaultMitigated:
+        ++replay.faultsMitigated;
+        break;
     }
 }
 
@@ -244,6 +256,11 @@ MetricsRegistry::printSummary(std::ostream &out,
             << " s, p95 " << errorHist.quantile(0.95)
             << " s; PID output mean " << pidRun.mean() << " s ("
             << errorRun.count() << " samples)\n";
+    }
+    if (c.faultsInjected + c.faultsDetected + c.faultsMitigated > 0) {
+        out << "  faults: injected " << c.faultsInjected
+            << ", detected " << c.faultsDetected << ", mitigated "
+            << c.faultsMitigated << "\n";
     }
     if (!degradation.empty()) {
         out << "  degradation options:";

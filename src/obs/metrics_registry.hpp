@@ -63,6 +63,10 @@ struct ReplayCounters
     std::uint64_t interestingInputsNominal = 0;
     std::uint64_t unprocessedInteresting = 0;
     Tick simulatedTicks = 0;
+    /** Fault-layer lifecycle (src/fault); all zero on clean runs. */
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsDetected = 0;
+    std::uint64_t faultsMitigated = 0;
 };
 
 /**

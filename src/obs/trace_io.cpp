@@ -91,6 +91,18 @@ schemaFor(EventKind kind)
           {"unprocessed", Field::Extra}, {"env_interesting", Field::A},
           {"sim_ticks", Field::B}},
          {}},
+        // FaultInjected
+        {{{"seq", Field::Id}, {"class", Field::Value},
+          {"until", Field::Extra}, {"magnitude", Field::A}},
+         {}},
+        // FaultDetected
+        {{{"seq", Field::Id}, {"error", Field::A},
+          {"threshold", Field::B}},
+         {}},
+        // FaultMitigated
+        {{{"seq", Field::Id}, {"streak", Field::Value},
+          {"error", Field::A}, {"output", Field::B}},
+         {}},
     };
     const auto index = static_cast<std::size_t>(kind);
     if (index >= kEventKindCount)

@@ -126,6 +126,216 @@ applyPid(const json::Value &v, sim::ExperimentConfig &cfg)
         cfg.pid.kd = *kd->asDouble();
 }
 
+/** One numeric sub-field of the "faults" override. */
+struct FaultNumberDesc
+{
+    const char *key;
+    double lo;
+    double hi;
+    bool integer; ///< value must also be a whole unsigned number
+};
+
+/** Validate one "faults" sub-object of numeric fields. */
+bool
+checkFaultSection(const json::Value &v, const std::string &path,
+                  std::initializer_list<FaultNumberDesc> allowed,
+                  std::string &why)
+{
+    if (!v.isObject()) {
+        why = path + " must be an object";
+        return false;
+    }
+    for (const auto &[key, value] : v.members) {
+        const FaultNumberDesc *match = nullptr;
+        for (const FaultNumberDesc &desc : allowed) {
+            if (key == desc.key) {
+                match = &desc;
+                break;
+            }
+        }
+        if (match == nullptr) {
+            why = path + ": unknown key \"" + key + "\" (allowed:";
+            bool first = true;
+            for (const FaultNumberDesc &desc : allowed) {
+                why += first ? " " : ", ";
+                why += desc.key;
+                first = false;
+            }
+            why += ")";
+            return false;
+        }
+        const bool fits = match->integer
+            ? uintInRange(value, static_cast<std::uint64_t>(match->lo),
+                          static_cast<std::uint64_t>(match->hi))
+            : doubleInRange(value, match->lo, match->hi);
+        if (!fits) {
+            std::ostringstream range;
+            range << path << "." << key << " must be "
+                  << (match->integer ? "an integer" : "a number")
+                  << " in [" << match->lo << ", " << match->hi << "]";
+            why = range.str();
+            return false;
+        }
+    }
+    return true;
+}
+
+/** The "faults" override: the scenario surface of fault::FaultSpec. */
+bool
+checkFaults(const json::Value &v, std::string &why)
+{
+    if (!v.isObject()) {
+        why = "must be an object of fault sub-blocks, e.g. "
+              "{\"measurement\": {\"bias_watts\": 0.002}}";
+        return false;
+    }
+    for (const auto &[key, value] : v.members) {
+        if (key == "seed") {
+            if (!value.asUint64()) {
+                why = "faults.seed must be an unsigned 64-bit integer";
+                return false;
+            }
+        } else if (key == "detect_error_s") {
+            if (!doubleInRange(value, 1e-9, 1e6)) {
+                why = "faults.detect_error_s must be a positive number";
+                return false;
+            }
+        } else if (key == "mitigate_streak") {
+            if (!uintInRange(value, 1, 1000)) {
+                why = "faults.mitigate_streak must be an integer in "
+                      "[1, 1000]";
+                return false;
+            }
+        } else if (key == "measurement") {
+            if (!checkFaultSection(value, "faults.measurement",
+                                   {{"bias_watts", -10.0, 10.0, false},
+                                    {"noise_sigma", 0.0, 10.0, false}},
+                                   why))
+                return false;
+        } else if (key == "adc") {
+            if (!checkFaultSection(
+                    value, "faults.adc",
+                    {{"stuck_high_mask", 0, 255, true},
+                     {"stuck_low_mask", 0, 255, true},
+                     {"flip_mask", 0, 255, true},
+                     {"saturate_max", 0, 255, true}},
+                    why))
+                return false;
+        } else if (key == "power_trace") {
+            if (!checkFaultSection(
+                    value, "faults.power_trace",
+                    {{"dropouts_per_hour", 0.0, 3600.0, false},
+                     {"dropout_seconds", 0.0, 3600.0, false},
+                     {"spikes_per_hour", 0.0, 3600.0, false},
+                     {"spike_seconds", 0.0, 3600.0, false},
+                     {"spike_factor", 0.0, 100.0, false}},
+                    why))
+                return false;
+        } else if (key == "arrivals") {
+            if (!checkFaultSection(
+                    value, "faults.arrivals",
+                    {{"bursts_per_hour", 0.0, 3600.0, false},
+                     {"burst_seconds", 0.0, 3600.0, false},
+                     {"capture_jitter_ms", 0, 1'000'000, true}},
+                    why))
+                return false;
+        } else if (key == "execution") {
+            if (!checkFaultSection(
+                    value, "faults.execution",
+                    {{"overrun_probability", 0.0, 1.0, false},
+                     {"overrun_factor", 1.0, 1000.0, false}},
+                    why))
+                return false;
+        } else {
+            why = "unknown faults key \"" + key +
+                "\" (allowed: seed, detect_error_s, mitigate_streak, "
+                "measurement, adc, power_trace, arrivals, execution)";
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+applyFaults(const json::Value &v, sim::ExperimentConfig &cfg)
+{
+    fault::FaultSpec &f = cfg.faults;
+    if (const json::Value *x = v.find("seed"))
+        f.seed = *x->asUint64();
+    if (const json::Value *x = v.find("detect_error_s"))
+        f.detectErrorSeconds = *x->asDouble();
+    if (const json::Value *x = v.find("mitigate_streak"))
+        f.mitigateStreak = static_cast<std::uint32_t>(*x->asUint64());
+    if (const json::Value *m = v.find("measurement")) {
+        if (const json::Value *x = m->find("bias_watts"))
+            f.measurement.biasWatts = *x->asDouble();
+        if (const json::Value *x = m->find("noise_sigma"))
+            f.measurement.noiseSigma = *x->asDouble();
+    }
+    if (const json::Value *a = v.find("adc")) {
+        if (const json::Value *x = a->find("stuck_high_mask"))
+            f.adc.stuckHighMask =
+                static_cast<std::uint8_t>(*x->asUint64());
+        if (const json::Value *x = a->find("stuck_low_mask"))
+            f.adc.stuckLowMask =
+                static_cast<std::uint8_t>(*x->asUint64());
+        if (const json::Value *x = a->find("flip_mask"))
+            f.adc.flipMask = static_cast<std::uint8_t>(*x->asUint64());
+        if (const json::Value *x = a->find("saturate_max"))
+            f.adc.saturateMax =
+                static_cast<std::uint8_t>(*x->asUint64());
+    }
+    if (const json::Value *p = v.find("power_trace")) {
+        if (const json::Value *x = p->find("dropouts_per_hour"))
+            f.powerTrace.dropoutsPerHour = *x->asDouble();
+        if (const json::Value *x = p->find("dropout_seconds"))
+            f.powerTrace.dropoutSeconds = *x->asDouble();
+        if (const json::Value *x = p->find("spikes_per_hour"))
+            f.powerTrace.spikesPerHour = *x->asDouble();
+        if (const json::Value *x = p->find("spike_seconds"))
+            f.powerTrace.spikeSeconds = *x->asDouble();
+        if (const json::Value *x = p->find("spike_factor"))
+            f.powerTrace.spikeFactor = *x->asDouble();
+    }
+    if (const json::Value *a = v.find("arrivals")) {
+        if (const json::Value *x = a->find("bursts_per_hour"))
+            f.arrivals.burstsPerHour = *x->asDouble();
+        if (const json::Value *x = a->find("burst_seconds"))
+            f.arrivals.burstSeconds = *x->asDouble();
+        if (const json::Value *x = a->find("capture_jitter_ms"))
+            f.arrivals.captureJitterMs =
+                static_cast<Tick>(*x->asUint64());
+    }
+    if (const json::Value *e = v.find("execution")) {
+        if (const json::Value *x = e->find("overrun_probability"))
+            f.execution.overrunProbability = *x->asDouble();
+        if (const json::Value *x = e->find("overrun_factor"))
+            f.execution.overrunFactor = *x->asDouble();
+    }
+}
+
+/** Axis-cell label: the active sub-blocks ("faults:adc+arrivals"). */
+std::string
+labelFaults(const json::Value &v)
+{
+    std::string active;
+    if (v.isObject()) {
+        for (const char *section :
+             {"measurement", "adc", "power_trace", "arrivals",
+              "execution"}) {
+            const json::Value *block = v.find(section);
+            if (block == nullptr || !block->isObject() ||
+                block->members.empty())
+                continue;
+            if (!active.empty())
+                active += '+';
+            active += section;
+        }
+    }
+    return active.empty() ? std::string("no-faults")
+                          : "faults:" + active;
+}
+
 struct FieldInfo
 {
     const char *key;
@@ -311,6 +521,7 @@ const FieldInfo kFields[] = {
      nullptr},
     {"pid", "", checkPid, applyPid,
      [](const json::Value &) { return std::string("pid"); }},
+    {"faults", "", checkFaults, applyFaults, labelFaults},
 };
 
 const FieldInfo *

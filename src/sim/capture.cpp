@@ -10,6 +10,8 @@
 
 #include <ostream>
 
+#include "fault/fault_injector.hpp"
+
 namespace quetzal {
 namespace sim {
 
@@ -22,8 +24,13 @@ Simulator::processCapture(Tick now)
     // frame "different" from its predecessor; the second I/O pin of
     // the paper's rig marks it interesting (section 6.2).
     const trace::SensingEvent *event = events.eventAt(now);
-    const bool different = event != nullptr;
+    bool different = event != nullptr;
     const bool interesting = different && event->interesting;
+    // Arrival-burst fault: the frame is forced past the diff filter
+    // (uninteresting, but it still occupies a buffer slot).
+    if (!different && cfg.faults != nullptr &&
+        cfg.faults->forceCaptureDifferent(now))
+        different = true;
 
     if (interesting)
         ++metrics.interestingCaptured;

@@ -2,12 +2,14 @@
 
 #include <fstream>
 #include <memory>
+#include <optional>
 
 #include "app/person_detection.hpp"
 #include "baselines/controllers.hpp"
 #include "core/runtime.hpp"
 #include "energy/harvester.hpp"
 #include "energy/solar_model.hpp"
+#include "fault/fault_injector.hpp"
 #include "hw/mcu_model.hpp"
 #include "sim/simulator.hpp"
 #include "trace/event_generator.hpp"
@@ -160,6 +162,18 @@ runExperiment(const ExperimentConfig &config)
     if (!wattsPtr)
         wattsPtr = std::make_shared<const energy::PowerTrace>(
             buildPowerTrace(config, events));
+
+    // --- Faults ---------------------------------------------------------
+    // Instantiated only for a non-inert spec, so the clean path below
+    // is exactly the pre-fault-subsystem code. Shared traces stay
+    // untouched: the perturbed power trace is this run's own copy.
+    std::optional<fault::FaultInjector> faultInjector;
+    if (!config.faults.inert()) {
+        faultInjector.emplace(config.faults, config.seed);
+        faultInjector->prepare(events.endTime() + config.sim.drainTicks);
+        wattsPtr = std::make_shared<const energy::PowerTrace>(
+            faultInjector->perturbPowerTrace(*wattsPtr));
+    }
     const energy::PowerTrace &watts = *wattsPtr;
 
     energy::HarvesterConfig harvesterCfg;
@@ -175,6 +189,17 @@ runExperiment(const ExperimentConfig &config)
     core::SystemConfig systemCfg = config.system;
     systemCfg.captureHz = static_cast<double>(kTicksPerSecond) /
         static_cast<double>(config.sim.capturePeriod);
+    if (faultInjector && config.faults.adc.active()) {
+        // A hardware ADC defect corrupts every code the measurement
+        // circuit produces (profile-time and runtime alike).
+        systemCfg.circuit.adc.stuckHighMask =
+            config.faults.adc.stuckHighMask;
+        systemCfg.circuit.adc.stuckLowMask =
+            config.faults.adc.stuckLowMask;
+        systemCfg.circuit.adc.flipMask = config.faults.adc.flipMask;
+        systemCfg.circuit.adc.saturateMax =
+            config.faults.adc.saturateMax;
+    }
     core::TaskSystem system(systemCfg);
     const app::ApplicationModel appModel =
         app::buildPersonDetectionApp(system, deviceProfile);
@@ -218,6 +243,11 @@ runExperiment(const ExperimentConfig &config)
     if (recorder.enabled()) {
         simCfg.observer = &recorder;
         controller->setObserver(&recorder);
+    }
+    if (faultInjector) {
+        simCfg.faults = &*faultInjector;
+        faultInjector->setObserver(
+            recorder.enabled() ? &recorder : nullptr);
     }
 
     Simulator simulator(simCfg, deviceProfile, appModel, system,

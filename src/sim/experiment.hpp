@@ -18,6 +18,7 @@
 #include "core/pid.hpp"
 #include "core/system.hpp"
 #include "energy/power_trace.hpp"
+#include "fault/fault_spec.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -123,6 +124,17 @@ struct ExperimentConfig
      * path lock-free.
      */
     obs::TraceSink *obsSink = nullptr;
+    /**
+     * Fault model (DESIGN.md section 12). The default is inert():
+     * runExperiment() then skips the fault machinery entirely, so a
+     * clean config's outputs are bit-for-bit those of a build without
+     * the fault subsystem. A non-inert spec is instantiated per run
+     * as a fault::FaultInjector seeded from (faults.seed, seed):
+     * power-trace windows are spliced before the run, ADC masks are
+     * copied into system.circuit.adc, and the simulator's seams are
+     * perturbed during it.
+     */
+    fault::FaultSpec faults;
 };
 
 /** Build everything per the config, run, and return the metrics. */

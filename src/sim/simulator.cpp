@@ -4,6 +4,7 @@
 #include <cmath>
 #include <ostream>
 
+#include "fault/fault_injector.hpp"
 #include "util/logging.hpp"
 
 namespace quetzal {
@@ -79,7 +80,15 @@ Simulator::run()
     const Tick hardCap = horizon * 4 + 3600 * kTicksPerSecond;
 
     Tick now = 0;
-    Tick nextCapture = cfg.capturePeriod;
+    // Nominal capture instants are k * capturePeriod; the fault layer
+    // may jitter each actual instant around its nominal one.
+    Tick nominalCapture = cfg.capturePeriod;
+    Tick nextCapture = nominalCapture;
+    if (cfg.faults != nullptr) {
+        cfg.faults->onRunStart();
+        nextCapture = std::max<Tick>(
+            1, nominalCapture + cfg.faults->captureJitter());
+    }
     int zeroProgressStreak = 0;
 
     obs::Recorder *const observer = cfg.observer;
@@ -87,6 +96,8 @@ Simulator::run()
     while (true) {
         if (observer != nullptr)
             observer->setTime(now);
+        if (cfg.faults != nullptr)
+            cfg.faults->onTick(now);
 
         const bool capturing = now < horizon;
         if (!capturing) {
@@ -98,7 +109,14 @@ Simulator::run()
 
         if (capturing && now == nextCapture) {
             processCapture(now);
-            nextCapture += cfg.capturePeriod;
+            nominalCapture += cfg.capturePeriod;
+            nextCapture = nominalCapture;
+            if (cfg.faults != nullptr) {
+                // Jitter never reorders captures: the next actual
+                // instant stays strictly after the current one.
+                nextCapture = std::max<Tick>(
+                    now + 1, nominalCapture + cfg.faults->captureJitter());
+            }
             if (observer != nullptr &&
                 observer->wants(obs::EventKind::BufferOccupancy)) {
                 obs::Event event;
@@ -233,8 +251,14 @@ Simulator::tryBeginJob(Tick now)
     if (buffer.empty())
         return;
 
+    // The controller schedules against the *measured* input power;
+    // the fault layer can make that measurement lie while the
+    // device's true harvested energy stays untouched.
+    const Watts truePower = watts.valueAt(now);
+    const Watts measuredPower = cfg.faults != nullptr
+        ? cfg.faults->perturbMeasuredPower(truePower) : truePower;
     const auto selection =
-        controller.selectJob(system, buffer, watts.valueAt(now));
+        controller.selectJob(system, buffer, measuredPower);
     if (!selection)
         return;
 
@@ -242,7 +266,7 @@ Simulator::tryBeginJob(Tick now)
         *cfg.debugLog << "t=" << ticksToSeconds(now) << " select job="
             << system.job(selection->jobId).name << " occ="
             << buffer.size() << " lam=" << system.arrivalsPerSecond()
-            << " P=" << watts.valueAt(now) * 1e3 << "mW E[S]="
+            << " P=" << measuredPower * 1e3 << "mW E[S]="
             << selection->predictedServiceSeconds << " ibo="
             << selection->iboPredicted << " deg="
             << selection->degraded << " opts=";
@@ -306,6 +330,8 @@ Simulator::startNextTask(Tick now)
                 static_cast<double>(exeTicks) * factor)),
             1);
     }
+    if (cfg.faults != nullptr)
+        exeTicks = cfg.faults->perturbExecutionTicks(exeTicks);
     device.startTask(option.execPower, exeTicks);
 }
 
@@ -347,6 +373,11 @@ Simulator::finishJob(Tick now)
     const double observedJob = ticksToSeconds(now - activeJob->jobStart);
     controller.onJobComplete(system, activeJob->selection,
                              activeJob->executed, observedJob);
+    if (cfg.faults != nullptr) {
+        cfg.faults->observePrediction(
+            activeJob->selection.predictedServiceSeconds, observedJob,
+            controller.pidCorrection());
+    }
     ++metrics.jobsCompleted;
     metrics.jobServiceSeconds.add(observedJob);
 

@@ -35,6 +35,9 @@
 #include "util/random.hpp"
 
 namespace quetzal {
+namespace fault {
+class FaultInjector;
+}
 namespace sim {
 
 /** Run-level knobs. */
@@ -71,6 +74,12 @@ struct SimulationConfig
      * recorder so decision events land in the same stream.
      */
     obs::Recorder *observer = nullptr;
+    /**
+     * Optional fault-injection runtime (must outlive the run, and
+     * must already be prepare()d for the run's horizon). nullptr —
+     * the default — is the clean path: no fault code runs at all.
+     */
+    fault::FaultInjector *faults = nullptr;
 };
 
 /**

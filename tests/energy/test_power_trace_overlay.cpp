@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for PowerTrace::overlaid(), the multiplicative window splice
+ * the fault layer uses for harvest dropouts (factor 0) and spikes
+ * (factor > 1): inside a window the value scales, outside every
+ * window the result is value-identical to the original, and invalid
+ * window lists are rejected loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/power_trace.hpp"
+
+namespace quetzal {
+namespace energy {
+namespace {
+
+PowerTrace
+stairTrace()
+{
+    return PowerTrace({{0, 1.0}, {100, 2.0}, {250, 0.5}, {400, 3.0}});
+}
+
+/** Value-compare two traces over a tick range (exhaustive). */
+void
+expectSameValues(const PowerTrace &a, const PowerTrace &b, Tick from,
+                 Tick to)
+{
+    for (Tick t = from; t <= to; ++t)
+        ASSERT_DOUBLE_EQ(a.valueAt(t), b.valueAt(t)) << "tick " << t;
+}
+
+TEST(PowerTraceOverlay, EmptyWindowListIsIdentity)
+{
+    const PowerTrace clean = stairTrace();
+    const PowerTrace same = clean.overlaid({});
+    expectSameValues(clean, same, 0, 500);
+    EXPECT_EQ(same.segmentCount(), clean.segmentCount());
+}
+
+TEST(PowerTraceOverlay, UnityFactorWindowsAreDropped)
+{
+    const PowerTrace clean = stairTrace();
+    const PowerTrace same =
+        clean.overlaid({{50, 150, 1.0}, {200, 300, 1.0}});
+    expectSameValues(clean, same, 0, 500);
+}
+
+TEST(PowerTraceOverlay, EmptyWindowsAreDropped)
+{
+    const PowerTrace clean = stairTrace();
+    const PowerTrace same = clean.overlaid({{50, 50, 0.0}});
+    expectSameValues(clean, same, 0, 500);
+}
+
+TEST(PowerTraceOverlay, DropoutZeroesExactlyInsideWindow)
+{
+    const PowerTrace clean = stairTrace();
+    const PowerTrace faulted = clean.overlaid({{120, 300, 0.0}});
+    // Right-open: 119 clean, 120..299 zero, 300 clean again.
+    EXPECT_DOUBLE_EQ(faulted.valueAt(119), clean.valueAt(119));
+    for (Tick t = 120; t < 300; ++t)
+        ASSERT_DOUBLE_EQ(faulted.valueAt(t), 0.0) << "tick " << t;
+    EXPECT_DOUBLE_EQ(faulted.valueAt(300), clean.valueAt(300));
+    expectSameValues(clean, faulted, 0, 119);
+    expectSameValues(clean, faulted, 300, 500);
+}
+
+TEST(PowerTraceOverlay, SpikeMultipliesAcrossSegmentBoundaries)
+{
+    const PowerTrace clean = stairTrace();
+    const PowerTrace faulted = clean.overlaid({{80, 260, 4.0}});
+    // The window spans three underlying segments; each scales.
+    for (Tick t = 80; t < 260; ++t)
+        ASSERT_DOUBLE_EQ(faulted.valueAt(t), 4.0 * clean.valueAt(t))
+            << "tick " << t;
+    expectSameValues(clean, faulted, 0, 79);
+    expectSameValues(clean, faulted, 260, 500);
+}
+
+TEST(PowerTraceOverlay, MultipleWindowsComposeIndependently)
+{
+    const PowerTrace clean = stairTrace();
+    const PowerTrace faulted =
+        clean.overlaid({{10, 20, 0.0}, {150, 200, 2.0}, {450, 460, 0.5}});
+    for (Tick t = 10; t < 20; ++t)
+        ASSERT_DOUBLE_EQ(faulted.valueAt(t), 0.0);
+    for (Tick t = 150; t < 200; ++t)
+        ASSERT_DOUBLE_EQ(faulted.valueAt(t), 2.0 * clean.valueAt(t));
+    for (Tick t = 450; t < 460; ++t)
+        ASSERT_DOUBLE_EQ(faulted.valueAt(t), 0.5 * clean.valueAt(t));
+    expectSameValues(clean, faulted, 20, 149);
+    expectSameValues(clean, faulted, 200, 449);
+    expectSameValues(clean, faulted, 460, 500);
+}
+
+TEST(PowerTraceOverlay, WindowBeyondLastSegmentScalesExtension)
+{
+    // The trace extends its final value forever; a window out there
+    // must scale the extension and then restore it.
+    const PowerTrace clean = stairTrace();
+    const PowerTrace faulted = clean.overlaid({{1000, 1100, 0.0}});
+    EXPECT_DOUBLE_EQ(faulted.valueAt(999), 3.0);
+    EXPECT_DOUBLE_EQ(faulted.valueAt(1000), 0.0);
+    EXPECT_DOUBLE_EQ(faulted.valueAt(1099), 0.0);
+    EXPECT_DOUBLE_EQ(faulted.valueAt(1100), 3.0);
+    EXPECT_DOUBLE_EQ(faulted.valueAt(100000), 3.0);
+}
+
+TEST(PowerTraceOverlay, EmptyTraceStaysEmpty)
+{
+    const PowerTrace clean;
+    const PowerTrace same = clean.overlaid({{0, 100, 0.0}});
+    EXPECT_EQ(same.segmentCount(), 0u);
+    EXPECT_DOUBLE_EQ(same.valueAt(50), 0.0);
+}
+
+TEST(PowerTraceOverlay, RejectsUnsortedWindows)
+{
+    const PowerTrace clean = stairTrace();
+    EXPECT_DEATH(clean.overlaid({{200, 300, 0.0}, {100, 150, 0.0}}),
+                 "sorted");
+}
+
+TEST(PowerTraceOverlay, RejectsOverlappingWindows)
+{
+    const PowerTrace clean = stairTrace();
+    EXPECT_DEATH(clean.overlaid({{100, 300, 0.0}, {200, 400, 2.0}}),
+                 "overlap");
+}
+
+} // namespace
+} // namespace energy
+} // namespace quetzal

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * FaultInjector unit tests: window drawing is seeded and
+ * deterministic, every perturbation matches its spec, the
+ * detection/mitigation episode machine follows its thresholds, and —
+ * the load-bearing invariant — RNG consumption never depends on
+ * whether a telemetry observer is attached.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "energy/power_trace.hpp"
+#include "fault/fault_injector.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace quetzal {
+namespace fault {
+namespace {
+
+constexpr Tick kHour = 3600 * kTicksPerSecond;
+
+FaultSpec
+windowedSpec()
+{
+    FaultSpec spec;
+    spec.powerTrace.dropoutsPerHour = 6.0;
+    spec.powerTrace.dropoutSeconds = 20.0;
+    spec.powerTrace.spikesPerHour = 4.0;
+    spec.powerTrace.spikeSeconds = 10.0;
+    spec.powerTrace.spikeFactor = 3.0;
+    spec.arrivals.burstsPerHour = 5.0;
+    spec.arrivals.burstSeconds = 15.0;
+    return spec;
+}
+
+TEST(FaultInjectorWindows, DeterministicForEqualSeeds)
+{
+    FaultInjector a(windowedSpec(), 42);
+    FaultInjector b(windowedSpec(), 42);
+    a.prepare(kHour);
+    b.prepare(kHour);
+    ASSERT_EQ(a.windows().size(), b.windows().size());
+    for (std::size_t i = 0; i < a.windows().size(); ++i) {
+        EXPECT_EQ(a.windows()[i].start, b.windows()[i].start) << i;
+        EXPECT_EQ(a.windows()[i].end, b.windows()[i].end) << i;
+        EXPECT_EQ(a.windows()[i].cls, b.windows()[i].cls) << i;
+    }
+    ASSERT_FALSE(a.windows().empty());
+}
+
+TEST(FaultInjectorWindows, RunSeedRetimesTheFaults)
+{
+    FaultInjector a(windowedSpec(), 1);
+    FaultInjector b(windowedSpec(), 2);
+    a.prepare(kHour);
+    b.prepare(kHour);
+    bool identical = a.windows().size() == b.windows().size();
+    if (identical) {
+        for (std::size_t i = 0; i < a.windows().size(); ++i)
+            identical = identical &&
+                a.windows()[i].start == b.windows()[i].start;
+    }
+    EXPECT_FALSE(identical);
+}
+
+TEST(FaultInjectorWindows, SortedInBoundsAndCorrectWidths)
+{
+    FaultInjector injector(windowedSpec(), 7);
+    injector.prepare(kHour);
+    Tick previousStart = -1;
+    for (const FaultInjector::Window &w : injector.windows()) {
+        EXPECT_GE(w.start, previousStart);
+        previousStart = w.start;
+        EXPECT_GT(w.end, w.start);
+        EXPECT_LE(w.end, kHour);
+        const Tick width = w.end - w.start;
+        switch (w.cls) {
+          case FaultClass::PowerDropout:
+            EXPECT_LE(width, secondsToTicks(20.0));
+            break;
+          case FaultClass::PowerSpike:
+            EXPECT_LE(width, secondsToTicks(10.0));
+            EXPECT_DOUBLE_EQ(w.magnitude, 3.0);
+            break;
+          case FaultClass::ArrivalBurst:
+            EXPECT_LE(width, secondsToTicks(15.0));
+            break;
+          default:
+            ADD_FAILURE() << "unexpected windowed class";
+        }
+    }
+}
+
+TEST(FaultInjectorWindows, PowerWindowsNeverOverlap)
+{
+    // Dropouts and spikes splice the same trace; overlaps between
+    // them must have been discarded at prepare() time.
+    FaultInjector injector(windowedSpec(), 99);
+    injector.prepare(10 * kHour);
+    Tick covered = -1;
+    for (const FaultInjector::Window &w : injector.windows()) {
+        if (w.cls != FaultClass::PowerDropout &&
+            w.cls != FaultClass::PowerSpike)
+            continue;
+        EXPECT_GE(w.start, covered);
+        covered = w.end;
+    }
+}
+
+TEST(FaultInjectorWindows, PrepareTwicePanics)
+{
+    FaultInjector injector(windowedSpec(), 1);
+    injector.prepare(kHour);
+    EXPECT_DEATH(injector.prepare(kHour), "twice");
+}
+
+TEST(FaultInjectorPower, TracePerturbationMatchesWindows)
+{
+    FaultSpec spec;
+    spec.powerTrace.dropoutsPerHour = 10.0;
+    spec.powerTrace.dropoutSeconds = 30.0;
+    spec.powerTrace.spikesPerHour = 10.0;
+    spec.powerTrace.spikeSeconds = 10.0;
+    spec.powerTrace.spikeFactor = 2.0;
+    FaultInjector injector(spec, 5);
+    injector.prepare(kHour);
+
+    const energy::PowerTrace clean = energy::PowerTrace::constant(0.04);
+    const energy::PowerTrace faulted = injector.perturbPowerTrace(clean);
+
+    for (const FaultInjector::Window &w : injector.windows()) {
+        const double inside = faulted.valueAt((w.start + w.end) / 2);
+        if (w.cls == FaultClass::PowerDropout) {
+            EXPECT_DOUBLE_EQ(inside, 0.0);
+        } else if (w.cls == FaultClass::PowerSpike) {
+            EXPECT_DOUBLE_EQ(inside, 0.08);
+        }
+        EXPECT_DOUBLE_EQ(faulted.valueAt(w.end), 0.04);
+    }
+    ASSERT_FALSE(injector.windows().empty());
+}
+
+TEST(FaultInjectorPower, PerturbBeforePreparePanics)
+{
+    FaultInjector injector(windowedSpec(), 1);
+    EXPECT_DEATH(
+        injector.perturbPowerTrace(energy::PowerTrace::constant(1.0)),
+        "prepare");
+}
+
+TEST(FaultInjectorMeasurement, BiasIsAdditiveAndClampedAtZero)
+{
+    FaultSpec spec;
+    spec.measurement.biasWatts = -0.03;
+    FaultInjector injector(spec, 1);
+    injector.prepare(kHour);
+    EXPECT_DOUBLE_EQ(injector.perturbMeasuredPower(0.05), 0.02);
+    EXPECT_DOUBLE_EQ(injector.perturbMeasuredPower(0.01), 0.0);
+}
+
+TEST(FaultInjectorMeasurement, NoiseIsMultiplicativeAndSeeded)
+{
+    FaultSpec spec;
+    spec.measurement.noiseSigma = 0.2;
+    FaultInjector a(spec, 3);
+    FaultInjector b(spec, 3);
+    a.prepare(kHour);
+    b.prepare(kHour);
+    for (int k = 0; k < 100; ++k) {
+        const Watts ma = a.perturbMeasuredPower(0.05);
+        ASSERT_DOUBLE_EQ(ma, b.perturbMeasuredPower(0.05)) << k;
+        ASSERT_GT(ma, 0.0) << k; // lognormal never crosses zero
+    }
+}
+
+TEST(FaultInjectorMeasurement, InertMeasurementPassesThrough)
+{
+    FaultSpec spec = windowedSpec(); // power faults only
+    FaultInjector injector(spec, 1);
+    injector.prepare(kHour);
+    EXPECT_DOUBLE_EQ(injector.perturbMeasuredPower(0.123), 0.123);
+}
+
+TEST(FaultInjectorArrivals, BurstQueriesMatchWindows)
+{
+    FaultSpec spec;
+    spec.arrivals.burstsPerHour = 8.0;
+    spec.arrivals.burstSeconds = 12.0;
+    FaultInjector injector(spec, 17);
+    injector.prepare(kHour);
+    ASSERT_FALSE(injector.windows().empty());
+
+    // Monotone sweep (the capture loop's access pattern): inside a
+    // burst window the query is true, outside false.
+    std::vector<FaultInjector::Window> bursts;
+    for (const FaultInjector::Window &w : injector.windows())
+        if (w.cls == FaultClass::ArrivalBurst)
+            bursts.push_back(w);
+    std::size_t cursor = 0;
+    for (Tick t = 0; t < kHour; t += 500) {
+        while (cursor < bursts.size() && bursts[cursor].end <= t)
+            ++cursor;
+        const bool expected = cursor < bursts.size() &&
+            t >= bursts[cursor].start && t < bursts[cursor].end;
+        ASSERT_EQ(injector.forceCaptureDifferent(t), expected)
+            << "tick " << t;
+    }
+}
+
+TEST(FaultInjectorArrivals, JitterBoundedAndZeroWhenOff)
+{
+    FaultSpec spec;
+    spec.arrivals.captureJitterMs = 40;
+    FaultInjector injector(spec, 1);
+    injector.prepare(kHour);
+    bool sawNonZero = false;
+    for (int k = 0; k < 500; ++k) {
+        const Tick j = injector.captureJitter();
+        ASSERT_GE(j, -40);
+        ASSERT_LE(j, 40);
+        sawNonZero = sawNonZero || j != 0;
+    }
+    EXPECT_TRUE(sawNonZero);
+
+    FaultInjector off(windowedSpec(), 1);
+    off.prepare(kHour);
+    for (int k = 0; k < 10; ++k)
+        EXPECT_EQ(off.captureJitter(), 0);
+}
+
+TEST(FaultInjectorExecution, CertainOverrunStretchesEveryTask)
+{
+    FaultSpec spec;
+    spec.execution.overrunProbability = 1.0;
+    spec.execution.overrunFactor = 2.5;
+    FaultInjector injector(spec, 1);
+    injector.prepare(kHour);
+    EXPECT_EQ(injector.perturbExecutionTicks(1000), 2500);
+    // Even a factor that rounds to no change must cost >= 1 tick.
+    spec.execution.overrunFactor = 1.0001;
+    FaultInjector tiny(spec, 1);
+    tiny.prepare(kHour);
+    EXPECT_EQ(tiny.perturbExecutionTicks(10), 11);
+}
+
+TEST(FaultInjectorExecution, ImpossibleOverrunNeverFires)
+{
+    FaultSpec spec;
+    spec.execution.overrunProbability = 0.0;
+    spec.execution.overrunFactor = 5.0;
+    FaultInjector injector(spec, 1);
+    injector.prepare(kHour);
+    for (int k = 0; k < 100; ++k)
+        ASSERT_EQ(injector.perturbExecutionTicks(777), 777);
+    EXPECT_EQ(injector.injectedCount(), 0u);
+}
+
+TEST(FaultInjectorEpisodes, DetectThenMitigateFollowsThresholds)
+{
+    FaultSpec spec;
+    spec.measurement.biasWatts = 0.01; // non-inert so episodes matter
+    spec.detectErrorSeconds = 1.0;
+    spec.mitigateStreak = 3;
+    FaultInjector injector(spec, 1);
+    injector.prepare(kHour);
+
+    // Calm jobs: no episode.
+    injector.observePrediction(5.0, 5.5, 0.0);
+    EXPECT_EQ(injector.detectedCount(), 0u);
+
+    // Error above threshold opens one episode (not one per job).
+    injector.observePrediction(5.0, 7.0, 0.0);
+    injector.observePrediction(5.0, 8.0, 0.0);
+    EXPECT_EQ(injector.detectedCount(), 1u);
+    EXPECT_EQ(injector.mitigatedCount(), 0u);
+
+    // Two calm jobs are not enough at streak 3...
+    injector.observePrediction(5.0, 5.2, 0.1);
+    injector.observePrediction(5.0, 5.1, 0.1);
+    EXPECT_EQ(injector.mitigatedCount(), 0u);
+    // ...a relapse resets the streak...
+    injector.observePrediction(5.0, 9.0, 0.1);
+    injector.observePrediction(5.0, 5.2, 0.1);
+    injector.observePrediction(5.0, 5.1, 0.1);
+    EXPECT_EQ(injector.mitigatedCount(), 0u);
+    // ...and three consecutive calm jobs close it.
+    injector.observePrediction(5.0, 5.0, 0.1);
+    EXPECT_EQ(injector.mitigatedCount(), 1u);
+    EXPECT_EQ(injector.detectedCount(), 1u);
+
+    // A fresh excursion opens a second episode.
+    injector.observePrediction(5.0, 7.5, 0.1);
+    EXPECT_EQ(injector.detectedCount(), 2u);
+}
+
+TEST(FaultInjectorEpisodes, NegativeErrorsAlsoDetect)
+{
+    FaultSpec spec;
+    spec.measurement.biasWatts = 0.01;
+    spec.detectErrorSeconds = 0.5;
+    FaultInjector injector(spec, 1);
+    injector.prepare(kHour);
+    injector.observePrediction(5.0, 3.0, 0.0); // over-prediction
+    EXPECT_EQ(injector.detectedCount(), 1u);
+}
+
+TEST(FaultInjectorTelemetry, InjectedEventsMatchCounts)
+{
+    FaultSpec spec = windowedSpec();
+    spec.measurement.biasWatts = 0.005;
+    spec.adc.flipMask = 0x01;
+    spec.arrivals.captureJitterMs = 10;
+
+    obs::VectorSink sink;
+    obs::Recorder recorder(obs::ObsLevel::Counters, &sink);
+    FaultInjector injector(spec, 11);
+    injector.prepare(kHour);
+    injector.setObserver(&recorder);
+    injector.onRunStart();
+    for (Tick t = 0; t < kHour; t += 1000) {
+        recorder.setTime(t);
+        injector.onTick(t);
+    }
+
+    std::size_t injectedEvents = 0;
+    for (const obs::Event &event : sink.events()) {
+        if (event.kind == obs::EventKind::FaultInjected)
+            ++injectedEvents;
+    }
+    // Persistent faults (bias, adc, jitter) + every window.
+    EXPECT_EQ(injectedEvents, injector.injectedCount());
+    EXPECT_EQ(injector.injectedCount(),
+              3 + injector.windows().size());
+}
+
+TEST(FaultInjectorTelemetry, ObserverPresenceNeverChangesDraws)
+{
+    // The determinism keystone: running with a recorder attached must
+    // yield the same windows, measurements and counts as without.
+    FaultSpec spec = windowedSpec();
+    spec.measurement.noiseSigma = 0.1;
+    spec.execution.overrunProbability = 0.5;
+    spec.execution.overrunFactor = 2.0;
+
+    obs::VectorSink sink;
+    obs::Recorder recorder(obs::ObsLevel::Full, &sink);
+    FaultInjector observed(spec, 23);
+    observed.prepare(kHour);
+    observed.setObserver(&recorder);
+    observed.onRunStart();
+
+    FaultInjector blind(spec, 23);
+    blind.prepare(kHour);
+    blind.onRunStart();
+
+    ASSERT_EQ(observed.windows().size(), blind.windows().size());
+    for (std::size_t i = 0; i < observed.windows().size(); ++i)
+        ASSERT_EQ(observed.windows()[i].start, blind.windows()[i].start);
+    for (int k = 0; k < 200; ++k) {
+        recorder.setTime(k);
+        ASSERT_DOUBLE_EQ(observed.perturbMeasuredPower(0.05),
+                         blind.perturbMeasuredPower(0.05));
+        ASSERT_EQ(observed.perturbExecutionTicks(1000),
+                  blind.perturbExecutionTicks(1000));
+        ASSERT_EQ(observed.captureJitter(), blind.captureJitter());
+    }
+    EXPECT_EQ(observed.injectedCount(), blind.injectedCount());
+}
+
+TEST(FaultInjectorTelemetry, NoObserverStillCounts)
+{
+    FaultSpec spec;
+    spec.measurement.biasWatts = 0.001;
+    spec.arrivals.captureJitterMs = 5;
+    FaultInjector injector(spec, 1);
+    injector.prepare(kHour);
+    injector.onRunStart(); // no observer attached
+    EXPECT_EQ(injector.injectedCount(), 2u);
+}
+
+} // namespace
+} // namespace fault
+} // namespace quetzal

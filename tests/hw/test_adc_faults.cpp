@@ -1,0 +1,116 @@
+/**
+ * @file
+ * ADC hardware-fault mask tests (src/fault integration): stuck bits,
+ * inverted bits and saturation applied to every quantized code, plus
+ * the inertness guarantee — identity masks must leave every code of
+ * the full 8-bit domain untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/adc.hpp"
+
+namespace quetzal {
+namespace hw {
+namespace {
+
+TEST(AdcFaults, DefaultConfigIsFaultFree)
+{
+    const AdcConfig cfg;
+    EXPECT_TRUE(cfg.faultFree());
+}
+
+TEST(AdcFaults, IdentityMasksAreExhaustivelyInert)
+{
+    const Adc8 adc; // default config: identity masks
+    for (int code = 0; code <= 255; ++code) {
+        ASSERT_EQ(adc.applyFaults(static_cast<std::uint8_t>(code)),
+                  static_cast<std::uint8_t>(code))
+            << "code=" << code;
+    }
+}
+
+TEST(AdcFaults, StuckHighForcesBitsOn)
+{
+    AdcConfig cfg;
+    cfg.stuckHighMask = 0x81; // MSB and LSB welded to 1
+    const Adc8 adc(cfg);
+    EXPECT_EQ(adc.applyFaults(0x00), 0x81);
+    EXPECT_EQ(adc.applyFaults(0x7e), 0xff);
+    EXPECT_EQ(adc.applyFaults(0x81), 0x81);
+}
+
+TEST(AdcFaults, StuckLowForcesBitsOff)
+{
+    AdcConfig cfg;
+    cfg.stuckLowMask = 0x0f;
+    const Adc8 adc(cfg);
+    EXPECT_EQ(adc.applyFaults(0xff), 0xf0);
+    EXPECT_EQ(adc.applyFaults(0x0f), 0x00);
+    EXPECT_EQ(adc.applyFaults(0xf0), 0xf0);
+}
+
+TEST(AdcFaults, FlipInvertsBits)
+{
+    AdcConfig cfg;
+    cfg.flipMask = 0xff;
+    const Adc8 adc(cfg);
+    for (int code = 0; code <= 255; ++code) {
+        ASSERT_EQ(adc.applyFaults(static_cast<std::uint8_t>(code)),
+                  static_cast<std::uint8_t>(255 - code))
+            << "code=" << code;
+    }
+}
+
+TEST(AdcFaults, SaturateMaxClampsCeiling)
+{
+    AdcConfig cfg;
+    cfg.saturateMax = 100;
+    const Adc8 adc(cfg);
+    EXPECT_EQ(adc.applyFaults(255), 100);
+    EXPECT_EQ(adc.applyFaults(101), 100);
+    EXPECT_EQ(adc.applyFaults(100), 100);
+    EXPECT_EQ(adc.applyFaults(99), 99);
+    EXPECT_EQ(adc.applyFaults(0), 0);
+}
+
+TEST(AdcFaults, ApplicationOrderIsStuckThenFlipThenSaturate)
+{
+    AdcConfig cfg;
+    cfg.stuckHighMask = 0x01;
+    cfg.stuckLowMask = 0x80;
+    cfg.flipMask = 0x02;
+    cfg.saturateMax = 4;
+    const Adc8 adc(cfg);
+    // 0x80: stuck -> 0x01, flip -> 0x03, saturate(4) -> 0x03.
+    EXPECT_EQ(adc.applyFaults(0x80), 0x03);
+    // 0x04: stuck -> 0x05, flip -> 0x07, saturate -> 4.
+    EXPECT_EQ(adc.applyFaults(0x04), 4);
+}
+
+TEST(AdcFaults, SampleRunsCodesThroughMasks)
+{
+    AdcConfig cfg;
+    cfg.saturateMax = 10;
+    const Adc8 faulted(cfg);
+    const Adc8 clean;
+    // Full-scale voltage quantizes to 255 clean, clamps to 10 faulted.
+    EXPECT_EQ(clean.sample(0.6), 255);
+    EXPECT_EQ(faulted.sample(0.6), 10);
+    // Below the ceiling both agree.
+    EXPECT_EQ(faulted.sample(0.01), clean.sample(0.01));
+}
+
+TEST(AdcFaults, ActiveMaskMakesConfigNotFaultFree)
+{
+    AdcConfig cfg;
+    cfg.flipMask = 0x10;
+    EXPECT_FALSE(cfg.faultFree());
+    cfg.flipMask = 0;
+    cfg.saturateMax = 254;
+    EXPECT_FALSE(cfg.faultFree());
+}
+
+} // namespace
+} // namespace hw
+} // namespace quetzal

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Exhaustive differential test of the division-free S_e2e engine
+ * (paper Alg. 3) against the exact floating-point reference
+ * t_exe * P_exe / P_in — over the *full* 8-bit ADC code domain, not
+ * sampled points. Any (execCode, inputCode) pair whose shift/lookup
+ * arithmetic drifts outside the rounding envelope of the premult
+ * table fails here with the exact code pair named.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "hw/power_monitor_circuit.hpp"
+#include "hw/ratio_engine.hpp"
+
+namespace quetzal {
+namespace hw {
+namespace {
+
+/** 2^62 ticks: the engine's "never" saturation threshold. */
+constexpr double kSaturation =
+    static_cast<double>(std::uint64_t{1} << 62);
+
+/**
+ * Rounding envelope of the code-domain arithmetic: premult[b] is
+ * t_exe * 2^(b/8) rounded to an integer (error <= 0.5 ticks), and
+ * the subsequent shift is exact. Relative error is therefore at
+ * most ~0.51 / t_exe.
+ */
+double
+codeDomainEnvelope(Tick exeTicks)
+{
+    return 0.51 / static_cast<double>(exeTicks);
+}
+
+TEST(RatioEngineDifferential, ExhaustiveCodeDomainWithinEnvelope)
+{
+    for (const Tick exeTicks : {Tick{1000}, Tick{131072}, Tick{9999999}}) {
+        const double envelope = codeDomainEnvelope(exeTicks);
+        for (int exec = 0; exec <= 255; ++exec) {
+            const auto profile = RatioEngine::makeProfile(
+                exeTicks, static_cast<std::uint8_t>(exec));
+            for (int input = 0; input <= 255; ++input) {
+                const Tick ticks = RatioEngine::serviceTicks(
+                    profile, static_cast<std::uint8_t>(input));
+                if (input >= exec) {
+                    // Compute bound: exactly t_exe, always.
+                    ASSERT_EQ(ticks, exeTicks)
+                        << "exec=" << exec << " input=" << input;
+                    continue;
+                }
+                const int delta = exec - input;
+                const double exact = static_cast<double>(exeTicks) *
+                    std::pow(2.0, static_cast<double>(delta) / 8.0);
+                if (exact >= kSaturation * 0.5) {
+                    // Near or past saturation: the engine may clamp;
+                    // a finite answer must still be in envelope.
+                    if (ticks == kTickNever)
+                        continue;
+                }
+                ASSERT_NE(ticks, kTickNever)
+                    << "exec=" << exec << " input=" << input;
+                const double rel = std::abs(
+                    static_cast<double>(ticks) - exact) / exact;
+                ASSERT_LE(rel, envelope)
+                    << "exec=" << exec << " input=" << input
+                    << " ticks=" << ticks << " exact=" << exact;
+            }
+        }
+    }
+}
+
+TEST(RatioEngineDifferential, ServiceMonotoneInInputCode)
+{
+    // Less input power (lower code) can never *shorten* the job.
+    const auto profile = RatioEngine::makeProfile(5000, 200);
+    Tick previous = RatioEngine::serviceTicks(profile, 255);
+    for (int input = 254; input >= 0; --input) {
+        const Tick ticks = RatioEngine::serviceTicks(
+            profile, static_cast<std::uint8_t>(input));
+        if (previous == kTickNever) {
+            ASSERT_EQ(ticks, kTickNever) << "input=" << input;
+        } else {
+            ASSERT_GE(ticks == kTickNever
+                          ? std::numeric_limits<Tick>::max()
+                          : ticks,
+                      previous)
+                << "input=" << input;
+        }
+        previous = ticks;
+    }
+}
+
+TEST(RatioEngineDifferential, SaturationExactlyMirrorsShiftOverflow)
+{
+    // The clamp must match the documented rule: premult[b] << (d>>3)
+    // saturates iff the shift reaches 62 bits or the product 2^62.
+    const auto profile = RatioEngine::makeProfile(1000000, 255);
+    for (int input = 0; input <= 255; ++input) {
+        const int delta = 255 - input;
+        const unsigned shift = static_cast<unsigned>(delta) >> 3;
+        const std::uint64_t base =
+            profile.premultTicks[static_cast<std::size_t>(delta) & 0x07];
+        const bool expectNever = input < 255 &&
+            (shift >= 62 || (base << shift) >= (std::uint64_t{1} << 62));
+        const Tick ticks = RatioEngine::serviceTicks(
+            profile, static_cast<std::uint8_t>(input));
+        ASSERT_EQ(ticks == kTickNever, expectNever) << "input=" << input;
+    }
+}
+
+TEST(RatioEngineDifferential, PremultTableIsRoundedExact)
+{
+    for (const Tick exeTicks : {Tick{1}, Tick{777}, Tick{123456789}}) {
+        const auto profile = RatioEngine::makeProfile(exeTicks, 0);
+        for (std::size_t k = 0; k < profile.premultTicks.size(); ++k) {
+            const auto expected =
+                static_cast<std::uint32_t>(std::lround(
+                    static_cast<double>(exeTicks) *
+                    std::pow(2.0, static_cast<double>(k) / 8.0)));
+            ASSERT_EQ(profile.premultTicks[k], expected)
+                << "exe=" << exeTicks << " k=" << k;
+        }
+    }
+}
+
+/**
+ * Full-pipeline differential: powers -> circuit codes -> engine,
+ * against Eq. (1) in exact floats. The quantization of *two* codes
+ * adds at most one LSB of exponent error each, i.e. a factor of
+ * 2^(2/8) ~= 19 % worst case; the paper's operating band (ratios
+ * <= 4, moderate temperatures) stays well inside it.
+ */
+TEST(RatioEngineDifferential, PipelineVsExactFloatEnvelope)
+{
+    PowerMonitorCircuit circuit;
+    const Tick exeTicks = 100000;
+    const double exeSeconds = ticksToSeconds(exeTicks);
+
+    for (const Watts pExe : {20e-3, 50e-3, 80e-3}) {
+        const auto profile = RatioEngine::makeProfile(
+            exeTicks, circuit.codeForPower(pExe));
+        for (double ratio = 1.0; ratio <= 16.0; ratio *= 1.07) {
+            const Watts pIn = pExe / ratio;
+            const Tick predicted = RatioEngine::serviceTicks(
+                profile, circuit.codeForPower(pIn));
+            const double exact = RatioEngine::exactServiceSeconds(
+                exeSeconds, pExe, pIn);
+            ASSERT_NE(predicted, kTickNever)
+                << "pExe=" << pExe << " ratio=" << ratio;
+            const double rel = std::abs(
+                ticksToSeconds(predicted) - exact) / exact;
+            ASSERT_LE(rel, 0.20)
+                << "pExe=" << pExe << " ratio=" << ratio
+                << " predicted=" << ticksToSeconds(predicted)
+                << " exact=" << exact;
+        }
+    }
+}
+
+TEST(RatioEngineDifferential, PipelineModerateBandTighterEnvelope)
+{
+    // The paper's quoted regime: ratios up to 4x at room temperature
+    // hold a much tighter bound than the worst-case LSB analysis.
+    PowerMonitorCircuit circuit;
+    const Tick exeTicks = 100000;
+    const auto profile = RatioEngine::makeProfile(
+        exeTicks, circuit.codeForPower(60e-3));
+    double worst = 0.0;
+    for (double ratio = 1.05; ratio <= 4.0; ratio *= 1.05) {
+        const Watts pIn = 60e-3 / ratio;
+        const Tick predicted = RatioEngine::serviceTicks(
+            profile, circuit.codeForPower(pIn));
+        const double exact = RatioEngine::exactServiceSeconds(
+            ticksToSeconds(exeTicks), 60e-3, pIn);
+        worst = std::max(
+            worst,
+            std::abs(ticksToSeconds(predicted) - exact) / exact);
+    }
+    EXPECT_LE(worst, 0.085) << "worst relative error " << worst;
+}
+
+} // namespace
+} // namespace hw
+} // namespace quetzal

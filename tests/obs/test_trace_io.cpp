@@ -63,6 +63,12 @@ shapeOf(EventKind kind)
         return {false, true, true, false, false, false, 0};
       case EventKind::RunEnd:
         return {true, true, true, true, true, false, 0};
+      case EventKind::FaultInjected:
+        return {true, true, true, true, false, false, 0};
+      case EventKind::FaultDetected:
+        return {true, false, false, true, true, false, 0};
+      case EventKind::FaultMitigated:
+        return {true, true, false, true, true, false, 0};
     }
     return {};
 }

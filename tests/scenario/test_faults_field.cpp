@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Scenario-schema tests for the "faults" experiment field: valid
+ * fault axes round-trip into fault::FaultSpec, every malformed
+ * sub-field is rejected with the offending path named, and axis
+ * labels summarize the active sub-blocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "scenario/compile.hpp"
+#include "scenario/spec.hpp"
+
+namespace quetzal {
+namespace scenario {
+namespace {
+
+ScenarioSpec
+parseOk(const std::string &text)
+{
+    const Expected<ScenarioSpec> result = parseScenarioText(text);
+    EXPECT_TRUE(result.ok());
+    for (const SpecError &error : result.errors)
+        ADD_FAILURE() << error.describe();
+    return result.value.value_or(ScenarioSpec{});
+}
+
+bool
+rejects(const std::string &text)
+{
+    const Expected<ScenarioSpec> result = parseScenarioText(text);
+    return !result.ok();
+}
+
+/** A scenario whose only population override is the given faults. */
+std::string
+scenarioWithFaults(const std::string &faultsJson)
+{
+    return std::string(R"({
+      "name": "faulted",
+      "populations": [{"name": "QZ", "controller": "QZ",
+                       "faults": )") +
+        faultsJson + "}]\n}";
+}
+
+TEST(ScenarioFaults, FullFaultBlockRoundTrips)
+{
+    const ScenarioSpec spec = parseOk(scenarioWithFaults(R"({
+        "seed": 99,
+        "detect_error_s": 0.5,
+        "mitigate_streak": 4,
+        "measurement": {"bias_watts": 0.002, "noise_sigma": 0.1},
+        "adc": {"stuck_high_mask": 2, "stuck_low_mask": 1,
+                "flip_mask": 128, "saturate_max": 200},
+        "power_trace": {"dropouts_per_hour": 6, "dropout_seconds": 20,
+                        "spikes_per_hour": 4, "spike_seconds": 10,
+                        "spike_factor": 3.0},
+        "arrivals": {"bursts_per_hour": 5, "burst_seconds": 15,
+                     "capture_jitter_ms": 40},
+        "execution": {"overrun_probability": 0.25,
+                      "overrun_factor": 2.0}
+    })"));
+    ASSERT_EQ(spec.populations.size(), 1u);
+
+    sim::ExperimentConfig config;
+    for (const Override &override : spec.populations[0].overrides)
+        fields::applyField(override.field, override.value, config);
+
+    const fault::FaultSpec &f = config.faults;
+    EXPECT_FALSE(f.inert());
+    EXPECT_EQ(f.seed, 99u);
+    EXPECT_DOUBLE_EQ(f.detectErrorSeconds, 0.5);
+    EXPECT_EQ(f.mitigateStreak, 4u);
+    EXPECT_DOUBLE_EQ(f.measurement.biasWatts, 0.002);
+    EXPECT_DOUBLE_EQ(f.measurement.noiseSigma, 0.1);
+    EXPECT_EQ(f.adc.stuckHighMask, 2);
+    EXPECT_EQ(f.adc.stuckLowMask, 1);
+    EXPECT_EQ(f.adc.flipMask, 128);
+    EXPECT_EQ(f.adc.saturateMax, 200);
+    EXPECT_DOUBLE_EQ(f.powerTrace.dropoutsPerHour, 6.0);
+    EXPECT_DOUBLE_EQ(f.powerTrace.dropoutSeconds, 20.0);
+    EXPECT_DOUBLE_EQ(f.powerTrace.spikesPerHour, 4.0);
+    EXPECT_DOUBLE_EQ(f.powerTrace.spikeSeconds, 10.0);
+    EXPECT_DOUBLE_EQ(f.powerTrace.spikeFactor, 3.0);
+    EXPECT_DOUBLE_EQ(f.arrivals.burstsPerHour, 5.0);
+    EXPECT_DOUBLE_EQ(f.arrivals.burstSeconds, 15.0);
+    EXPECT_EQ(f.arrivals.captureJitterMs, 40);
+    EXPECT_DOUBLE_EQ(f.execution.overrunProbability, 0.25);
+    EXPECT_DOUBLE_EQ(f.execution.overrunFactor, 2.0);
+}
+
+TEST(ScenarioFaults, EmptyFaultObjectStaysInert)
+{
+    const ScenarioSpec spec = parseOk(scenarioWithFaults("{}"));
+    sim::ExperimentConfig config;
+    for (const Override &override : spec.populations[0].overrides)
+        fields::applyField(override.field, override.value, config);
+    EXPECT_TRUE(config.faults.inert());
+}
+
+TEST(ScenarioFaults, PartialBlocksLeaveOtherDefaults)
+{
+    const ScenarioSpec spec = parseOk(scenarioWithFaults(
+        R"({"measurement": {"bias_watts": 0.001}})"));
+    sim::ExperimentConfig config;
+    for (const Override &override : spec.populations[0].overrides)
+        fields::applyField(override.field, override.value, config);
+    EXPECT_DOUBLE_EQ(config.faults.measurement.biasWatts, 0.001);
+    EXPECT_DOUBLE_EQ(config.faults.measurement.noiseSigma, 0.0);
+    EXPECT_FALSE(config.faults.adc.active());
+}
+
+TEST(ScenarioFaults, RejectsNonObjectValue)
+{
+    EXPECT_TRUE(rejects(scenarioWithFaults("3")));
+    EXPECT_TRUE(rejects(scenarioWithFaults("\"adc\"")));
+    EXPECT_TRUE(rejects(scenarioWithFaults("[1, 2]")));
+}
+
+TEST(ScenarioFaults, RejectsUnknownKeys)
+{
+    EXPECT_TRUE(rejects(scenarioWithFaults(R"({"cosmic_rays": {}})")));
+    EXPECT_TRUE(rejects(scenarioWithFaults(
+        R"({"adc": {"stuck_sideways_mask": 1}})")));
+    EXPECT_TRUE(rejects(scenarioWithFaults(
+        R"({"measurement": {"bias": 0.1}})")));
+}
+
+TEST(ScenarioFaults, RejectsOutOfRangeValues)
+{
+    // ADC masks are 8-bit.
+    EXPECT_TRUE(rejects(scenarioWithFaults(
+        R"({"adc": {"flip_mask": 256}})")));
+    EXPECT_TRUE(rejects(scenarioWithFaults(
+        R"({"adc": {"saturate_max": -1}})")));
+    // Probabilities live in [0, 1].
+    EXPECT_TRUE(rejects(scenarioWithFaults(
+        R"({"execution": {"overrun_probability": 1.5}})")));
+    // A streak of zero could never mitigate.
+    EXPECT_TRUE(rejects(scenarioWithFaults(
+        R"({"mitigate_streak": 0})")));
+    // Detection threshold must be positive.
+    EXPECT_TRUE(rejects(scenarioWithFaults(
+        R"({"detect_error_s": 0})")));
+    // Non-integer where an integer is required.
+    EXPECT_TRUE(rejects(scenarioWithFaults(
+        R"({"adc": {"flip_mask": 1.5}})")));
+}
+
+TEST(ScenarioFaults, RejectsWrongTypesInsideBlocks)
+{
+    EXPECT_TRUE(rejects(scenarioWithFaults(
+        R"({"measurement": {"bias_watts": "lots"}})")));
+    EXPECT_TRUE(rejects(scenarioWithFaults(
+        R"({"measurement": 3})")));
+    EXPECT_TRUE(rejects(scenarioWithFaults(
+        R"({"seed": "abc"})")));
+}
+
+TEST(ScenarioFaults, KnownFieldAndLabel)
+{
+    EXPECT_TRUE(fields::knownField("faults"));
+    const auto fieldList = fields::describeFields();
+    EXPECT_NE(fieldList.find("faults"), std::string::npos);
+}
+
+TEST(ScenarioFaults, LabelNamesActiveSubBlocks)
+{
+    const ScenarioSpec spec = parseOk(scenarioWithFaults(
+        R"({"adc": {"flip_mask": 1},
+            "arrivals": {"capture_jitter_ms": 10}})"));
+    const Override *faults = nullptr;
+    for (const Override &override : spec.populations[0].overrides)
+        if (override.field == "faults")
+            faults = &override;
+    ASSERT_NE(faults, nullptr);
+    EXPECT_EQ(fields::fieldLabel("faults", faults->value),
+              "faults:adc+arrivals");
+}
+
+TEST(ScenarioFaults, LabelForEmptyBlockIsNoFaults)
+{
+    const ScenarioSpec spec = parseOk(scenarioWithFaults("{}"));
+    const Override &override = spec.populations[0].overrides.back();
+    ASSERT_EQ(override.field, "faults");
+    EXPECT_EQ(fields::fieldLabel("faults", override.value),
+              "no-faults");
+}
+
+} // namespace
+} // namespace scenario
+} // namespace quetzal
