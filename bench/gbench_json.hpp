@@ -1,0 +1,134 @@
+/**
+ * @file
+ * quetzal-bench-v1 adapter for the google-benchmark binaries
+ * (micro_runtime, micro_ratio_engine).
+ *
+ * The perf-trajectory gate (scripts/check_bench.sh) consumes one
+ * line of quetzal-bench-v1 JSON per bench binary. The wall-clock
+ * benches emit that line natively; the google-benchmark binaries
+ * normally print the human table instead. quetzalGbenchMain() keeps
+ * the stock behaviour (all google-benchmark flags work) but, when
+ * `--quetzal-json` is passed, also captures every benchmark's
+ * real-time ns/op through a pass-through reporter and appends the
+ * summary line the gate parses — the named primary benchmark's
+ * figure is duplicated as "ns_per_op", the trajectory's primary
+ * metric.
+ *
+ * Usage (replaces BENCHMARK_MAIN()):
+ *
+ *   int main(int argc, char **argv)
+ *   {
+ *       return quetzal::bench::quetzalGbenchMain(
+ *           argc, argv, "micro_runtime", "BM_ControllerSelectJob");
+ *   }
+ */
+
+#ifndef QUETZAL_BENCH_GBENCH_JSON_HPP
+#define QUETZAL_BENCH_GBENCH_JSON_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_json.hpp"
+
+namespace quetzal {
+namespace bench {
+
+/**
+ * ConsoleReporter that also records (name, real ns/op) per
+ * benchmark. Aggregates (mean/median/stddev of repetitions) are
+ * skipped so the captured value is always the plain iteration
+ * figure.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred)
+                continue;
+            captured.emplace_back(run.benchmark_name(),
+                                  run.GetAdjustedRealTime());
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+
+    const std::vector<std::pair<std::string, double>> &
+    results() const
+    {
+        return captured;
+    }
+
+  private:
+    std::vector<std::pair<std::string, double>> captured;
+};
+
+/**
+ * Drop-in BENCHMARK_MAIN() replacement adding `--quetzal-json`.
+ * @param benchName    the "bench" field of the emitted line
+ * @param primaryBench benchmark whose ns/op becomes "ns_per_op"
+ */
+inline int
+quetzalGbenchMain(int argc, char **argv, const char *benchName,
+                  const char *primaryBench)
+{
+    bool emitJson = false;
+    std::vector<char *> args;
+    args.reserve(static_cast<std::size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--quetzal-json")
+            emitJson = true;
+        else
+            args.push_back(argv[i]);
+    }
+    // The console table's ANSI color reset has no trailing newline
+    // and would prefix the JSON line; keep the machine-read output
+    // escape-free.
+    static char noColor[] = "--benchmark_color=false";
+    if (emitJson)
+        args.push_back(noColor);
+    int filtered = static_cast<int>(args.size());
+
+    benchmark::Initialize(&filtered, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered, args.data()))
+        return 1;
+
+    CapturingReporter reporter;
+    // In JSON mode the human table moves to stderr so stdout carries
+    // exactly one machine-readable line.
+    if (emitJson)
+        reporter.SetOutputStream(&std::cerr);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    if (!emitJson)
+        return 0;
+
+    JsonLine line(benchName);
+    double primaryNs = -1.0;
+    for (const auto &result : reporter.results()) {
+        line.add(result.first, result.second, 1);
+        if (result.first == primaryBench)
+            primaryNs = result.second;
+    }
+    if (primaryNs < 0.0) {
+        std::fprintf(stderr, "%s: primary benchmark %s did not run\n",
+                     benchName, primaryBench);
+        return 1;
+    }
+    line.add("ns_per_op", primaryNs, 1);
+    line.print();
+    return 0;
+}
+
+} // namespace bench
+} // namespace quetzal
+
+#endif // QUETZAL_BENCH_GBENCH_JSON_HPP

@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.hpp"
+
 #include "hw/power_monitor_circuit.hpp"
 #include "hw/ratio_engine.hpp"
 
@@ -70,4 +72,9 @@ BENCHMARK(BM_CircuitMeasurement);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return quetzal::bench::quetzalGbenchMain(
+        argc, argv, "micro_ratio_engine", "BM_ServiceTicksAlg3");
+}

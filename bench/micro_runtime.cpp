@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.hpp"
+
 #include "app/person_detection.hpp"
 #include "baselines/controllers.hpp"
 #include "core/pid.hpp"
@@ -96,4 +98,9 @@ BENCHMARK(BM_PidUpdate);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return quetzal::bench::quetzalGbenchMain(
+        argc, argv, "micro_runtime", "BM_ControllerSelectJob");
+}

@@ -28,14 +28,23 @@
  * E[S] memoization dominate; the reported figures track that
  * scenario's cost per run.
  *
+ * --engine selects the simulation engine (tick | event) so the two
+ * implementations of the same observable timeline can be compared
+ * directly; --idle-day replaces the sensing trace with an empty one
+ * over a full simulated day (zero arrivals, captures only) — the
+ * regime where the event engine's closed-form advance between
+ * instants shows its largest advantage over per-tick stepping.
+ *
  * Usage: micro_simulator [--jobs N] [--runs N] [--events N]
- *                        [--trace LEVEL] [--ideal]
+ *                        [--trace LEVEL] [--ideal] [--idle-day]
+ *                        [--engine tick|event]
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -82,6 +91,8 @@ main(int argc, char **argv)
     std::size_t events = 200;
     obs::ObsLevel traceLevel = obs::ObsLevel::Off;
     bool ideal = false;
+    bool idleDay = false;
+    sim::EngineKind engine = sim::EngineKind::Tick;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -107,6 +118,13 @@ main(int argc, char **argv)
             traceLevel = *level;
         } else if (arg == "--ideal") {
             ideal = true;
+        } else if (arg == "--idle-day") {
+            idleDay = true;
+        } else if (arg == "--engine") {
+            const auto kind = sim::parseEngineKind(value());
+            if (!kind)
+                util::fatal("unknown engine (tick | event)");
+            engine = *kind;
         } else {
             std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
             return 2;
@@ -123,6 +141,15 @@ main(int argc, char **argv)
     cfg.eventCount = events;
     cfg.controller = ideal ? sim::ControllerKind::Ideal
                            : sim::ControllerKind::Quetzal;
+    cfg.sim.engine = engine;
+    if (idleDay) {
+        // Zero-arrival day: an empty sensing trace plus a day-long
+        // drain window. Every capture fails the diff filter, so the
+        // run measures pure "waiting" cost — per-tick stepping for
+        // the tick engine, closed-form jumps for the event engine.
+        cfg.sharedEvents = std::make_shared<const trace::EventTrace>();
+        cfg.sim.drainTicks = Tick{24} * 3600 * kTicksPerSecond;
+    }
 
     // Warm-up: touch every code path once so first-run effects
     // (allocator, page faults) do not skew either measurement.
@@ -172,7 +199,8 @@ main(int argc, char **argv)
     }
 
     bench::JsonLine line("micro_simulator");
-    line.add("mode", ideal ? "ideal" : "quetzal")
+    line.add("mode", idleDay ? "idle-day" : (ideal ? "ideal" : "quetzal"))
+        .add("engine", sim::engineKindName(engine))
         .add("runs", runs)
         .add("events", events)
         .add("jobs", jobs)

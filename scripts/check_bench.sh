@@ -60,13 +60,37 @@ if [ ! -d "$BASELINE_DIR" ]; then
     exit 1
 fi
 
-for bin in micro_buffer micro_simulator; do
+for bin in micro_buffer micro_simulator micro_runtime \
+           micro_ratio_engine; do
     if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
         echo "check_bench: $bin not found in $BUILD_DIR/bench;" \
              "build it first: cmake --build $BUILD_DIR --target $bin" >&2
         exit 1
     fi
 done
+
+# Every micro bench binary must be covered by at least one committed
+# trajectory file: a bench without a baseline silently escapes the
+# perf gate, which is exactly how a regression ships.
+uncovered="$(python3 - "$BASELINE_DIR" "$BUILD_DIR/bench" <<'EOF'
+import glob, json, os, sys
+baseline_dir, bench_dir = sys.argv[1:3]
+covered = set()
+for path in glob.glob(os.path.join(baseline_dir, "BENCH_*.json")):
+    covered.add(json.load(open(path))["binary"])
+for path in sorted(glob.glob(os.path.join(bench_dir, "micro_*"))):
+    name = os.path.basename(path)
+    if os.access(path, os.X_OK) and name not in covered:
+        print(name)
+EOF
+)"
+if [ -n "$uncovered" ]; then
+    echo "check_bench: FAIL bench binaries with no baseline:" >&2
+    echo "$uncovered" | sed 's/^/  /' >&2
+    echo "check_bench: add bench/baselines/BENCH_<name>.json" \
+         "(scripts/check_bench.sh --update appends entries)" >&2
+    exit 1
+fi
 
 if [ "$SELFTEST" -eq 1 ]; then
     # The gate must trip on a synthetic regression well past the
@@ -78,7 +102,18 @@ if [ "$SELFTEST" -eq 1 ]; then
              "passed the gate)" >&2
         exit 1
     fi
-    echo "check_bench: self-test OK (injected regression detected)"
+    # The event-engine trajectory must be wired into the gate: its
+    # file must exist, target the event engine, and carry a baseline
+    # entry for the ratio check to compare against.
+    python3 - "$BASELINE_DIR/BENCH_micro_simulator_event.json" <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+assert "--engine" in t["args"] and "event" in t["args"], t["args"]
+assert t["entries"], "event trajectory has no baseline entry"
+assert t["entries"][-1].get("engine") == "event", t["entries"][-1]
+EOF
+    echo "check_bench: self-test OK (injected regression detected," \
+         "event trajectory wired)"
     exit 0
 fi
 

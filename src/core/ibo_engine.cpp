@@ -138,7 +138,7 @@ IboReactionEngine::adapt(const TaskSystem &system, const Job &job,
     if (decision.iboPredicted) {
         // Report the selected job's E[S] at the chosen quality so the
         // PID compares like with like.
-        std::vector<std::size_t> opts(job.tasks.size(), 0);
+        OptionVec opts(job.tasks.size(), 0);
         opts[degIdx] = chosen;
         decision.predictedServiceSeconds = std::max(
             0.0, system.expectedJobService(job, estimator, power, opts) +

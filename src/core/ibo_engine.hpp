@@ -30,7 +30,7 @@ namespace core {
 struct AdaptationDecision
 {
     /** Option index per position in job.tasks (0 == full quality). */
-    std::vector<std::size_t> optionPerTask;
+    OptionVec optionPerTask;
     /** E[S] of the job as configured (0 if the policy has no model). */
     double predictedServiceSeconds = 0.0;
     /** True when Little's Law predicted an overflow before reaction. */

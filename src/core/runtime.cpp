@@ -38,13 +38,13 @@ Controller::selectJob(TaskSystem &system,
         return std::nullopt;
 
     const Job &job = system.job(decision->jobId);
-    const AdaptationDecision adapted = adaptPolicy->adapt(
+    AdaptationDecision adapted = adaptPolicy->adapt(
         system, job, buffer, *serviceEstimator, power, correction);
 
     JobSelection selection;
     selection.jobId = decision->jobId;
     selection.slot = decision->slot;
-    selection.optionPerTask = adapted.optionPerTask;
+    selection.optionPerTask = std::move(adapted.optionPerTask);
     if (selection.optionPerTask.empty())
         selection.optionPerTask.assign(job.tasks.size(), 0);
     selection.predictedServiceSeconds =

@@ -37,7 +37,7 @@ struct JobSelection
 {
     JobId jobId = 0;
     queueing::SlotId slot = 0; ///< buffer slot of the consumed input
-    std::vector<std::size_t> optionPerTask;
+    OptionVec optionPerTask;
     double predictedServiceSeconds = 0.0;
     bool iboPredicted = false;
     bool degraded = false;

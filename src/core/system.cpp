@@ -74,20 +74,10 @@ TaskSystem::addJob(const std::string &name,
     return jobList.back().id;
 }
 
-const Task &
-TaskSystem::task(TaskId id) const
+void
+TaskSystem::badId(const char *what, std::uint64_t id)
 {
-    if (id >= taskList.size())
-        util::panic(util::msg("unknown task id ", id));
-    return taskList[id];
-}
-
-const Job &
-TaskSystem::job(JobId id) const
-{
-    if (id >= jobList.size())
-        util::panic(util::msg("unknown job id ", id));
-    return jobList[id];
+    util::panic(util::msg("unknown ", what, " id ", id));
 }
 
 void
@@ -125,21 +115,24 @@ TaskSystem::recordJobCompletion(const Job &job,
     ++stateRevision;
 }
 
-double
-TaskSystem::executionProbability(TaskId id) const
-{
-    if (id >= probTrackers.size())
-        util::panic(util::msg("unknown task id ", id));
-    return probTrackers[id].probability();
-}
-
 PowerReading
 TaskSystem::measureInputPower(Watts truePower)
 {
     monitor.setInputPower(truePower);
     PowerReading reading;
     reading.watts = truePower;
+    if (measureMemoValid && truePower == lastMeasureWatts &&
+        monitor.temperature() == lastMeasureTemperature) {
+        // Keep the digital-side state identical to a real read.
+        monitor.select(hw::Channel::Vin);
+        reading.code = lastMeasureCode;
+        return reading;
+    }
     reading.code = monitor.measureInputCode();
+    lastMeasureWatts = truePower;
+    lastMeasureTemperature = monitor.temperature();
+    lastMeasureCode = reading.code;
+    measureMemoValid = true;
     return reading;
 }
 
@@ -147,8 +140,7 @@ double
 TaskSystem::expectedJobService(const Job &job,
                                const ServiceTimeEstimator &estimator,
                                const PowerReading &power,
-                               const std::vector<std::size_t>
-                                   &optionPerTask) const
+                               const OptionVec &optionPerTask) const
 {
     if (!optionPerTask.empty() && optionPerTask.size() != job.tasks.size())
         util::panic("option choices do not match job task count");

@@ -70,8 +70,21 @@ class TaskSystem
 
     /** @name Lookup */
     /// @{
-    const Task &task(TaskId id) const;
-    const Job &job(JobId id) const;
+    const Task &
+    task(TaskId id) const
+    {
+        if (id >= taskList.size())
+            badId("task", id);
+        return taskList[id];
+    }
+
+    const Job &
+    job(JobId id) const
+    {
+        if (id >= jobList.size())
+            badId("job", id);
+        return jobList[id];
+    }
     const std::vector<Task> &tasks() const { return taskList; }
     const std::vector<Job> &jobs() const { return jobList; }
     std::size_t taskCount() const { return taskList.size(); }
@@ -104,7 +117,13 @@ class TaskSystem
                              const std::vector<bool> &executedPerTask);
 
     /** Execution-probability estimate for a task. */
-    double executionProbability(TaskId id) const;
+    double
+    executionProbability(TaskId id) const
+    {
+        if (id >= probTrackers.size())
+            badId("task", id);
+        return probTrackers[id].probability();
+    }
 
     /**
      * Measure input power through the circuit: updates the physical
@@ -127,8 +146,7 @@ class TaskSystem
     double expectedJobService(const Job &job,
                               const ServiceTimeEstimator &estimator,
                               const PowerReading &power,
-                              const std::vector<std::size_t>
-                                  &optionPerTask = {}) const;
+                              const OptionVec &optionPerTask = {}) const;
 
     /**
      * Monotonic counter covering every mutation that can change an
@@ -138,6 +156,9 @@ class TaskSystem
     std::uint64_t revision() const { return stateRevision; }
 
   private:
+    /** Cold panic path kept out of line so the lookups inline. */
+    [[noreturn]] static void badId(const char *what, std::uint64_t id);
+
     /**
      * One full-quality E[S] memo per job. Schedulers and the IBO
      * engine re-evaluate every job's E[S] on each decision, but the
@@ -165,6 +186,20 @@ class TaskSystem
     std::vector<queueing::ExecutionProbabilityTracker> probTrackers;
     std::uint64_t stateRevision = 0;
     mutable std::vector<ServiceMemo> serviceMemo;
+
+    /**
+     * Memo of the last input-power measurement. The harvested power
+     * is piecewise-constant over multi-second trace segments while
+     * jobs are scheduled every few milliseconds, so consecutive
+     * measurements overwhelmingly repeat the same watts. The ADC
+     * code is pure in (power, junction temperature, circuit config),
+     * so replaying the cached code is bit-identical to re-measuring;
+     * a temperature change invalidates the memo.
+     */
+    Watts lastMeasureWatts = 0.0;
+    Kelvin lastMeasureTemperature = 0.0;
+    std::uint8_t lastMeasureCode = 0;
+    bool measureMemoValid = false;
 };
 
 } // namespace core

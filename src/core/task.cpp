@@ -25,13 +25,11 @@ Task::Task(TaskId id, std::string name,
     }
 }
 
-const DegradationOption &
-Task::option(std::size_t index) const
+void
+Task::badOptionIndex(std::size_t index) const
 {
-    if (index >= opts.size())
-        util::panic(util::msg("task '", taskName, "' option index ",
-                              index, " out of range"));
-    return opts[index];
+    util::panic(util::msg("task '", taskName, "' option index ",
+                          index, " out of range"));
 }
 
 std::size_t

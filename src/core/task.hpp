@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "hw/ratio_engine.hpp"
+#include "util/small_vec.hpp"
 #include "util/types.hpp"
 
 namespace quetzal {
@@ -32,6 +33,14 @@ using TaskId = std::uint32_t;
 /** The paper's library limits (section 5.1). */
 inline constexpr std::size_t kMaxTasks = 32;
 inline constexpr std::size_t kMaxOptionsPerTask = 4;
+
+/**
+ * Option index per position in a job's task list (0 == full
+ * quality). One of these is built per scheduling decision, so the
+ * inline capacity covers every realistic job without touching the
+ * heap (jobs with more tasks spill and stay correct).
+ */
+using OptionVec = util::SmallVec<std::size_t, 8>;
 
 /** Programmer-supplied description of one degradation option. */
 struct DegradationOptionSpec
@@ -81,7 +90,13 @@ class Task
     bool degradable() const { return opts.size() > 1; }
 
     /** Option by quality rank (0 == highest quality). */
-    const DegradationOption &option(std::size_t index) const;
+    const DegradationOption &
+    option(std::size_t index) const
+    {
+        if (index >= opts.size())
+            badOptionIndex(index);
+        return opts[index];
+    }
 
     /** All options, quality-ordered. */
     const std::vector<DegradationOption> &options() const { return opts; }
@@ -94,6 +109,9 @@ class Task
     std::size_t fastestOptionIndex() const;
 
   private:
+    /** Cold panic path kept out of line so option() inlines. */
+    [[noreturn]] void badOptionIndex(std::size_t index) const;
+
     TaskId taskId;
     std::string taskName;
     std::vector<DegradationOption> opts;

@@ -40,24 +40,10 @@ EnergyStorage::voltage() const
                      cfg.vOff * cfg.vOff);
 }
 
-Joules
-EnergyStorage::harvest(Joules amount)
+void
+EnergyStorage::negativeAmount(const char *op)
 {
-    if (amount < 0.0)
-        util::panic("EnergyStorage::harvest of negative energy");
-    const Joules accepted = std::min(amount, cap - stored);
-    stored += accepted;
-    return accepted;
-}
-
-Joules
-EnergyStorage::draw(Joules amount)
-{
-    if (amount < 0.0)
-        util::panic("EnergyStorage::draw of negative energy");
-    const Joules delivered = std::min(amount, stored);
-    stored -= delivered;
-    return delivered;
+    util::panic(util::msg("EnergyStorage::", op, " of negative energy"));
 }
 
 Joules

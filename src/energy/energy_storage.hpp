@@ -70,14 +70,31 @@ class EnergyStorage
      * Add harvested joules; clamps at capacity.
      * @return the joules actually accepted.
      */
-    Joules harvest(Joules amount);
+    Joules
+    harvest(Joules amount)
+    {
+        if (amount < 0.0)
+            negativeAmount("harvest");
+        const Joules accepted = amount < cap - stored ?
+            amount : cap - stored;
+        stored += accepted;
+        return accepted;
+    }
 
     /**
      * Draw joules for execution; clamps at zero.
      * @return the joules actually delivered (== amount unless the
      *         request crosses the vOff rail).
      */
-    Joules draw(Joules amount);
+    Joules
+    draw(Joules amount)
+    {
+        if (amount < 0.0)
+            negativeAmount("draw");
+        const Joules delivered = amount < stored ? amount : stored;
+        stored -= delivered;
+        return delivered;
+    }
 
     /**
      * Joules still needed to reach the turn-on threshold, or 0 when
@@ -89,6 +106,9 @@ class EnergyStorage
     void reset(bool startFull = true);
 
   private:
+    /** Cold panic path kept out of line so harvest()/draw() inline. */
+    [[noreturn]] static void negativeAmount(const char *op);
+
     StorageConfig cfg;
     Joules cap;
     Joules stored;

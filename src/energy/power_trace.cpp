@@ -87,54 +87,17 @@ PowerTrace::nextChangeAfter(Tick tick) const
 }
 
 void
-PowerTrace::Cursor::seek(Tick tick)
+PowerTrace::Cursor::reseekBackward(Tick tick)
 {
+    // Backward query: re-seek from scratch.
     const auto &segments = trace->segments;
-    if (index >= segments.size())
-        index = 0;
-    if (tick < segments[index].start) {
-        // Backward query: re-seek from scratch.
-        const auto it = std::upper_bound(
-            segments.begin(), segments.end(), tick,
-            [](Tick t, const Segment &seg) { return t < seg.start; });
-        index = it == segments.begin()
-            ? 0
-            : static_cast<std::size_t>(
-                  std::prev(it) - segments.begin());
-        return;
-    }
-    // Forward walk; each segment is crossed at most once per pass
-    // over the trace, so a monotone query sequence is O(1) amortized.
-    while (index + 1 < segments.size() &&
-           segments[index + 1].start <= tick)
-        ++index;
-}
-
-double
-PowerTrace::Cursor::valueAt(Tick tick)
-{
-    if (trace == nullptr || trace->segments.empty())
-        return 0.0;
-    seek(tick);
-    return trace->segments[index].value;
-}
-
-Tick
-PowerTrace::Cursor::nextChangeAfter(Tick tick)
-{
-    if (trace == nullptr || trace->segments.empty())
-        return kTickNever;
-    seek(tick);
-    const auto &segments = trace->segments;
-    const double current = segments[index].value;
-    // First candidate strictly after tick: the next segment, or the
-    // holding segment itself when tick still precedes the first start.
-    std::size_t j = segments[index].start > tick ? index : index + 1;
-    while (j < segments.size() && segments[j].value == current)
-        ++j;
-    if (j == segments.size())
-        return kTickNever;
-    return segments[j].start;
+    const auto it = std::upper_bound(
+        segments.begin(), segments.end(), tick,
+        [](Tick t, const Segment &seg) { return t < seg.start; });
+    index = it == segments.begin()
+        ? 0
+        : static_cast<std::size_t>(
+              std::prev(it) - segments.begin());
 }
 
 double

@@ -68,6 +68,9 @@ class PowerTrace
         /** Move index to the segment holding at `tick`. */
         void seek(Tick tick);
 
+        /** Cold out-of-line path of seek() for backward queries. */
+        void reseekBackward(Tick tick);
+
         const PowerTrace *trace = nullptr;
         /** Index of the segment whose value holds at the last query
          *  tick (0 also covers ticks before the first segment). */
@@ -160,6 +163,54 @@ class PowerTrace
   private:
     std::vector<Segment> segments;
 };
+
+// Cursor queries are inline: they sit on the per-event hot path of
+// both simulation engines (one valueAt + nextChangeAfter pair per
+// device step), where the call overhead would rival the work.
+
+inline void
+PowerTrace::Cursor::seek(Tick tick)
+{
+    const auto &segments = trace->segments;
+    if (index >= segments.size())
+        index = 0;
+    if (tick < segments[index].start) {
+        reseekBackward(tick);
+        return;
+    }
+    // Forward walk; each segment is crossed at most once per pass
+    // over the trace, so a monotone query sequence is O(1) amortized.
+    while (index + 1 < segments.size() &&
+           segments[index + 1].start <= tick)
+        ++index;
+}
+
+inline double
+PowerTrace::Cursor::valueAt(Tick tick)
+{
+    if (trace == nullptr || trace->segments.empty())
+        return 0.0;
+    seek(tick);
+    return trace->segments[index].value;
+}
+
+inline Tick
+PowerTrace::Cursor::nextChangeAfter(Tick tick)
+{
+    if (trace == nullptr || trace->segments.empty())
+        return kTickNever;
+    seek(tick);
+    const auto &segments = trace->segments;
+    const double current = segments[index].value;
+    // First candidate strictly after tick: the next segment, or the
+    // holding segment itself when tick still precedes the first start.
+    std::size_t j = segments[index].start > tick ? index : index + 1;
+    while (j < segments.size() && segments[j].value == current)
+        ++j;
+    if (j == segments.size())
+        return kTickNever;
+    return segments[j].start;
+}
 
 } // namespace energy
 } // namespace quetzal

@@ -90,19 +90,6 @@ minLevel(EventKind kind)
     return info(kind).level;
 }
 
-std::uint32_t
-packOptions(const std::vector<std::size_t> &optionPerTask)
-{
-    std::uint32_t packed = 0;
-    const std::size_t count = optionPerTask.size() < 8 ?
-        optionPerTask.size() : 8;
-    for (std::size_t i = 0; i < count; ++i) {
-        packed |= static_cast<std::uint32_t>(optionPerTask[i] & 0xf)
-            << (4 * i);
-    }
-    return packed;
-}
-
 std::vector<std::size_t>
 unpackOptions(std::uint32_t packed, std::size_t count)
 {

@@ -132,8 +132,24 @@ struct Event
     std::uint32_t options = 0;
 };
 
-/** Pack per-task option indices (4 bits each, up to 8 tasks). */
-std::uint32_t packOptions(const std::vector<std::size_t> &optionPerTask);
+/**
+ * Pack per-task option indices (4 bits each, up to 8 tasks).
+ * Container-generic so the scheduler's small-vector and plain
+ * std::vector shapes both pack without a conversion copy.
+ */
+template <typename Vec>
+std::uint32_t
+packOptions(const Vec &optionPerTask)
+{
+    std::uint32_t packed = 0;
+    const std::size_t count = optionPerTask.size() < 8 ?
+        optionPerTask.size() : 8;
+    for (std::size_t i = 0; i < count; ++i) {
+        packed |= static_cast<std::uint32_t>(optionPerTask[i] & 0xf)
+            << (4 * i);
+    }
+    return packed;
+}
 
 /** Unpack `count` option indices packed by packOptions(). */
 std::vector<std::size_t> unpackOptions(std::uint32_t packed,

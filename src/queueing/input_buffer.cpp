@@ -118,8 +118,16 @@ InputBuffer::tryPush(const InputRecord &record)
             ++overflowCounts.interesting;
         return false;
     }
-    if (idToSlot.count(record.id) != 0)
-        util::panic(util::msg("duplicate input id ", record.id));
+    if (anyIdPushed && record.id <= maxPushedId) {
+        // Non-monotone id: only now can a resident record collide.
+        for (SlotId s = fifoHead; s != kNoSlot; s = slots[s].nextFifo) {
+            if (slots[s].rec.id == record.id)
+                util::panic(util::msg("duplicate input id ", record.id));
+        }
+    }
+    anyIdPushed = true;
+    if (record.id > maxPushedId)
+        maxPushedId = record.id;
 
     if (anyPush && record.captureTick <= lastPushCaptureTick)
         captureStrictlyIncreasing = false;
@@ -142,7 +150,6 @@ InputBuffer::tryPush(const InputRecord &record)
     fifoTail = slot;
 
     laneAppend(record.jobId, slot);
-    idToSlot.emplace(record.id, slot);
     ++occupiedCount;
     return true;
 }
@@ -269,16 +276,18 @@ InputBuffer::markInFlight(SlotId slot)
 SlotId
 InputBuffer::slotForId(std::uint64_t id, const char *op) const
 {
-    const auto it = idToSlot.find(id);
-    if (it == idToSlot.end())
-        util::panic(util::msg(op, " of unknown input id ", id));
-    return it->second;
+    for (SlotId s = fifoHead; s != kNoSlot; s = slots[s].nextFifo) {
+        if (slots[s].rec.id == id)
+            return s;
+    }
+    util::panic(util::msg(op, " of unknown input id ", id));
 }
 
 void
-InputBuffer::release(std::uint64_t id)
+InputBuffer::releaseSlot(SlotId slot)
 {
-    const SlotId slot = slotForId(id, "release");
+    if (slot >= slots.size() || !slots[slot].occupied)
+        util::panic(util::msg("InputBuffer: unknown slot ", slot));
     Slot &s = slots[slot];
     if (!s.rec.inFlight)
         util::panic("releasing an input that is not in flight");
@@ -293,15 +302,15 @@ InputBuffer::release(std::uint64_t id)
         fifoTail = s.prevFifo;
 
     s = Slot{};
-    idToSlot.erase(id);
     freeSlots.push_back(slot);
     --occupiedCount;
 }
 
 void
-InputBuffer::retag(std::uint64_t id, JobId nextJob, Tick enqueueTick)
+InputBuffer::retagSlot(SlotId slot, JobId nextJob, Tick enqueueTick)
 {
-    const SlotId slot = slotForId(id, "retag");
+    if (slot >= slots.size() || !slots[slot].occupied)
+        util::panic(util::msg("InputBuffer: unknown slot ", slot));
     Slot &s = slots[slot];
     if (!s.rec.inFlight)
         util::panic("retagging an input that is not in flight");
@@ -312,17 +321,30 @@ InputBuffer::retag(std::uint64_t id, JobId nextJob, Tick enqueueTick)
 }
 
 void
+InputBuffer::release(std::uint64_t id)
+{
+    releaseSlot(slotForId(id, "release"));
+}
+
+void
+InputBuffer::retag(std::uint64_t id, JobId nextJob, Tick enqueueTick)
+{
+    retagSlot(slotForId(id, "retag"), nextJob, enqueueTick);
+}
+
+void
 InputBuffer::clear()
 {
     slots.clear();
     freeSlots.clear();
     lanes.clear();
-    idToSlot.clear();
     fifoHead = kNoSlot;
     fifoTail = kNoSlot;
     occupiedCount = 0;
     schedulableCount = 0;
     nextArrivalSeq = 0;
+    maxPushedId = 0;
+    anyIdPushed = false;
     captureStrictlyIncreasing = true;
     anyPush = false;
     lastPushCaptureTick = 0;

@@ -19,8 +19,10 @@
  *     and tie-break order of every policy),
  *   - one intrusive lane per job holding its schedulable records in
  *     arrival order (oldestSlotForJob / countForJob),
- *   - an id → slot map (release / retag),
  *   - a free-list recycling released slots.
+ * Release and retag are O(1) through the stable SlotId a consumer
+ * already holds; the legacy id-based wrappers scan and exist for
+ * callers that only kept the record id.
  * Overall capacity can therefore be "practically infinite" without
  * eagerly allocating it: memory tracks the occupancy high-water
  * mark, not the configured capacity.
@@ -31,7 +33,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "util/types.hpp"
@@ -138,16 +139,31 @@ class InputBuffer
      */
     InputRecord markInFlight(SlotId slot);
 
-    /** Release (remove) the in-flight input with the given id. O(1). */
-    void release(std::uint64_t id);
+    /**
+     * Release (remove) the in-flight input in the given slot. O(1).
+     * The slot handle stays valid from markInFlight() to here — an
+     * in-flight record can neither move nor be released by others.
+     */
+    void releaseSlot(SlotId slot);
 
     /**
-     * Retag the in-flight input for a successor job (spawn): clears
-     * the in-flight mark and stamps the re-enqueue time. Never
-     * overflows — the input already owns its slot. Amortized O(1)
-     * for the runtime's oldest-first consumption order (worst case
-     * O(lane length) for adversarial orders).
+     * Retag the in-flight input in the given slot for a successor
+     * job (spawn): clears the in-flight mark and stamps the
+     * re-enqueue time. Never overflows — the input already owns its
+     * slot. Amortized O(1) for the runtime's oldest-first
+     * consumption order (worst case O(lane length) for adversarial
+     * orders).
      */
+    void retagSlot(SlotId slot, JobId nextJob, Tick enqueueTick);
+
+    /**
+     * Id-based release for callers that did not keep the slot
+     * handle: scans for the resident record (O(occupancy)), then
+     * behaves exactly like releaseSlot().
+     */
+    void release(std::uint64_t id);
+
+    /** Id-based retag (see release()); scans, then retagSlot(). */
     void retag(std::uint64_t id, JobId nextJob, Tick enqueueTick);
 
     /** Cumulative overflow counts since construction. */
@@ -205,10 +221,17 @@ class InputBuffer
     std::vector<Slot> slots;
     std::vector<SlotId> freeSlots;
     std::vector<Lane> lanes;
-    std::unordered_map<std::uint64_t, SlotId> idToSlot;
     SlotId fifoHead = kNoSlot;
     SlotId fifoTail = kNoSlot;
     std::uint64_t nextArrivalSeq = 0;
+    /**
+     * Largest record id ever pushed. The runtime allocates ids from
+     * a counter, so almost every push carries a fresh maximum and
+     * the duplicate-id check is one compare; a non-monotone id falls
+     * back to scanning the resident records.
+     */
+    std::uint64_t maxPushedId = 0;
+    bool anyIdPushed = false;
     /**
      * True while every push carried a captureTick strictly greater
      * than its predecessor's (the simulator's one-capture-per-tick

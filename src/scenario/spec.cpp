@@ -384,6 +384,15 @@ const FieldInfo kFields[] = {
          cfg.controller = *controllerFromName(*v.asString());
      },
      nullptr},
+    {"engine", "one of \"tick\", \"event\"",
+     [](const json::Value &v, std::string &) {
+         const auto name = v.asString();
+         return name && sim::parseEngineKind(*name).has_value();
+     },
+     [](const json::Value &v, sim::ExperimentConfig &cfg) {
+         cfg.sim.engine = *sim::parseEngineKind(*v.asString());
+     },
+     nullptr},
     {"events", "an integer in [1, 10000000]",
      [](const json::Value &v, std::string &) {
          return uintInRange(v, 1, 10'000'000);

@@ -23,7 +23,7 @@ Simulator::processCapture(Tick now)
     // Ground truth from the event trace: an active event makes the
     // frame "different" from its predecessor; the second I/O pin of
     // the paper's rig marks it interesting (section 6.2).
-    const trace::SensingEvent *event = events.eventAt(now);
+    const trace::SensingEvent *event = captureCursor.eventAt(now);
     bool different = event != nullptr;
     const bool interesting = different && event->interesting;
     // Arrival-burst fault: the frame is forced past the diff filter

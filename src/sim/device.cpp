@@ -68,40 +68,134 @@ Device::applyNet(Watts net, Tick span)
         storage.draw(-delta);
 }
 
-Tick
-Device::step(Tick now, Tick span)
+StepPlan
+Device::planStep(Tick now, Tick limit)
 {
-    const Watts pin = powerCursor.valueAt(now);
+    // The span available inside the current power-trace segment. A
+    // span that ends at the segment boundary (rather than one of the
+    // bounds below) is a PowerSegmentBreak event; one that ends at
+    // `limit` is LimitReached.
+    const Tick segmentEnd =
+        std::min(limit, powerCursor.nextChangeAfter(now));
+    const Tick span = segmentEnd - now;
+    const bool atSegment = segmentEnd < limit;
+
+    StepPlan plan;
+    plan.pin = powerCursor.valueAt(now);
+    plan.phase = currentPhase;
+    plan.kind = atSegment ? EventKind::PowerSegmentBreak
+                          : EventKind::LimitReached;
 
     switch (currentPhase) {
       case DevicePhase::Idle: {
-        applyNet(pin - profile.sleepPower, span);
-        return span;
+        plan.run = span;
+        return plan;
       }
 
       case DevicePhase::Running: {
         const bool periodic = profile.checkpoint.policy ==
             app::CheckpointPolicy::Periodic;
-        Tick run = std::min(span, remainingTaskTicks);
+        Tick run = span;
+        if (remainingTaskTicks <= run) {
+            run = remainingTaskTicks;
+            plan.kind = EventKind::TaskCompletion;
+        }
         if (periodic) {
             // Stop at the next scheduled checkpoint.
-            run = std::min(run, profile.checkpoint.periodicInterval -
-                                    progressSinceSave);
+            const Tick toCheckpoint =
+                profile.checkpoint.periodicInterval - progressSinceSave;
+            if (toCheckpoint < run ||
+                (toCheckpoint == run &&
+                 plan.kind != EventKind::TaskCompletion)) {
+                run = toCheckpoint;
+                plan.kind = EventKind::PhaseEnd;
+            }
         }
-        const Watts net = pin - taskPower;
+        const Watts net = plan.pin - taskPower;
         if (net < 0.0) {
             // Ticks until the store can no longer fund a whole tick.
             const Joules perTick = energyOver(-net, 1);
             const auto fundable =
                 static_cast<Tick>(std::floor(storage.energy() / perTick));
-            run = std::min(run, fundable);
+            if (fundable < run) {
+                run = fundable;
+                plan.kind = EventKind::StorageThreshold;
+            }
         }
+        if (run <= 0) {
+            // Cannot fund the next tick: power failure (an immediate
+            // transition; the commit consumes no time).
+            plan.run = 0;
+            plan.kind = EventKind::StorageThreshold;
+            return plan;
+        }
+        plan.run = run;
+        return plan;
+      }
+
+      case DevicePhase::CheckpointSave:
+      case DevicePhase::Restoring: {
+        if (remainingPhaseTicks <= span) {
+            plan.run = remainingPhaseTicks;
+            plan.kind = EventKind::PhaseEnd;
+        } else {
+            plan.run = span;
+        }
+        return plan;
+      }
+
+      case DevicePhase::Recharging: {
+        const Joules deficit = storage.deficitToRestart();
+        if (deficit <= 0.0) {
+            // Already above the restart threshold: immediate
+            // transition to Restoring.
+            plan.run = 0;
+            plan.kind = EventKind::StorageThreshold;
+            return plan;
+        }
+        Tick run = span;
+        if (plan.pin > 0.0) {
+            // Closed-form threshold solve within this segment: the
+            // first tick count whose harvested energy covers the
+            // deficit.
+            const Joules perTick = energyOver(plan.pin, 1);
+            const auto needed = static_cast<Tick>(
+                std::ceil(deficit / perTick));
+            const Tick bound = std::max<Tick>(needed, 1);
+            if (bound <= run) {
+                run = bound;
+                plan.kind = EventKind::StorageThreshold;
+            }
+        }
+        plan.run = run;
+        return plan;
+      }
+    }
+    util::panic("invalid device phase");
+}
+
+void
+Device::commitStep(const StepPlan &plan)
+{
+    if (plan.phase != currentPhase)
+        util::panic("Device::commitStep with a stale plan");
+    const Tick run = plan.run;
+
+    switch (currentPhase) {
+      case DevicePhase::Idle: {
+        applyNet(plan.pin - profile.sleepPower, run);
+        return;
+      }
+
+      case DevicePhase::Running: {
         if (run <= 0) {
             // Cannot fund the next tick: power failure.
             onPowerFailure();
-            return 0;
+            return;
         }
-        applyNet(net, run);
+        const bool periodic = profile.checkpoint.policy ==
+            app::CheckpointPolicy::Periodic;
+        applyNet(plan.pin - taskPower, run);
         remainingTaskTicks -= run;
         deviceStats.activeTicks += run;
         if (periodic)
@@ -116,12 +210,11 @@ Device::step(Tick now, Tick span)
             currentPhase = DevicePhase::CheckpointSave;
             remainingPhaseTicks = profile.checkpoint.saveTicks;
         }
-        return run;
+        return;
       }
 
       case DevicePhase::CheckpointSave: {
-        const Tick run = std::min(span, remainingPhaseTicks);
-        applyNet(pin - profile.checkpoint.savePower, run);
+        applyNet(plan.pin - profile.checkpoint.savePower, run);
         remainingPhaseTicks -= run;
         if (remainingPhaseTicks == 0) {
             ++deviceStats.checkpointSaves;
@@ -135,39 +228,30 @@ Device::step(Tick now, Tick span)
                 currentPhase = DevicePhase::Recharging;
             }
         }
-        return run;
+        return;
       }
 
       case DevicePhase::Recharging: {
-        const Joules deficit = storage.deficitToRestart();
-        if (deficit <= 0.0) {
+        if (run <= 0) {
             currentPhase = DevicePhase::Restoring;
             remainingPhaseTicks = profile.checkpoint.restoreTicks;
-            return 0;
+            return;
         }
-        Tick run = span;
-        if (pin > 0.0) {
-            const Joules perTick = energyOver(pin, 1);
-            const auto needed = static_cast<Tick>(
-                std::ceil(deficit / perTick));
-            run = std::min(run, std::max<Tick>(needed, 1));
-        }
-        applyNet(pin, run);
+        applyNet(plan.pin, run);
         deviceStats.rechargeTicks += run;
         if (storage.deficitToRestart() <= 0.0) {
             currentPhase = DevicePhase::Restoring;
             remainingPhaseTicks = profile.checkpoint.restoreTicks;
         }
-        return run;
+        return;
       }
 
       case DevicePhase::Restoring: {
-        const Tick run = std::min(span, remainingPhaseTicks);
-        applyNet(pin - profile.checkpoint.restorePower, run);
+        applyNet(plan.pin - profile.checkpoint.restorePower, run);
         remainingPhaseTicks -= run;
         if (remainingPhaseTicks == 0)
             currentPhase = DevicePhase::Running;
-        return run;
+        return;
       }
     }
     util::panic("invalid device phase");
@@ -179,11 +263,10 @@ Device::advance(Tick now, Tick limit)
     int zeroProgressStreak = 0;
     while (now < limit) {
         const bool wasActive = taskActive();
-        const Tick segmentEnd =
-            std::min(limit, powerCursor.nextChangeAfter(now));
-        const Tick span = segmentEnd - now;
 
-        const Tick consumed = step(now, span);
+        const StepPlan plan = planStep(now, limit);
+        commitStep(plan);
+        const Tick consumed = plan.run;
         now += consumed;
 
         // Stop exactly at task completion so the caller can observe

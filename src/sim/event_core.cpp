@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The discrete-event stepper (Simulator::runEvent).
+ *
+ * Sequences a run through a monotone EventQueue over the five real
+ * event kinds — capture arrivals, task completions, energy-storage
+ * threshold crossings, power-trace segment breakpoints and fault
+ * window edges — instead of the reference engine's
+ * advance-to-next-capture iteration. Between queue events the energy
+ * state advances in closed form via Device::planStep/commitStep: one
+ * O(1) solve per (power segment x device phase) span.
+ *
+ * Equivalence contract (differential-tested in
+ * tests/sim/test_engine_differential.cpp): the observable timeline
+ * must be byte-identical to Simulator::runTick —
+ *
+ *  - system instants (the points where observation and control act)
+ *    are exactly the tick engine's iteration tops: run start, every
+ *    capture instant, every task-completion instant, the horizon;
+ *  - the obs stream carries the same events with the same
+ *    timestamps, so fault-window announcements coalesce to the next
+ *    system instant (the tick engine stamps them there), even though
+ *    the edges themselves are scheduled in the queue;
+ *  - RNG consumption order is identical because every draw hangs off
+ *    a shared per-event handler (processCapture, tryBeginJob,
+ *    startNextTask, finishJob) invoked at the same instants in the
+ *    same order.
+ *
+ * Device-internal events (segment breaks, threshold crossings, phase
+ * timers) are popped and committed without touching observation —
+ * the tick engine crosses them inside Device::advance with identical
+ * floating-point span splits, so energy state agrees bit-for-bit.
+ */
+
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "fault/fault_injector.hpp"
+#include "sim/event_queue.hpp"
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace sim {
+
+Tick
+Simulator::runEvent(Tick horizon, Tick hardCap)
+{
+    EventQueue queue;
+
+    Tick now = 0;
+    // Nominal capture instants are k * capturePeriod; the fault layer
+    // may jitter each actual instant around its nominal one.
+    Tick nominalCapture = cfg.capturePeriod;
+    Tick nextCapture = nominalCapture;
+    if (cfg.faults != nullptr) {
+        cfg.faults->onRunStart();
+        nextCapture = std::max<Tick>(
+            1, nominalCapture + cfg.faults->captureJitter());
+    }
+    int zeroProgressStreak = 0;
+
+    obs::Recorder *const observer = cfg.observer;
+
+    queue.push(nextCapture, EventKind::CaptureArrival);
+    if (cfg.faults != nullptr) {
+        const Tick edge = cfg.faults->nextWindowEdgeAfter(-1);
+        if (edge != kTickNever)
+            queue.push(edge, EventKind::FaultWindowEdge);
+    }
+
+    // Each loop round is one system instant: observation hooks fire,
+    // a due capture is processed, scheduling runs, then the device
+    // advances event-by-event to the next system instant.
+    while (true) {
+        // --- system instant at `now` --------------------------------
+        if (observer != nullptr)
+            observer->setTime(now);
+        if (cfg.faults != nullptr)
+            cfg.faults->onTick(now);
+
+        // Retire queue entries this instant consumed: the capture
+        // arrival being processed below, and fault window edges whose
+        // announcement onTick() just coalesced into this instant.
+        while (!queue.empty() && queue.top().when <= now) {
+            const Event due = queue.pop();
+            if (due.kind == EventKind::FaultWindowEdge &&
+                cfg.faults != nullptr) {
+                const Tick edge = cfg.faults->nextWindowEdgeAfter(now);
+                if (edge != kTickNever)
+                    queue.push(edge, EventKind::FaultWindowEdge);
+            }
+        }
+
+        const bool capturing = now < horizon;
+        if (!capturing) {
+            const bool pendingWork = activeJob.has_value() ||
+                !buffer.empty();
+            if (!pendingWork || !cfg.drainToEmpty || now >= hardCap)
+                break;
+        }
+
+        if (capturing && now == nextCapture) {
+            processCapture(now);
+            nominalCapture += cfg.capturePeriod;
+            nextCapture = nominalCapture;
+            if (cfg.faults != nullptr) {
+                // Jitter never reorders captures: the next actual
+                // instant stays strictly after the current one.
+                nextCapture = std::max<Tick>(
+                    now + 1, nominalCapture + cfg.faults->captureJitter());
+            }
+            queue.push(nextCapture, EventKind::CaptureArrival);
+            if (observer != nullptr &&
+                observer->wants(obs::EventKind::BufferOccupancy)) {
+                obs::Event event;
+                event.kind = obs::EventKind::BufferOccupancy;
+                event.value = static_cast<std::int64_t>(buffer.size());
+                event.extra =
+                    static_cast<std::int64_t>(buffer.capacity());
+                observer->record(event);
+            }
+        }
+
+        if (!activeJob)
+            tryBeginJob(now);
+
+        // --- event-driven advance to the next system instant --------
+        const Tick limit = capturing ? std::min(nextCapture, horizon)
+                                     : hardCap;
+        const bool hadTask = device.taskActive();
+        Tick reached = now;
+        int deviceStreak = 0;
+        while (reached < limit) {
+            // Closed-form plan of the next device event. Before it is
+            // scheduled, retire queue entries its span crosses: fault
+            // window edges coalesce (their announcement is onTick's at
+            // the next system instant), and a capture arrival earlier
+            // than the span can only be the stale post-horizon one —
+            // a live capture always bounds `limit`.
+            const StepPlan plan = device.planStep(reached, limit);
+            const Tick wake = reached + plan.run;
+            while (!queue.empty() &&
+                   (queue.top().when < wake ||
+                    (queue.top().when == wake &&
+                     queue.top().kind == EventKind::FaultWindowEdge))) {
+                const Event crossed = queue.pop();
+                if (crossed.kind == EventKind::FaultWindowEdge &&
+                    cfg.faults != nullptr) {
+                    const Tick edge =
+                        cfg.faults->nextWindowEdgeAfter(crossed.when);
+                    if (edge != kTickNever)
+                        queue.push(edge, EventKind::FaultWindowEdge);
+                }
+            }
+            // The device event is now the earliest instant pending:
+            // every queue entry before `wake` was just retired, and
+            // device kinds outrank a same-tick capture arrival
+            // (matching the reference engine's advance-then-dispatch
+            // order) — so it commits directly, without a round-trip
+            // through the queue.
+            device.commitStep(plan);
+            reached = wake;
+            if (plan.run > 0) {
+                deviceStreak = 0;
+            } else if (++deviceStreak > 2) {
+                util::panic(util::msg(
+                    "Simulator::runEvent device made no progress for ",
+                    deviceStreak, " events at tick ", reached,
+                    " (limit ", limit,
+                    "): malformed device/power profile"));
+            }
+            if (hadTask && !device.taskActive())
+                break;
+        }
+
+        // The engine must advance simulated time across system
+        // instants; a stuck clock means a malformed configuration —
+        // panic rather than spin forever (mirrors runTick's guard).
+        if (reached > now) {
+            zeroProgressStreak = 0;
+        } else if (++zeroProgressStreak > 2) {
+            util::panic(util::msg(
+                "Simulator::runEvent made no time progress for ",
+                zeroProgressStreak, " events at tick ", now,
+                " (limit ", limit, ", buffer ", buffer.size(),
+                ", job active ", activeJob.has_value(),
+                "): malformed experiment configuration"));
+        }
+        now = reached;
+
+        if (observer != nullptr) {
+            observer->setTime(now);
+            if (observer->enabled())
+                recordDeviceObs();
+        }
+
+        if (hadTask && !device.taskActive() && activeJob) {
+            onTaskFinished(now);
+        } else if (!activeJob && buffer.empty() && !capturing) {
+            break;
+        }
+    }
+    return now;
+}
+
+} // namespace sim
+} // namespace quetzal

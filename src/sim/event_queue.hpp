@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The discrete-event engine's monotone event queue.
+ *
+ * The event engine (event_core.cpp) sequences a run as a stream of
+ * typed events instead of fixed-increment iterations. Five event
+ * kinds correspond to the real state changes of the system:
+ *
+ *   - CaptureArrival      the strictly periodic (fault-jitterable)
+ *                         camera captures,
+ *   - TaskCompletion      a loaded task's last funded tick,
+ *   - StorageThreshold    the energy store crossing an operational
+ *                         threshold (depletion while running,
+ *                         recharge reaching the turn-on energy),
+ *   - PowerSegmentBreak   a breakpoint of the piecewise-constant
+ *                         harvested-power trace,
+ *   - FaultWindowEdge     a fault-injection window opening.
+ *
+ * Two auxiliary kinds mark transitions that are neither storage nor
+ * trace driven: PhaseEnd (checkpoint-save / restore timers expiring,
+ * periodic-checkpoint intervals coming due) and LimitReached (the
+ * caller-imposed advance bound, e.g. the run horizon).
+ *
+ * The queue is monotone: pops never return an event earlier than the
+ * last popped tick. Ties order by kind priority (device-internal
+ * energy events resolve before system-level arrivals at the same
+ * tick, matching the tick engine's advance-then-dispatch order) and
+ * then by insertion sequence, so the schedule is fully deterministic.
+ */
+
+#ifndef QUETZAL_SIM_EVENT_QUEUE_HPP
+#define QUETZAL_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace sim {
+
+/** What a scheduled event represents. */
+enum class EventKind : std::uint8_t {
+    // Device-internal energy events (highest pop priority at a tick:
+    // energy state must be current before any same-tick dispatch).
+    PowerSegmentBreak = 0, ///< harvested-power trace breakpoint
+    StorageThreshold = 1,  ///< store crossed an operational threshold
+    PhaseEnd = 2,          ///< save/restore timer or checkpoint due
+    TaskCompletion = 3,    ///< loaded task finished
+    LimitReached = 4,      ///< advance bound hit (no state change)
+    // System-level events.
+    FaultWindowEdge = 5,   ///< fault window opens (announce point)
+    CaptureArrival = 6,    ///< periodic capture instant
+};
+
+/** One scheduled event. */
+struct Event
+{
+    Tick when = 0;
+    EventKind kind = EventKind::LimitReached;
+    std::uint64_t seq = 0; ///< insertion order, breaks remaining ties
+};
+
+/**
+ * A binary min-heap of Events ordered by (when, kind, seq).
+ *
+ * The live set is tiny — one capture arrival, one device wake, one
+ * fault window edge — so a flat binary heap beats any calendar
+ * structure; the interface still isolates the engine from that
+ * choice. push() assigns the insertion sequence.
+ */
+class EventQueue
+{
+  public:
+    bool empty() const { return heap.empty(); }
+    std::size_t size() const { return heap.size(); }
+
+    /** Schedule an event; returns its insertion sequence. */
+    std::uint64_t
+    push(Tick when, EventKind kind)
+    {
+        Event e;
+        e.when = when;
+        e.kind = kind;
+        e.seq = nextSeq++;
+        heap.push_back(e);
+        siftUp(heap.size() - 1);
+        return e.seq;
+    }
+
+    /** The earliest event. Queue must be non-empty. */
+    const Event &
+    top() const
+    {
+        if (heap.empty())
+            util::panic("EventQueue::top on an empty queue");
+        return heap.front();
+    }
+
+    /**
+     * Remove and return the earliest event. Enforces monotonicity:
+     * popping an event earlier than the previous pop panics (it
+     * would mean the engine scheduled into the past).
+     */
+    Event
+    pop()
+    {
+        if (heap.empty())
+            util::panic("EventQueue::pop on an empty queue");
+        const Event e = heap.front();
+        if (e.when < lastPopped)
+            util::panic(util::msg(
+                "EventQueue: non-monotone pop (tick ", e.when,
+                " after tick ", lastPopped, ")"));
+        lastPopped = e.when;
+        heap.front() = heap.back();
+        heap.pop_back();
+        if (!heap.empty())
+            siftDown(0);
+        return e;
+    }
+
+    /** Tick of the last pop (kTickNever-negative sentinel before). */
+    Tick lastPoppedTick() const { return lastPopped; }
+
+    void
+    clear()
+    {
+        heap.clear();
+        lastPopped = std::numeric_limits<Tick>::min();
+    }
+
+  private:
+    static bool
+    before(const Event &a, const Event &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.kind != b.kind)
+            return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+        return a.seq < b.seq;
+    }
+
+    void
+    siftUp(std::size_t i)
+    {
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!before(heap[i], heap[parent]))
+                return;
+            std::swap(heap[i], heap[parent]);
+            i = parent;
+        }
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        const std::size_t n = heap.size();
+        while (true) {
+            const std::size_t left = 2 * i + 1;
+            const std::size_t right = left + 1;
+            std::size_t least = i;
+            if (left < n && before(heap[left], heap[least]))
+                least = left;
+            if (right < n && before(heap[right], heap[least]))
+                least = right;
+            if (least == i)
+                return;
+            std::swap(heap[i], heap[least]);
+            i = least;
+        }
+    }
+
+    std::vector<Event> heap;
+    std::uint64_t nextSeq = 0;
+    Tick lastPopped = std::numeric_limits<Tick>::min();
+};
+
+} // namespace sim
+} // namespace quetzal
+
+#endif // QUETZAL_SIM_EVENT_QUEUE_HPP

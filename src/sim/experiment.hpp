@@ -72,8 +72,9 @@ struct ExperimentConfig
     /** PID gains/limits for Quetzal variants when usePid is set. */
     core::PidConfig pid;
     /**
-     * Run-level simulation knobs. Respected fields: capturePeriod,
-     * bufferCapacity, drainTicks, executionJitterSigma, debugLog.
+     * Run-level simulation knobs. Respected fields: engine,
+     * capturePeriod, bufferCapacity, drainTicks,
+     * executionJitterSigma, debugLog.
      * The rest (infiniteBuffer, drainToEmpty, outcomeSeed, scheduler
      * overheads/power, observer) are derived per run by
      * runExperiment() and ignored here.

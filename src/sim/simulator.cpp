@@ -59,6 +59,7 @@ Simulator::Simulator(const SimulationConfig &config,
       buffer(effectiveCapacity(config,
                                events_.endTime() + config.drainTicks)),
       outcomeRng(config.outcomeSeed),
+      schedPowerCursor(watts_.cursor()), captureCursor(events_.cursor()),
       jitterRng(config.outcomeSeed ^ 0x9177e2ull)
 {
     if (cfg.executionJitterSigma < 0.0)
@@ -79,6 +80,68 @@ Simulator::run()
     // backlog as unprocessed rather than simulating forever.
     const Tick hardCap = horizon * 4 + 3600 * kTicksPerSecond;
 
+    const Tick now = cfg.engine == EngineKind::Event
+        ? runEvent(horizon, hardCap)
+        : runTick(horizon, hardCap);
+
+    obs::Recorder *const observer = cfg.observer;
+
+    // A job the horizon cut off still owes its prediction an outcome
+    // event (flagged unfinished) so traces keep the one-outcome-per-
+    // decision invariant.
+    if (observer != nullptr && activeJob &&
+        observer->wants(obs::EventKind::IboOutcome)) {
+        observer->setTime(now);
+        obs::Event event;
+        event.kind = obs::EventKind::IboOutcome;
+        event.id = activeJob->selection.decisionSeq;
+        event.value = static_cast<std::int64_t>(
+            totalDrops() - activeJob->dropsAtStart);
+        event.flags |= obs::kFlagUnfinished;
+        if (activeJob->selection.iboPredicted)
+            event.flags |= obs::kFlagIboPredicted;
+        if (event.value > 0)
+            event.flags |= obs::kFlagOverflowed;
+        observer->record(event);
+    }
+
+    accountLeftovers();
+
+    metrics.simulatedTicks = now;
+    metrics.powerFailures = device.stats().powerFailures;
+    metrics.checkpointSaves = device.stats().checkpointSaves;
+    metrics.rechargeTicks = device.stats().rechargeTicks;
+    metrics.activeTicks = device.stats().activeTicks;
+    metrics.rolledBackTicks = device.stats().rolledBackTicks;
+
+    const core::ControllerStats &cs = controller.stats();
+    metrics.degradedJobs = cs.degradedJobs;
+    metrics.iboPredictions = cs.iboPredictions;
+    metrics.predictionErrorSeconds = cs.predictionError;
+
+    if (observer != nullptr && observer->enabled()) {
+        observer->setTime(now);
+        recordDeviceObs();
+        if (observer->wants(obs::EventKind::RunEnd)) {
+            obs::Event event;
+            event.kind = obs::EventKind::RunEnd;
+            event.id = metrics.eventsTotal;
+            event.value =
+                static_cast<std::int64_t>(metrics.interestingInputsNominal);
+            event.extra =
+                static_cast<std::int64_t>(metrics.unprocessedInteresting);
+            event.a = static_cast<double>(metrics.eventsInteresting);
+            event.b = static_cast<double>(metrics.simulatedTicks);
+            observer->record(event);
+        }
+    }
+
+    return metrics;
+}
+
+Tick
+Simulator::runTick(Tick horizon, Tick hardCap)
+{
     Tick now = 0;
     // Nominal capture instants are k * capturePeriod; the fault layer
     // may jitter each actual instant around its nominal one.
@@ -164,58 +227,23 @@ Simulator::run()
             break;
         }
     }
+    return now;
+}
 
-    // A job the horizon cut off still owes its prediction an outcome
-    // event (flagged unfinished) so traces keep the one-outcome-per-
-    // decision invariant.
-    if (observer != nullptr && activeJob &&
-        observer->wants(obs::EventKind::IboOutcome)) {
-        observer->setTime(now);
-        obs::Event event;
-        event.kind = obs::EventKind::IboOutcome;
-        event.id = activeJob->selection.decisionSeq;
-        event.value = static_cast<std::int64_t>(
-            totalDrops() - activeJob->dropsAtStart);
-        event.flags |= obs::kFlagUnfinished;
-        if (activeJob->selection.iboPredicted)
-            event.flags |= obs::kFlagIboPredicted;
-        if (event.value > 0)
-            event.flags |= obs::kFlagOverflowed;
-        observer->record(event);
-    }
+std::optional<EngineKind>
+parseEngineKind(const std::string &name)
+{
+    if (name == "tick")
+        return EngineKind::Tick;
+    if (name == "event")
+        return EngineKind::Event;
+    return std::nullopt;
+}
 
-    accountLeftovers();
-
-    metrics.simulatedTicks = now;
-    metrics.powerFailures = device.stats().powerFailures;
-    metrics.checkpointSaves = device.stats().checkpointSaves;
-    metrics.rechargeTicks = device.stats().rechargeTicks;
-    metrics.activeTicks = device.stats().activeTicks;
-    metrics.rolledBackTicks = device.stats().rolledBackTicks;
-
-    const core::ControllerStats &cs = controller.stats();
-    metrics.degradedJobs = cs.degradedJobs;
-    metrics.iboPredictions = cs.iboPredictions;
-    metrics.predictionErrorSeconds = cs.predictionError;
-
-    if (observer != nullptr && observer->enabled()) {
-        observer->setTime(now);
-        recordDeviceObs();
-        if (observer->wants(obs::EventKind::RunEnd)) {
-            obs::Event event;
-            event.kind = obs::EventKind::RunEnd;
-            event.id = metrics.eventsTotal;
-            event.value =
-                static_cast<std::int64_t>(metrics.interestingInputsNominal);
-            event.extra =
-                static_cast<std::int64_t>(metrics.unprocessedInteresting);
-            event.a = static_cast<double>(metrics.eventsInteresting);
-            event.b = static_cast<double>(metrics.simulatedTicks);
-            observer->record(event);
-        }
-    }
-
-    return metrics;
+const char *
+engineKindName(EngineKind engine)
+{
+    return engine == EngineKind::Event ? "event" : "tick";
 }
 
 void
@@ -254,7 +282,7 @@ Simulator::tryBeginJob(Tick now)
     // The controller schedules against the *measured* input power;
     // the fault layer can make that measurement lie while the
     // device's true harvested energy stays untouched.
-    const Watts truePower = watts.valueAt(now);
+    const Watts truePower = schedPowerCursor.valueAt(now);
     const Watts measuredPower = cfg.faults != nullptr
         ? cfg.faults->perturbMeasuredPower(truePower) : truePower;
     const auto selection =
@@ -413,15 +441,16 @@ Simulator::finishJob(Tick now)
                 // Spawn (section 3.1): the input already owns its
                 // memory slot; it is retagged, never re-inserted —
                 // but it is a fresh queue arrival for lambda.
-                buffer.retag(input.id, *job.onPositive, now);
+                buffer.retagSlot(activeJob->selection.slot,
+                                *job.onPositive, now);
                 system.recordSpawn();
             } else {
-                buffer.release(input.id);
+                buffer.releaseSlot(activeJob->selection.slot);
             }
         } else {
             if (input.interesting)
                 ++metrics.fnDiscards;
-            buffer.release(input.id);
+            buffer.releaseSlot(activeJob->selection.slot);
         }
     } else if (job.id == appModel.transmitJob) {
         std::size_t radioOption = 0;
@@ -449,10 +478,10 @@ Simulator::finishJob(Tick now)
             else
                 ++metrics.txUninterestingLq;
         }
-        buffer.release(input.id);
+        buffer.releaseSlot(activeJob->selection.slot);
     } else {
         // Unknown terminal job: the input leaves the system.
-        buffer.release(input.id);
+        buffer.releaseSlot(activeJob->selection.slot);
     }
 
     if (cfg.observer != nullptr) {

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <string>
 
 #include "app/application.hpp"
 #include "app/device_profiles.hpp"
@@ -40,9 +41,28 @@ class FaultInjector;
 }
 namespace sim {
 
+/**
+ * Which stepper drives the run. Both produce byte-identical
+ * observable timelines (metrics, obs/trace streams, RNG consumption);
+ * the tick engine is the differential-test reference, the event
+ * engine the production path.
+ */
+enum class EngineKind {
+    Tick,  ///< fixed-increment reference loop (simulator.cpp)
+    Event, ///< discrete-event queue engine (event_core.cpp)
+};
+
+/** Parse an engine name ("tick" / "event"); nullopt when unknown. */
+std::optional<EngineKind> parseEngineKind(const std::string &name);
+
+/** Canonical name of an engine kind. */
+const char *engineKindName(EngineKind engine);
+
 /** Run-level knobs. */
 struct SimulationConfig
 {
+    /** Which stepper executes the run. */
+    EngineKind engine = EngineKind::Tick;
     Tick capturePeriod = 1000;      ///< paper: 1 FPS
     std::size_t bufferCapacity = 10; ///< paper Table 1: 10 images
     /** Model the paper's infinite-memory Ideal baseline. */
@@ -116,6 +136,22 @@ class Simulator
         std::uint64_t dropsAtStart = 0;
     };
 
+    /**
+     * The fixed-increment reference stepper (simulator.cpp): the
+     * historical main loop, advancing capture-to-capture and
+     * completion-to-completion. Returns the final simulated tick.
+     */
+    Tick runTick(Tick horizon, Tick hardCap);
+
+    /**
+     * The discrete-event stepper (event_core.cpp): a monotone event
+     * queue over capture arrivals, task completions, storage
+     * threshold crossings, power-trace segment breakpoints and fault
+     * window edges. Must reproduce runTick()'s observable timeline
+     * exactly. Returns the final simulated tick.
+     */
+    Tick runEvent(Tick horizon, Tick hardCap);
+
     void processCapture(Tick now);
     void tryBeginJob(Tick now);
     void startNextTask(Tick now);
@@ -143,6 +179,15 @@ class Simulator
     queueing::InputBuffer buffer;
     Metrics metrics;
     util::Rng outcomeRng;
+    /**
+     * Monotone cursors over the run's traces: tryBeginJob reads the
+     * harvested power and processCapture the sensing event at each
+     * system instant in time order, so the amortized-O(1) cursors
+     * replace a binary search per query with answers that are
+     * identical by contract.
+     */
+    energy::PowerTrace::Cursor schedPowerCursor;
+    trace::EventTrace::Cursor captureCursor;
 
     std::optional<ActiveJob> activeJob;
     /**

@@ -56,6 +56,35 @@ EventTrace::eventAt(Tick tick) const
     return candidate.activeAt(tick) ? &candidate : nullptr;
 }
 
+const SensingEvent *
+EventTrace::Cursor::eventAt(Tick tick)
+{
+    if (trace == nullptr || trace->events.empty())
+        return nullptr;
+    const auto &events = trace->events;
+    if (index >= events.size())
+        index = 0;
+    if (tick < events[index].start) {
+        // Backward query: re-seek from scratch.
+        const auto it = std::upper_bound(
+            events.begin(), events.end(), tick,
+            [](Tick t, const SensingEvent &e) { return t < e.start; });
+        if (it == events.begin())
+            return nullptr;
+        index = static_cast<std::size_t>(
+            std::prev(it) - events.begin());
+    } else {
+        // Forward walk; each event is crossed at most once per pass
+        // over the trace, so a monotone query sequence is O(1)
+        // amortized.
+        while (index + 1 < events.size() &&
+               events[index + 1].start <= tick)
+            ++index;
+    }
+    const SensingEvent &candidate = events[index];
+    return candidate.activeAt(tick) ? &candidate : nullptr;
+}
+
 bool
 EventTrace::interestingAt(Tick tick) const
 {

@@ -25,6 +25,34 @@ namespace trace {
 class EventTrace
 {
   public:
+    /**
+     * Amortized-O(1) point queries for monotone (mostly forward)
+     * query sequences: remembers the event the last query landed
+     * near and walks forward from there; a backward query re-seeks
+     * via binary search. Answers are identical to eventAt() for
+     * every input. The trace must outlive the cursor and must not
+     * be mutated while the cursor is in use.
+     */
+    class Cursor
+    {
+      public:
+        Cursor() = default;
+
+        explicit Cursor(const EventTrace &trace) : trace(&trace) {}
+
+        /** Same answer as trace.eventAt(tick). */
+        const SensingEvent *eventAt(Tick tick);
+
+        /** Forget the remembered position (next query re-seeks). */
+        void reset() { index = 0; }
+
+      private:
+        const EventTrace *trace = nullptr;
+        /** Index of the last event with start <= the query tick
+         *  (0 also covers ticks before the first event's start). */
+        std::size_t index = 0;
+    };
+
     EventTrace() = default;
 
     /**
@@ -55,6 +83,9 @@ class EventTrace
      * O(log n).
      */
     const SensingEvent *eventAt(Tick tick) const;
+
+    /** A cursor over this trace (see Cursor). */
+    Cursor cursor() const { return Cursor(*this); }
 
     /** True when any event is active at the given tick. */
     bool activeAt(Tick tick) const { return eventAt(tick) != nullptr; }

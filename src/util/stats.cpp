@@ -9,23 +9,6 @@ namespace quetzal {
 namespace util {
 
 void
-RunningStats::add(double sample)
-{
-    if (n == 0) {
-        minSample = sample;
-        maxSample = sample;
-    } else {
-        minSample = std::min(minSample, sample);
-        maxSample = std::max(maxSample, sample);
-    }
-    ++n;
-    total += sample;
-    const double delta = sample - runningMean;
-    runningMean += delta / static_cast<double>(n);
-    m2 += delta * (sample - runningMean);
-}
-
-void
 RunningStats::merge(const RunningStats &other)
 {
     if (other.n == 0)

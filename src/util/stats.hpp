@@ -20,8 +20,23 @@ namespace util {
 class RunningStats
 {
   public:
-    /** Add one sample. */
-    void add(double sample);
+    /** Add one sample. Inline: called once per completed job. */
+    void
+    add(double sample)
+    {
+        if (n == 0) {
+            minSample = sample;
+            maxSample = sample;
+        } else {
+            minSample = sample < minSample ? sample : minSample;
+            maxSample = sample > maxSample ? sample : maxSample;
+        }
+        ++n;
+        total += sample;
+        const double delta = sample - runningMean;
+        runningMean += delta / static_cast<double>(n);
+        m2 += delta * (sample - runningMean);
+    }
 
     /** Merge another accumulator into this one. */
     void merge(const RunningStats &other);

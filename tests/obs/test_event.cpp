@@ -66,7 +66,7 @@ TEST(ObsEvent, PackOptionsRoundTrips)
     const std::uint32_t packed = packOptions(options);
     EXPECT_EQ(unpackOptions(packed, options.size()), options);
 
-    EXPECT_EQ(packOptions({}), 0u);
+    EXPECT_EQ(packOptions(std::vector<std::size_t>{}), 0u);
     EXPECT_EQ(unpackOptions(0, 2),
               (std::vector<std::size_t>{0, 0}));
 

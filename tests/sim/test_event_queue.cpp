@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine's monotone event queue:
+ * (when, kind, seq) ordering, the monotonicity guard, and reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "sim/event_queue.hpp"
+
+namespace quetzal {
+namespace sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder)
+{
+    EventQueue q;
+    q.push(30, EventKind::CaptureArrival);
+    q.push(10, EventKind::CaptureArrival);
+    q.push(20, EventKind::CaptureArrival);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop().when, 10);
+    EXPECT_EQ(q.pop().when, 20);
+    EXPECT_EQ(q.pop().when, 30);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SameTickOrdersByKindPriority)
+{
+    // Device-internal energy events resolve before system-level
+    // arrivals at the same tick — the advance-then-dispatch order
+    // both engines share.
+    EventQueue q;
+    q.push(5, EventKind::CaptureArrival);
+    q.push(5, EventKind::FaultWindowEdge);
+    q.push(5, EventKind::StorageThreshold);
+    q.push(5, EventKind::PowerSegmentBreak);
+    EXPECT_EQ(q.pop().kind, EventKind::PowerSegmentBreak);
+    EXPECT_EQ(q.pop().kind, EventKind::StorageThreshold);
+    EXPECT_EQ(q.pop().kind, EventKind::FaultWindowEdge);
+    EXPECT_EQ(q.pop().kind, EventKind::CaptureArrival);
+}
+
+TEST(EventQueue, SameTickSameKindOrdersByInsertion)
+{
+    EventQueue q;
+    const std::uint64_t first = q.push(7, EventKind::CaptureArrival);
+    const std::uint64_t second = q.push(7, EventKind::CaptureArrival);
+    EXPECT_LT(first, second);
+    EXPECT_EQ(q.pop().seq, first);
+    EXPECT_EQ(q.pop().seq, second);
+}
+
+TEST(EventQueue, TopPeeksWithoutRemoving)
+{
+    EventQueue q;
+    q.push(42, EventKind::TaskCompletion);
+    EXPECT_EQ(q.top().when, 42);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.pop().when, 42);
+}
+
+TEST(EventQueue, TracksLastPoppedTick)
+{
+    EventQueue q;
+    EXPECT_EQ(q.lastPoppedTick(), std::numeric_limits<Tick>::min());
+    q.push(10, EventKind::CaptureArrival);
+    q.push(25, EventKind::CaptureArrival);
+    (void)q.pop();
+    EXPECT_EQ(q.lastPoppedTick(), 10);
+    (void)q.pop();
+    EXPECT_EQ(q.lastPoppedTick(), 25);
+}
+
+TEST(EventQueue, ClearResetsMonotonicityFloor)
+{
+    EventQueue q;
+    q.push(100, EventKind::CaptureArrival);
+    (void)q.pop();
+    q.clear();
+    // A fresh run may start earlier than the previous run ended.
+    q.push(1, EventKind::CaptureArrival);
+    EXPECT_EQ(q.pop().when, 1);
+}
+
+TEST(EventQueue, InterleavedPushPopStaysOrdered)
+{
+    EventQueue q;
+    q.push(10, EventKind::CaptureArrival);
+    q.push(40, EventKind::CaptureArrival);
+    EXPECT_EQ(q.pop().when, 10);
+    // Scheduling between the last pop and the next pending event is
+    // the engine's steady state (device wakes land before the next
+    // capture).
+    q.push(20, EventKind::TaskCompletion);
+    q.push(30, EventKind::StorageThreshold);
+    EXPECT_EQ(q.pop().when, 20);
+    EXPECT_EQ(q.pop().when, 30);
+    EXPECT_EQ(q.pop().when, 40);
+}
+
+TEST(EventQueueDeathTest, PopOnEmptyFatal)
+{
+    EventQueue q;
+    EXPECT_DEATH((void)q.pop(), "empty");
+}
+
+TEST(EventQueueDeathTest, TopOnEmptyFatal)
+{
+    EventQueue q;
+    EXPECT_DEATH((void)q.top(), "empty");
+}
+
+TEST(EventQueueDeathTest, SchedulingIntoThePastFatal)
+{
+    EventQueue q;
+    q.push(50, EventKind::CaptureArrival);
+    (void)q.pop();
+    q.push(10, EventKind::CaptureArrival);
+    EXPECT_DEATH((void)q.pop(), "non-monotone");
+}
+
+} // namespace
+} // namespace sim
+} // namespace quetzal

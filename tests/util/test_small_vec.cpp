@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for SmallVec, the inline-storage vector the scheduling
+ * hot path uses for per-decision option lists: inline/heap
+ * transitions, copy/move semantics, and std::vector comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "util/small_vec.hpp"
+
+namespace quetzal {
+namespace util {
+namespace {
+
+using Vec4 = SmallVec<std::size_t, 4>;
+
+TEST(SmallVec, StaysInlineUpToCapacity)
+{
+    Vec4 v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.capacity(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 4u);
+    EXPECT_EQ(v.capacity(), 4u); // no heap spill yet
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, SpillsToHeapAndKeepsContents)
+{
+    Vec4 v;
+    for (std::size_t i = 0; i < 20; ++i)
+        v.push_back(i * 3);
+    EXPECT_EQ(v.size(), 20u);
+    EXPECT_GE(v.capacity(), 20u);
+    for (std::size_t i = 0; i < 20; ++i)
+        EXPECT_EQ(v[i], i * 3);
+}
+
+TEST(SmallVec, CountValueConstructor)
+{
+    Vec4 v(6, 9u);
+    EXPECT_EQ(v.size(), 6u);
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(v[i], 9u);
+}
+
+TEST(SmallVec, InitializerList)
+{
+    const Vec4 v{1, 2, 3};
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_EQ(v, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(SmallVec, ResizeZeroInitializesNewElements)
+{
+    Vec4 v{7, 7};
+    v.resize(5);
+    EXPECT_EQ(v.size(), 5u);
+    EXPECT_EQ(v[0], 7u);
+    EXPECT_EQ(v[1], 7u);
+    EXPECT_EQ(v[2], 0u);
+    EXPECT_EQ(v[4], 0u);
+    v.resize(1);
+    EXPECT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 7u);
+}
+
+TEST(SmallVec, AssignReplacesContents)
+{
+    Vec4 v{1, 2, 3};
+    v.assign(8, 5u);
+    EXPECT_EQ(v.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(v[i], 5u);
+}
+
+TEST(SmallVec, CopyIsIndependent)
+{
+    Vec4 a;
+    for (std::size_t i = 0; i < 10; ++i) // force heap storage
+        a.push_back(i);
+    Vec4 b(a);
+    EXPECT_EQ(a, b);
+    b[0] = 99;
+    EXPECT_EQ(a[0], 0u);
+    a = b;
+    EXPECT_EQ(a[0], 99u);
+}
+
+TEST(SmallVec, MoveStealsHeapAndEmptiesDonor)
+{
+    Vec4 a;
+    for (std::size_t i = 0; i < 10; ++i)
+        a.push_back(i);
+    Vec4 b(std::move(a));
+    EXPECT_EQ(b.size(), 10u);
+    EXPECT_EQ(b[9], 9u);
+    EXPECT_TRUE(a.empty()); // moved-from is empty and reusable
+    a.push_back(42);
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_EQ(a[0], 42u);
+}
+
+TEST(SmallVec, MoveOfInlineVectorCopiesElements)
+{
+    Vec4 a{1, 2};
+    Vec4 b;
+    b = std::move(a);
+    EXPECT_EQ(b.size(), 2u);
+    EXPECT_EQ(b[1], 2u);
+    EXPECT_TRUE(a.empty());
+}
+
+TEST(SmallVec, IterationAndAccumulate)
+{
+    Vec4 v;
+    for (std::size_t i = 1; i <= 6; ++i)
+        v.push_back(i);
+    const std::size_t sum =
+        std::accumulate(v.begin(), v.end(), std::size_t{0});
+    EXPECT_EQ(sum, 21u);
+}
+
+TEST(SmallVec, ComparisonOperators)
+{
+    const Vec4 a{1, 2, 3};
+    const Vec4 b{1, 2, 3};
+    const Vec4 c{1, 2, 4};
+    const Vec4 shorter{1, 2};
+    EXPECT_TRUE(a == b);
+    EXPECT_TRUE(a != c);
+    EXPECT_TRUE(a != shorter);
+    EXPECT_EQ(std::vector<std::size_t>({1, 2, 3}), a);
+}
+
+TEST(SmallVec, ClearKeepsStorage)
+{
+    Vec4 v;
+    for (std::size_t i = 0; i < 12; ++i)
+        v.push_back(i);
+    const std::size_t cap = v.capacity();
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.capacity(), cap);
+}
+
+} // namespace
+} // namespace util
+} // namespace quetzal

@@ -86,6 +86,7 @@ usage(const char *argv0)
                  "          [--capture-period-ms N] [--threshold PCT]\n"
                  "          [--arrival-window N] [--task-window N]\n"
                  "          [--power-trace FILE.csv]\n"
+                 "          [--engine tick|event]\n"
                  "          [--ensemble N] [--jobs N]\n"
                  "          [--trace-out FILE|-] "
                  "[--trace-level off|counters|decisions|full]\n"
@@ -261,6 +262,13 @@ main(int argc, char **argv)
                 std::strtoul(value().c_str(), nullptr, 10));
         } else if (arg == "--power-trace") {
             cfg.powerTraceCsv = value();
+        } else if (arg == "--engine") {
+            const std::string name = value();
+            const auto engine = sim::parseEngineKind(name);
+            if (!engine)
+                util::fatal(util::msg("unknown engine: ", name,
+                                      " (expected tick or event)"));
+            cfg.sim.engine = *engine;
         } else if (arg == "--ensemble") {
             ensembleRuns = std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--jobs") {
