@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Microbenchmarks of the policy layer: the bridged incumbent
+ * (registry "sjf-ibo" behind the SchedulingPolicy interface) against
+ * the inlined legacy controller on the same loaded buffer — the
+ * per-decision cost of the interface — plus each zoo policy's
+ * rank+admit step through a PolicyContext.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "gbench_json.hpp"
+
+#include "app/person_detection.hpp"
+#include "baselines/controllers.hpp"
+#include "core/service_time.hpp"
+#include "policy/registry.hpp"
+
+namespace {
+
+using namespace quetzal;
+
+struct LoadedSystem
+{
+    core::TaskSystem system;
+    app::ApplicationModel appModel;
+    queueing::InputBuffer buffer{10};
+
+    LoadedSystem()
+        : appModel(app::buildPersonDetectionApp(system,
+                                                app::apollo4Device()))
+    {
+        for (int i = 0; i < 64; ++i)
+            system.recordCapture(i % 3 != 0);
+        for (std::uint64_t i = 0; i < 6; ++i) {
+            queueing::InputRecord record;
+            record.id = i;
+            record.captureTick = static_cast<Tick>(i) * 1000;
+            record.enqueueTick = record.captureTick;
+            record.jobId = i % 2 == 0 ? appModel.classifyJob :
+                                        appModel.transmitJob;
+            buffer.tryPush(record);
+        }
+    }
+};
+
+/** Full decision through the bridges: the tournament's hot path. */
+void
+BM_PolicyBridgeSelectJob(benchmark::State &state)
+{
+    LoadedSystem rig;
+    auto controller = policy::makePolicyController("sjf-ibo");
+    const core::RuntimeObservation runtime{0.05, 0.1, 7000};
+    double power = 5e-3;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(controller->selectJob(
+            rig.system, rig.buffer, power, runtime));
+        power = power < 50e-3 ? power + 1e-3 : 5e-3;
+    }
+}
+BENCHMARK(BM_PolicyBridgeSelectJob);
+
+/** The same decision on the pre-refactor inlined controller. */
+void
+BM_LegacyInlineSelectJob(benchmark::State &state)
+{
+    LoadedSystem rig;
+    auto controller = baselines::makeQuetzalVariantController(
+        baselines::SchedulerKind::EnergyAwareSjf);
+    double power = 5e-3;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            controller->selectJob(rig.system, rig.buffer, power));
+        power = power < 50e-3 ? power + 1e-3 : 5e-3;
+    }
+}
+BENCHMARK(BM_LegacyInlineSelectJob);
+
+/** One rank+admit round of a zoo policy through a PolicyContext. */
+void
+rankAdmit(benchmark::State &state, const char *name)
+{
+    LoadedSystem rig;
+    const auto policy = policy::makePolicy(name);
+    const core::EnergyAwareEstimator estimator(/*useCircuit=*/true);
+    double watts = 5e-3;
+    Tick now = 7000;
+    for (auto _ : state) {
+        const core::PowerReading power =
+            rig.system.measureInputPower(watts);
+        const policy::PolicyContext ctx{
+            rig.system, rig.buffer, estimator, power, 0.0,
+            {0.05, 0.1, now}};
+        const auto decision = policy->rank(ctx);
+        if (decision) {
+            benchmark::DoNotOptimize(policy->admit(
+                ctx, rig.system.job(decision->jobId)));
+        }
+        watts = watts < 50e-3 ? watts + 1e-3 : 5e-3;
+        now += 1000;
+    }
+}
+
+void
+BM_ZygardeRankAdmit(benchmark::State &state)
+{
+    rankAdmit(state, "zygarde");
+}
+BENCHMARK(BM_ZygardeRankAdmit);
+
+void
+BM_LookaheadRankAdmit(benchmark::State &state)
+{
+    rankAdmit(state, "delgado-famaey");
+}
+BENCHMARK(BM_LookaheadRankAdmit);
+
+void
+BM_GreedyFcfsRankAdmit(benchmark::State &state)
+{
+    rankAdmit(state, "greedy-fcfs");
+}
+BENCHMARK(BM_GreedyFcfsRankAdmit);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return quetzal::bench::quetzalGbenchMain(
+        argc, argv, "micro_policy", "BM_PolicyBridgeSelectJob");
+}

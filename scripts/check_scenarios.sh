@@ -61,6 +61,18 @@ for file in "${files[@]}"; do
         continue
     fi
 
+    # A committed reference for this scenario at this event count
+    # (e.g. the tournament league table) must match byte-for-byte.
+    golden="$DIR/golden/${name%.json}.$EVENTS.txt"
+    if [ -f "$golden" ]; then
+        if ! diff -u "$golden" "$tmp/serial.out"; then
+            echo "check_scenarios: FAIL $name (output differs from" \
+                 "committed golden $golden)" >&2
+            status=1
+            continue
+        fi
+    fi
+
     echo "check_scenarios: OK $name ($EVENTS events)"
 done
 

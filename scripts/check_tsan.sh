@@ -13,7 +13,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DQUETZAL_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target test_sim test_obs test_queueing \
-    test_fault micro_simulator micro_buffer
+    test_fault test_policy micro_simulator micro_buffer
 
 # TSan aborts with exit code 66 on the first detected race.
 export TSAN_OPTIONS="halt_on_error=1 exitcode=66 ${TSAN_OPTIONS:-}"
@@ -50,6 +50,13 @@ export TSAN_OPTIONS="halt_on_error=1 exitcode=66 ${TSAN_OPTIONS:-}"
 # tests compare the serialized bytes across job counts.
 "$BUILD_DIR"/tests/test_fault \
     --gtest_filter='GoldenFaultTrace.*:FaultInjector.*'
+
+# Policy-backed controllers on worker threads: the cross-jobs
+# equivalence test builds every registered policy's bridges and
+# estimator on 1 and 4 workers, and the tournament golden runs the
+# committed scenario's full plan both ways.
+"$BUILD_DIR"/tests/test_policy \
+    --gtest_filter='PolicyEquivalence.*:LeagueGolden.*'
 
 # Serial vs parallel ensembles on several worker threads; the binary
 # itself panics if the results diverge. Controllers (and their

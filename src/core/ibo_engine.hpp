@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/observation.hpp"
 #include "core/system.hpp"
 #include "queueing/input_buffer.hpp"
 
@@ -61,6 +62,24 @@ class AdaptationPolicy
           const queueing::InputBuffer &buffer,
           const ServiceTimeEstimator &estimator, const PowerReading &power,
           double pidCorrection) = 0;
+
+    /**
+     * Device-state snapshot for the upcoming round. Called before
+     * adapt(); the default ignores it (byte-inert for legacy
+     * policies).
+     */
+    virtual void observe(const RuntimeObservation &) {}
+
+    /**
+     * Notification that a capture was dropped because the input
+     * buffer was full. Reactive policies can use it as overflow
+     * pressure; the default ignores it.
+     */
+    virtual void onBufferOverflow(const TaskSystem &,
+                                  const queueing::InputBuffer &,
+                                  const queueing::InputRecord &, Tick)
+    {
+    }
 
     /** Human-readable policy name. */
     virtual std::string name() const = 0;

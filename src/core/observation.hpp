@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Runtime observation handed to policies at each scheduling round.
+ *
+ * Policies that reason about stored energy (Delgado & Famaey-style
+ * lookahead) or wall-clock deadlines (Zygarde-style EDF) need device
+ * state the legacy select/adapt signatures never carried. The
+ * simulator snapshots it here before every selectJob call; legacy
+ * policies ignore it, so the observation is byte-inert for the
+ * incumbent pipeline.
+ */
+
+#ifndef QUETZAL_CORE_OBSERVATION_HPP
+#define QUETZAL_CORE_OBSERVATION_HPP
+
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace core {
+
+/** Device-state snapshot taken at the start of a scheduling round. */
+struct RuntimeObservation
+{
+    Joules storedEnergy = 0.0;    ///< energy currently in storage
+    Joules storageCapacity = 0.0; ///< storage capacity (0 = unknown)
+    Tick now = 0;                 ///< simulation time of the round
+};
+
+} // namespace core
+} // namespace quetzal
+
+#endif // QUETZAL_CORE_OBSERVATION_HPP

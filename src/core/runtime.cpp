@@ -25,11 +25,14 @@ Controller::Controller(std::string name,
 
 std::optional<JobSelection>
 Controller::selectJob(TaskSystem &system,
-                      const queueing::InputBuffer &buffer, Watts truePower)
+                      const queueing::InputBuffer &buffer, Watts truePower,
+                      const RuntimeObservation &runtime)
 {
     ++runStats.invocations;
     const PowerReading power = system.measureInputPower(truePower);
     const double correction = pidCorrection();
+    schedPolicy->observe(runtime);
+    adaptPolicy->observe(runtime);
 
     const auto decision = schedPolicy->select(system, buffer,
                                               *serviceEstimator, power,
@@ -50,6 +53,7 @@ Controller::selectJob(TaskSystem &system,
     selection.predictedServiceSeconds =
         adapted.predictedServiceSeconds > 0.0 ?
         adapted.predictedServiceSeconds : decision->expectedServiceSeconds;
+    selection.energyBoundJoules = decision->energyBoundJoules;
     selection.iboPredicted = adapted.iboPredicted;
     selection.degraded = adapted.degraded;
     selection.decisionSeq = decisionCounter++;
@@ -95,6 +99,14 @@ Controller::selectJob(TaskSystem &system,
         }
     }
     return selection;
+}
+
+void
+Controller::onInputDropped(const TaskSystem &system,
+                           const queueing::InputBuffer &buffer,
+                           const queueing::InputRecord &dropped, Tick now)
+{
+    adaptPolicy->onBufferOverflow(system, buffer, dropped, now);
 }
 
 void

@@ -39,6 +39,8 @@ struct JobSelection
     queueing::SlotId slot = 0; ///< buffer slot of the consumed input
     OptionVec optionPerTask;
     double predictedServiceSeconds = 0.0;
+    /** Policy-declared energy bound for the job (0 = no bound). */
+    double energyBoundJoules = 0.0;
     bool iboPredicted = false;
     bool degraded = false;
     /**
@@ -82,10 +84,21 @@ class Controller
     /**
      * Run one scheduling round: measure power, select a job, choose
      * degradation options. Returns nullopt when nothing is queued.
+     * @param runtime device-state snapshot forwarded to both policies
+     *        via observe() (default empty keeps legacy callers valid)
      */
     std::optional<JobSelection>
     selectJob(TaskSystem &system, const queueing::InputBuffer &buffer,
-              Watts truePower);
+              Watts truePower, const RuntimeObservation &runtime = {});
+
+    /**
+     * Report a capture dropped on buffer overflow; forwards to the
+     * adaptation policy's onBufferOverflow hook (no-op for the
+     * incumbent policies).
+     */
+    void onInputDropped(const TaskSystem &system,
+                        const queueing::InputBuffer &buffer,
+                        const queueing::InputRecord &dropped, Tick now);
 
     /**
      * Report one task execution's observed end-to-end time (feeds

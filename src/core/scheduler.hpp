@@ -19,6 +19,7 @@
 #include <optional>
 #include <string>
 
+#include "core/observation.hpp"
 #include "core/system.hpp"
 #include "queueing/input_buffer.hpp"
 
@@ -35,6 +36,12 @@ struct SchedulerDecision
      * that do not estimate service times, e.g. FCFS).
      */
     double expectedServiceSeconds = 0.0;
+    /**
+     * Energy the policy claims the chosen job needs (0 when the
+     * policy states no bound). A nonzero bound must never exceed the
+     * stored energy it observed — the invariant harness enforces it.
+     */
+    double energyBoundJoules = 0.0;
 };
 
 /**
@@ -57,6 +64,13 @@ class SchedulerPolicy
     select(const TaskSystem &system, const queueing::InputBuffer &buffer,
            const ServiceTimeEstimator &estimator,
            const PowerReading &power, double pidCorrection) const = 0;
+
+    /**
+     * Device-state snapshot for the upcoming round (stored energy,
+     * capacity, current tick). Called before select(); the default
+     * ignores it, which keeps legacy policies byte-identical.
+     */
+    virtual void observe(const RuntimeObservation &) {}
 
     /** Human-readable policy name. */
     virtual std::string name() const = 0;

@@ -56,6 +56,7 @@ void
 EnergyStorage::reset(bool startFull)
 {
     stored = startFull ? cap : 0.0;
+    rejected = 0.0;
 }
 
 } // namespace energy

@@ -78,8 +78,15 @@ class EnergyStorage
         const Joules accepted = amount < cap - stored ?
             amount : cap - stored;
         stored += accepted;
+        rejected += amount - accepted;
         return accepted;
     }
+
+    /**
+     * Cumulative harvested joules rejected because the capacitor was
+     * full — the "energy wasted" column of the policy tournament.
+     */
+    Joules rejectedHarvest() const { return rejected; }
 
     /**
      * Draw joules for execution; clamps at zero.
@@ -112,6 +119,7 @@ class EnergyStorage
     StorageConfig cfg;
     Joules cap;
     Joules stored;
+    Joules rejected = 0.0;
 };
 
 } // namespace energy

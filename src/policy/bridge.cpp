@@ -1,0 +1,52 @@
+#include "policy/bridge.hpp"
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace policy {
+
+PolicySelectorBridge::PolicySelectorBridge(
+    std::shared_ptr<SchedulingPolicy> p)
+    : policy(std::move(p))
+{
+    if (!policy)
+        util::fatal("selector bridge requires a policy");
+}
+
+std::optional<core::SchedulerDecision>
+PolicySelectorBridge::select(const core::TaskSystem &system,
+                             const queueing::InputBuffer &buffer,
+                             const core::ServiceTimeEstimator &estimator,
+                             const core::PowerReading &power,
+                             double pidCorrection) const
+{
+    const PolicyContext ctx{system,        buffer, estimator,
+                            power,         pidCorrection,
+                            runtime};
+    return policy->rank(ctx);
+}
+
+PolicyAdmissionBridge::PolicyAdmissionBridge(
+    std::shared_ptr<SchedulingPolicy> p)
+    : policy(std::move(p))
+{
+    if (!policy)
+        util::fatal("admission bridge requires a policy");
+}
+
+core::AdaptationDecision
+PolicyAdmissionBridge::adapt(const core::TaskSystem &system,
+                             const core::Job &job,
+                             const queueing::InputBuffer &buffer,
+                             const core::ServiceTimeEstimator &estimator,
+                             const core::PowerReading &power,
+                             double pidCorrection)
+{
+    const PolicyContext ctx{system,        buffer, estimator,
+                            power,         pidCorrection,
+                            runtime};
+    return policy->admit(ctx, job);
+}
+
+} // namespace policy
+} // namespace quetzal

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bridge adapters that plug a policy::SchedulingPolicy into the
+ * unchanged core::Controller.
+ *
+ * The Controller still holds a (SchedulerPolicy, AdaptationPolicy)
+ * pair; the bridges implement those legacy interfaces over one
+ * shared SchedulingPolicy instance. Each bridge captures the
+ * RuntimeObservation the Controller forwards through observe() and
+ * rebuilds the PolicyContext at the select/adapt call, so the policy
+ * sees exactly the state of the round being decided.
+ */
+
+#ifndef QUETZAL_POLICY_BRIDGE_HPP
+#define QUETZAL_POLICY_BRIDGE_HPP
+
+#include <memory>
+
+#include "policy/policy.hpp"
+
+namespace quetzal {
+namespace policy {
+
+/** core::SchedulerPolicy face of a SchedulingPolicy. */
+class PolicySelectorBridge : public core::SchedulerPolicy
+{
+  public:
+    explicit PolicySelectorBridge(std::shared_ptr<SchedulingPolicy> p);
+
+    std::optional<core::SchedulerDecision>
+    select(const core::TaskSystem &system,
+           const queueing::InputBuffer &buffer,
+           const core::ServiceTimeEstimator &estimator,
+           const core::PowerReading &power,
+           double pidCorrection) const override;
+
+    void observe(const core::RuntimeObservation &rt) override
+    {
+        runtime = rt;
+    }
+
+    std::string name() const override { return policy->selectorName(); }
+
+  private:
+    std::shared_ptr<SchedulingPolicy> policy;
+    core::RuntimeObservation runtime;
+};
+
+/** core::AdaptationPolicy face of the same SchedulingPolicy. */
+class PolicyAdmissionBridge : public core::AdaptationPolicy
+{
+  public:
+    explicit PolicyAdmissionBridge(std::shared_ptr<SchedulingPolicy> p);
+
+    core::AdaptationDecision
+    adapt(const core::TaskSystem &system, const core::Job &job,
+          const queueing::InputBuffer &buffer,
+          const core::ServiceTimeEstimator &estimator,
+          const core::PowerReading &power, double pidCorrection) override;
+
+    void observe(const core::RuntimeObservation &rt) override
+    {
+        runtime = rt;
+    }
+
+    void onBufferOverflow(const core::TaskSystem &system,
+                          const queueing::InputBuffer &buffer,
+                          const queueing::InputRecord &dropped,
+                          Tick now) override
+    {
+        policy->onBufferOverflow(system, buffer, dropped, now);
+    }
+
+    std::string name() const override { return policy->adaptationName(); }
+
+  private:
+    std::shared_ptr<SchedulingPolicy> policy;
+    core::RuntimeObservation runtime;
+};
+
+} // namespace policy
+} // namespace quetzal
+
+#endif // QUETZAL_POLICY_BRIDGE_HPP

@@ -1,0 +1,44 @@
+#include "policy/composite.hpp"
+
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace policy {
+
+CompositePolicy::CompositePolicy(
+    std::string name, std::unique_ptr<core::SchedulerPolicy> scheduler,
+    std::unique_ptr<core::AdaptationPolicy> adaptation)
+    : policyName(std::move(name)), sched(std::move(scheduler)),
+      adapt_(std::move(adaptation))
+{
+    if (!sched || !adapt_)
+        util::fatal("composite policy requires scheduler and adaptation");
+}
+
+std::optional<core::SchedulerDecision>
+CompositePolicy::rank(const PolicyContext &ctx)
+{
+    sched->observe(ctx.runtime);
+    return sched->select(ctx.system, ctx.buffer, ctx.estimator, ctx.power,
+                         ctx.pidCorrection);
+}
+
+core::AdaptationDecision
+CompositePolicy::admit(const PolicyContext &ctx, const core::Job &job)
+{
+    adapt_->observe(ctx.runtime);
+    return adapt_->adapt(ctx.system, job, ctx.buffer, ctx.estimator,
+                         ctx.power, ctx.pidCorrection);
+}
+
+void
+CompositePolicy::onBufferOverflow(const core::TaskSystem &system,
+                                  const queueing::InputBuffer &buffer,
+                                  const queueing::InputRecord &dropped,
+                                  Tick now)
+{
+    adapt_->onBufferOverflow(system, buffer, dropped, now);
+}
+
+} // namespace policy
+} // namespace quetzal

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * CompositePolicy: a policy::SchedulingPolicy assembled from a legacy
+ * (core::SchedulerPolicy, core::AdaptationPolicy) pair.
+ *
+ * This is how the incumbent rides the new interface byte-identically:
+ * rank() and admit() forward to the wrapped pair with the exact
+ * arguments and in the exact order the pre-refactor Controller used,
+ * so "sjf-ibo" (EnergyAwareSjf + IboReactionEngine) reproduces the
+ * paper pipeline's decisions bit for bit.
+ */
+
+#ifndef QUETZAL_POLICY_COMPOSITE_HPP
+#define QUETZAL_POLICY_COMPOSITE_HPP
+
+#include <memory>
+#include <string>
+
+#include "policy/policy.hpp"
+
+namespace quetzal {
+namespace policy {
+
+/** A legacy scheduler/adaptation pair behind the unified interface. */
+class CompositePolicy : public SchedulingPolicy
+{
+  public:
+    CompositePolicy(std::string name,
+                    std::unique_ptr<core::SchedulerPolicy> scheduler,
+                    std::unique_ptr<core::AdaptationPolicy> adaptation);
+
+    std::string name() const override { return policyName; }
+
+    std::optional<core::SchedulerDecision>
+    rank(const PolicyContext &ctx) override;
+
+    core::AdaptationDecision
+    admit(const PolicyContext &ctx, const core::Job &job) override;
+
+    void onBufferOverflow(const core::TaskSystem &system,
+                          const queueing::InputBuffer &buffer,
+                          const queueing::InputRecord &dropped,
+                          Tick now) override;
+
+    std::string selectorName() const override { return sched->name(); }
+    std::string adaptationName() const override { return adapt_->name(); }
+
+  private:
+    std::string policyName;
+    std::unique_ptr<core::SchedulerPolicy> sched;
+    std::unique_ptr<core::AdaptationPolicy> adapt_;
+};
+
+} // namespace policy
+} // namespace quetzal
+
+#endif // QUETZAL_POLICY_COMPOSITE_HPP

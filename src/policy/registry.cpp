@@ -1,0 +1,65 @@
+#include "policy/registry.hpp"
+
+#include <algorithm>
+
+#include "policy/bridge.hpp"
+#include "policy/composite.hpp"
+#include "policy/zoo.hpp"
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace policy {
+
+const std::vector<std::string> &
+registeredPolicyNames()
+{
+    static const std::vector<std::string> names = {
+        "sjf-ibo", "zygarde", "delgado-famaey", "greedy-fcfs"};
+    return names;
+}
+
+bool
+isRegisteredPolicy(const std::string &name)
+{
+    const auto &names = registeredPolicyNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::shared_ptr<SchedulingPolicy>
+makePolicy(const std::string &name)
+{
+    if (name == "sjf-ibo") {
+        // The incumbent: the paper's pair behind the new interface.
+        return std::make_shared<CompositePolicy>(
+            "sjf-ibo", std::make_unique<core::EnergyAwareSjfPolicy>(),
+            std::make_unique<core::IboReactionEngine>());
+    }
+    if (name == "zygarde")
+        return std::make_shared<ZygardePolicy>();
+    if (name == "delgado-famaey")
+        return std::make_shared<EnergyLookaheadPolicy>();
+    if (name == "greedy-fcfs")
+        return std::make_shared<GreedyFcfsPolicy>();
+    util::fatal(util::msg("unknown policy \"", name,
+                          "\" (run quetzal-sim --help for the list)"));
+}
+
+std::unique_ptr<core::Controller>
+makePolicyController(const std::string &name, const PolicyOptions &options)
+{
+    std::shared_ptr<SchedulingPolicy> policy = makePolicy(name);
+    // Both bridges share the one policy instance (ranking and
+    // admission may share state); build them before handing off so
+    // argument evaluation order cannot empty the pointer early.
+    auto selector = std::make_unique<PolicySelectorBridge>(policy);
+    auto admission =
+        std::make_unique<PolicyAdmissionBridge>(std::move(policy));
+    return std::make_unique<core::Controller>(
+        name, std::move(selector), std::move(admission),
+        std::make_unique<core::EnergyAwareEstimator>(options.useCircuit),
+        options.usePid ? std::optional<core::PidConfig>(options.pidConfig)
+                       : std::nullopt);
+}
+
+} // namespace policy
+} // namespace quetzal

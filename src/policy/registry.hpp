@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The policy registry: every runnable policy keyed by name.
+ *
+ * The CLI (`quetzal-sim --policy`), the scenario `policy` field and
+ * the tournament all resolve policies here, and the invariant test
+ * harness iterates registeredPolicyNames() so a newly registered
+ * policy is verified automatically.
+ */
+
+#ifndef QUETZAL_POLICY_REGISTRY_HPP
+#define QUETZAL_POLICY_REGISTRY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pid.hpp"
+#include "core/runtime.hpp"
+#include "policy/policy.hpp"
+
+namespace quetzal {
+namespace policy {
+
+/** Registered policy names, in registration (display) order. */
+const std::vector<std::string> &registeredPolicyNames();
+
+/** True when makePolicy(name) would succeed. */
+bool isRegisteredPolicy(const std::string &name);
+
+/** Fresh instance of a registered policy; fatal on unknown names. */
+std::shared_ptr<SchedulingPolicy> makePolicy(const std::string &name);
+
+/** Knobs shared by every policy-backed controller. */
+struct PolicyOptions
+{
+    bool useCircuit = true; ///< Alg. 3 codes vs exact float power
+    bool usePid = true;     ///< section 4.3 error mitigation
+    core::PidConfig pidConfig;
+};
+
+/**
+ * A core::Controller running the named policy through the bridge
+ * adapters, with the stock energy-aware estimator. With the default
+ * options, "sjf-ibo" is byte-identical to makeQuetzalController().
+ */
+std::unique_ptr<core::Controller>
+makePolicyController(const std::string &name,
+                     const PolicyOptions &options = {});
+
+} // namespace policy
+} // namespace quetzal
+
+#endif // QUETZAL_POLICY_REGISTRY_HPP

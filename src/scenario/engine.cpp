@@ -145,6 +145,92 @@ printSummary(const ScenarioPlan &plan,
     }
 }
 
+/** One population's standings in a league table. */
+struct LeagueRow
+{
+    std::string name;
+    std::uint64_t served = 0;   ///< jobs completed
+    std::uint64_t ibo = 0;      ///< buffer-overflow drops (all inputs)
+    std::uint64_t misses = 0;   ///< staleness-deadline misses
+    double wastedJoules = 0.0;  ///< harvest rejected on a full store
+};
+
+void
+accumulate(LeagueRow &row, const sim::Metrics &m)
+{
+    row.served += m.jobsCompleted;
+    row.ibo += m.iboDropsInteresting + m.iboDropsUninteresting;
+    row.misses += m.deadlineMisses;
+    row.wastedJoules += m.energyWastedJoules;
+}
+
+/**
+ * Deterministic standings order: most jobs served first, overflow
+ * drops, deadline misses and wasted energy as successive tie
+ * breakers, population name as the total-order backstop.
+ */
+void
+sortLeague(std::vector<LeagueRow> &rows)
+{
+    std::sort(rows.begin(), rows.end(),
+              [](const LeagueRow &a, const LeagueRow &b) {
+            if (a.served != b.served)
+                return a.served > b.served;
+            if (a.ibo != b.ibo)
+                return a.ibo < b.ibo;
+            if (a.misses != b.misses)
+                return a.misses < b.misses;
+            if (a.wastedJoules != b.wastedJoules)
+                return a.wastedJoules < b.wastedJoules;
+            return a.name < b.name;
+        });
+}
+
+void
+printLeagueTable(const std::vector<LeagueRow> &rows)
+{
+    std::printf("%4s  %-16s %10s %8s %8s %12s\n", "rank", "policy",
+                "served", "ibo", "misses", "wasted-J");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const LeagueRow &row = rows[i];
+        std::printf("%4zu  %-16s %10llu %8llu %8llu %12.4f\n", i + 1,
+                    row.name.c_str(),
+                    static_cast<unsigned long long>(row.served),
+                    static_cast<unsigned long long>(row.ibo),
+                    static_cast<unsigned long long>(row.misses),
+                    row.wastedJoules);
+    }
+}
+
+void
+printLeague(const ScenarioPlan &plan,
+            const std::vector<sim::Metrics> &results)
+{
+    std::printf("\n=== league: %s ===\n",
+                plan.spec.name.empty() ? "(unnamed)"
+                                       : plan.spec.name.c_str());
+    std::vector<LeagueRow> fleet(plan.populationCount);
+    for (std::size_t p = 0; p < plan.populationCount; ++p)
+        fleet[p].name = plan.spec.populations[p].name;
+
+    for (std::size_t c = 0; c < plan.cells.size(); ++c) {
+        printCellHeader(plan.cells[c]);
+        std::vector<LeagueRow> rows(plan.populationCount);
+        for (std::size_t p = 0; p < plan.populationCount; ++p) {
+            rows[p].name = plan.spec.populations[p].name;
+            const sim::Metrics &m = metricsFor(plan, results, c, p);
+            accumulate(rows[p], m);
+            accumulate(fleet[p], m);
+        }
+        sortLeague(rows);
+        printLeagueTable(rows);
+    }
+
+    std::printf("\n-- fleet (%zu cells) --\n", plan.cells.size());
+    sortLeague(fleet);
+    printLeagueTable(fleet);
+}
+
 void
 writeCsv(const ScenarioPlan &plan,
          const std::vector<sim::Metrics> &results)
@@ -290,15 +376,17 @@ runPlan(const ScenarioPlan &plan, const EngineOptions &options)
     const std::vector<sim::Metrics> results = runner.runBatch(configs);
 
     // Output writers run serially, in a fixed order, over in-order
-    // results: report/summary first (stdout), then CSV, traces and
-    // the rollup.
+    // results: report/summary first (stdout), then the league table,
+    // CSV, traces and the rollup.
     if (plan.spec.report.enabled)
         printReport(plan, results);
     const bool wantsSummary = output.summary ||
         (!plan.spec.report.enabled && output.csvPath.empty() &&
-         !tracing && !output.rollup);
+         !tracing && !output.rollup && !output.league);
     if (wantsSummary)
         printSummary(plan, results);
+    if (output.league)
+        printLeague(plan, results);
     if (!output.csvPath.empty())
         writeCsv(plan, results);
     if (tracing)

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "policy/registry.hpp"
 #include "trace/event_generator.hpp"
 
 namespace quetzal {
@@ -382,6 +383,17 @@ const FieldInfo kFields[] = {
      },
      [](const json::Value &v, sim::ExperimentConfig &cfg) {
          cfg.controller = *controllerFromName(*v.asString());
+     },
+     nullptr},
+    {"policy",
+     "a registered policy name (\"sjf-ibo\", \"zygarde\", "
+     "\"delgado-famaey\", \"greedy-fcfs\")",
+     [](const json::Value &v, std::string &) {
+         const auto name = v.asString();
+         return name && policy::isRegisteredPolicy(*name);
+     },
+     [](const json::Value &v, sim::ExperimentConfig &cfg) {
+         cfg.policyName = *v.asString();
      },
      nullptr},
     {"engine", "one of \"tick\", \"event\"",
@@ -1065,10 +1077,17 @@ parseOutput(const json::Value &output, ScenarioSpec &spec,
             else
                 addError(errors, "output.rollup",
                          typeMismatch(value, "bool"));
+        } else if (key == "league") {
+            const auto enabled = value.asBool();
+            if (enabled)
+                spec.output.league = *enabled;
+            else
+                addError(errors, "output.league",
+                         typeMismatch(value, "bool"));
         } else {
             addError(errors, "output." + key,
                      "unknown key (allowed: summary, csv, trace, "
-                     "rollup)");
+                     "rollup, league)");
         }
     }
 }
@@ -1416,6 +1435,13 @@ ScenarioBuilder &
 ScenarioBuilder::rollup(bool enabled)
 {
     spec.output.rollup = enabled;
+    return *this;
+}
+
+ScenarioBuilder &
+ScenarioBuilder::league(bool enabled)
+{
+    spec.output.league = enabled;
     return *this;
 }
 

@@ -179,6 +179,10 @@ struct OutputSpec
     /** Aggregate fleet rollup: combined MetricsRegistry summary +
      *  per-population ensemble statistics. */
     bool rollup = false;
+    /** Tournament league table: per-cell population standings (served
+     *  / IBO drops / deadline misses / energy wasted) plus a fleet
+     *  rollup table summed over every cell. */
+    bool league = false;
 };
 
 /** A complete, declarative experiment description. */
@@ -259,6 +263,7 @@ class ScenarioBuilder
     ScenarioBuilder &maxRuns(std::uint64_t limit);
     ScenarioBuilder &summary(bool enabled = true);
     ScenarioBuilder &rollup(bool enabled = true);
+    ScenarioBuilder &league(bool enabled = true);
 
     Expected<ScenarioSpec> build() const;
 

@@ -82,6 +82,9 @@ Simulator::processCapture(Tick now)
             *cfg.debugLog << "t=" << ticksToSeconds(now)
                 << " DROP interesting=" << interesting << "\n";
         }
+        // Reactive policies treat drops as overflow pressure; the
+        // incumbent's hook is a no-op, so this is byte-inert.
+        controller.onInputDropped(system, buffer, record, now);
     }
 
     if (cfg.observer != nullptr) {

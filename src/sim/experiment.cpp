@@ -11,6 +11,7 @@
 #include "energy/solar_model.hpp"
 #include "fault/fault_injector.hpp"
 #include "hw/mcu_model.hpp"
+#include "policy/registry.hpp"
 #include "sim/simulator.hpp"
 #include "trace/event_generator.hpp"
 #include "util/logging.hpp"
@@ -40,6 +41,13 @@ buildController(const ExperimentConfig &cfg,
                 const energy::Harvester &harvester,
                 const energy::PowerTrace &watts)
 {
+    if (!cfg.policyName.empty()) {
+        policy::PolicyOptions options;
+        options.useCircuit = cfg.useCircuit;
+        options.usePid = cfg.usePid;
+        options.pidConfig = cfg.pid;
+        return policy::makePolicyController(cfg.policyName, options);
+    }
     using baselines::SchedulerKind;
     switch (cfg.controller) {
       case ControllerKind::Quetzal:
@@ -105,6 +113,8 @@ controllerKindName(ControllerKind kind)
 std::string
 experimentLabel(const ExperimentConfig &config)
 {
+    if (!config.policyName.empty())
+        return config.policyName;
     if (config.controller == ControllerKind::BufferThreshold) {
         return util::msg("THR-",
                          static_cast<int>(config.bufferThreshold * 100.0),
@@ -219,7 +229,11 @@ runExperiment(const ExperimentConfig &config)
     simCfg.schedulerOverheadEnergy = 0.0;
     simCfg.observer = nullptr;
 
-    if (isQuetzalVariant(config.controller)) {
+    // Policy-backed runs charge the same modeled scheduler cost as
+    // the Quetzal variants — that (plus identical decision streams)
+    // is what makes --policy sjf-ibo byte-identical to controller QZ.
+    if (!config.policyName.empty() ||
+        isQuetzalVariant(config.controller)) {
         // Charge the modeled invocation cost of Alg. 1 + Alg. 2 on
         // this MCU (section 5.1 cost model).
         const hw::McuModel mcu(deviceProfile.mcu);

@@ -65,6 +65,14 @@ struct ExperimentConfig
     std::uint64_t seed = 42;
     int harvesterCells = 6;
     ControllerKind controller = ControllerKind::Quetzal;
+    /**
+     * Registry policy name ("sjf-ibo", "zygarde", ...). When
+     * non-empty it overrides `controller`: the run uses
+     * policy::makePolicyController(policyName) (with usePid,
+     * useCircuit and pid below) and is labeled by the policy name.
+     * "sjf-ibo" is byte-identical to ControllerKind::Quetzal.
+     */
+    std::string policyName;
     double bufferThreshold = 0.5;        ///< for BufferThreshold
     double powerThresholdFraction = 0.35; ///< for ZGO / ZGI
     bool usePid = true;    ///< section 4.3 loop (Quetzal variants)

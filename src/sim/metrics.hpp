@@ -68,6 +68,12 @@ struct Metrics
     Tick activeTicks = 0;
     Tick rolledBackTicks = 0; ///< re-executed work (Periodic policy)
     Tick simulatedTicks = 0;
+    /** Jobs whose input aged past capacity x capture-period before
+     *  completion (the tournament's staleness column). */
+    std::uint64_t deadlineMisses = 0;
+    /** Harvest rejected because storage was full (tournament's
+     *  energy-wasted column). */
+    Joules energyWastedJoules = 0.0;
     double schedulerOverheadSeconds = 0.0;
     Joules schedulerOverheadEnergy = 0.0;
     util::RunningStats jobServiceSeconds;

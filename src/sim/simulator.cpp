@@ -108,6 +108,7 @@ Simulator::run()
     accountLeftovers();
 
     metrics.simulatedTicks = now;
+    metrics.energyWastedJoules = device.store().rejectedHarvest();
     metrics.powerFailures = device.stats().powerFailures;
     metrics.checkpointSaves = device.stats().checkpointSaves;
     metrics.rechargeTicks = device.stats().rechargeTicks;
@@ -285,8 +286,10 @@ Simulator::tryBeginJob(Tick now)
     const Watts truePower = schedPowerCursor.valueAt(now);
     const Watts measuredPower = cfg.faults != nullptr
         ? cfg.faults->perturbMeasuredPower(truePower) : truePower;
+    const core::RuntimeObservation runtime{
+        device.energy(), device.store().capacity(), now};
     const auto selection =
-        controller.selectJob(system, buffer, measuredPower);
+        controller.selectJob(system, buffer, measuredPower, runtime);
     if (!selection)
         return;
 
@@ -408,6 +411,12 @@ Simulator::finishJob(Tick now)
     }
     ++metrics.jobsCompleted;
     metrics.jobServiceSeconds.add(observedJob);
+    // Deadline: an input should leave the system before the buffer
+    // could cycle once at the nominal capture rate (capacity x
+    // period) — the natural staleness bound for a sensing pipeline.
+    if (now - activeJob->input.captureTick >
+        static_cast<Tick>(cfg.bufferCapacity) * cfg.capturePeriod)
+        ++metrics.deadlineMisses;
 
     const queueing::InputRecord &input = activeJob->input;
 

@@ -9,6 +9,7 @@
  *               [--events N]
  *   quetzal_sim [--controller QZ|NA|AD|CN|THR|PZO|PZI|Ideal|
  *                             QZ-FCFS|QZ-LCFS|QZ-AvgSe2e]
+ *               [--policy sjf-ibo|zygarde|delgado-famaey|greedy-fcfs]
  *               [--env more-crowded|crowded|less-crowded|msp430]
  *               [--device apollo4|msp430]
  *               [--events N] [--seed N] [--buffer N] [--cells N]
@@ -44,8 +45,14 @@
  * contains one run per seed, keyed by run index in seed order — the
  * bytes are identical for every --jobs value.
  *
+ * --policy NAME runs a registered scheduling policy from the policy
+ * zoo (src/policy) instead of a --controller configuration; it
+ * overrides --controller when both are given. "sjf-ibo" is the
+ * ported incumbent and reproduces --controller QZ byte-for-byte.
+ *
  * Examples:
  *   quetzal_sim --controller QZ --env crowded --events 1000
+ *   quetzal_sim --policy zygarde --env crowded --events 1000
  *   quetzal_sim --controller THR --threshold 75 --csv
  *   quetzal_sim --controller QZ --ensemble 20 --jobs 8
  *   quetzal_sim --ensemble 20 --csv-header
@@ -63,6 +70,7 @@
 #include <vector>
 
 #include "obs/trace_io.hpp"
+#include "policy/registry.hpp"
 #include "scenario/engine.hpp"
 #include "sim/ensemble.hpp"
 #include "sim/experiment.hpp"
@@ -79,8 +87,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s --scenario FILE.json [--validate] "
                  "[--jobs N] [--events N]\n"
-                 "       %s [--controller KIND] [--env ENV] "
-                 "[--device DEV]\n"
+                 "       %s [--controller KIND] [--policy NAME] "
+                 "[--env ENV] [--device DEV]\n"
                  "          [--events N] [--seed N] [--buffer N] "
                  "[--cells N]\n"
                  "          [--capture-period-ms N] [--threshold PCT]\n"
@@ -225,6 +233,15 @@ main(int argc, char **argv)
             validateOnly = true;
         } else if (arg == "--controller") {
             cfg.controller = parseController(value());
+        } else if (arg == "--policy") {
+            cfg.policyName = value();
+            if (!policy::isRegisteredPolicy(cfg.policyName)) {
+                std::string known;
+                for (const auto &n : policy::registeredPolicyNames())
+                    known += (known.empty() ? "" : ", ") + n;
+                util::fatal(util::msg("unknown policy: ", cfg.policyName,
+                                      " (registered: ", known, ")"));
+            }
         } else if (arg == "--env") {
             environment = value();
             cfg.environment = parseEnvironment(environment);
