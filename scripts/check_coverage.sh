@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Line-coverage gate over the scheduling core (src/core), the
 # queueing layer (src/queueing), the simulation engine (src/sim), the
-# hardware models (src/hw), the fault-injection layer (src/fault) and
-# the policy zoo (src/policy):
+# hardware models (src/hw), the fault-injection layer (src/fault),
+# the policy zoo (src/policy) and the fleet engine (src/fleet):
 # build with gcov instrumentation, run the test binaries that exercise
 # those modules, aggregate gcov's per-file "Lines executed" reports,
 # print a per-directory breakdown and fail if overall line coverage
@@ -20,13 +20,13 @@ cmake -B "$BUILD_DIR" -S . -DQUETZAL_COVERAGE=ON \
     -DCMAKE_BUILD_TYPE=Debug
 cmake --build "$BUILD_DIR" -j --target \
     test_core test_queueing test_sim test_obs test_hw test_fault \
-    test_policy test_integration
+    test_policy test_fleet test_integration
 
 # Fresh counters: each binary appends to the same .gcda files.
 find "$BUILD_DIR" -name '*.gcda' -delete
 
 for test_bin in test_core test_queueing test_sim test_obs test_hw \
-        test_fault test_policy test_integration; do
+        test_fault test_policy test_fleet test_integration; do
     "$BUILD_DIR/tests/$test_bin" --gtest_brief=1
 done
 
@@ -38,7 +38,7 @@ done
 # (headers included — templates and inline hot paths count).
 summary="$(
     for module in quetzal_core quetzal_queueing quetzal_sim \
-            quetzal_hw quetzal_fault quetzal_policy; do
+            quetzal_hw quetzal_fault quetzal_policy quetzal_fleet; do
         objdir="$BUILD_DIR/src/CMakeFiles/$module.dir"
         find "$objdir" -name '*.gcno' | while read -r gcno; do
             gcov -n -o "$(dirname "$gcno")" "$gcno" 2>/dev/null
@@ -49,7 +49,7 @@ summary="$(
 echo "$summary" | awk -v floor="$FLOOR" '
     /^File / {
         gated = 0
-        if (match($0, /src\/(core|queueing|sim|hw|fault|policy)\//)) {
+        if (match($0, /src\/(core|queueing|sim|hw|fault|policy|fleet)\//)) {
             gated = 1
             dir = substr($0, RSTART + 4, RLENGTH - 5)
         }
@@ -70,7 +70,7 @@ echo "$summary" | awk -v floor="$FLOOR" '
             print "check_coverage: no gcov data found" > "/dev/stderr"
             exit 2
         }
-        ndirs = split("core queueing sim hw fault policy", order, " ")
+        ndirs = split("core queueing sim hw fault policy fleet", order, " ")
         for (i = 1; i <= ndirs; ++i) {
             d = order[i]
             if (dirTotal[d] == 0)

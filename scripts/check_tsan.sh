@@ -13,7 +13,8 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DQUETZAL_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target test_sim test_obs test_queueing \
-    test_fault test_policy micro_simulator micro_buffer
+    test_fault test_policy test_fleet micro_simulator micro_buffer \
+    micro_fleet
 
 # TSan aborts with exit code 66 on the first detected race.
 export TSAN_OPTIONS="halt_on_error=1 exitcode=66 ${TSAN_OPTIONS:-}"
@@ -62,6 +63,14 @@ export TSAN_OPTIONS="halt_on_error=1 exitcode=66 ${TSAN_OPTIONS:-}"
 # itself panics if the results diverge. Controllers (and their
 # estimators, whose instance-id counter is shared) are constructed on
 # the worker threads, so this also covers the E[S] memo-key path.
+# The fleet's shard pool: worker threads advance shard blocks while
+# the coordinator and rollup writers run serially between slabs; the
+# determinism tests compare the serialized bytes across jobs and
+# shard counts, and the bench's --verify re-runs jobs 1 vs 4.
+"$BUILD_DIR"/tests/test_fleet --gtest_filter='FleetDeterminism.*'
+"$BUILD_DIR"/bench/micro_fleet --devices 4000 --horizon-s 1800 \
+    --shards 8 --jobs 4 --verify >/dev/null
+
 "$BUILD_DIR"/bench/micro_simulator --jobs 4 --runs 8 --events 120
 "$BUILD_DIR"/bench/micro_simulator --jobs 4 --runs 8 --events 120 \
     --engine event

@@ -112,6 +112,20 @@ class EnergyStorage
     /** Reset to full or empty. */
     void reset(bool startFull = true);
 
+    /**
+     * Overwrite the stored energy with a snapshot value (clamped to
+     * [0, capacity]) and zero the rejected-harvest accumulator. For
+     * external state snapshots: the fleet engine rehydrates scratch
+     * devices from struct-of-arrays state each slab and reads
+     * rejectedHarvest() back as a per-slab delta.
+     */
+    void
+    restore(Joules amount)
+    {
+        stored = amount < 0.0 ? 0.0 : (amount > cap ? cap : amount);
+        rejected = 0.0;
+    }
+
   private:
     /** Cold panic path kept out of line so harvest()/draw() inline. */
     [[noreturn]] static void negativeAmount(const char *op);

@@ -64,6 +64,18 @@ class PowerTrace
         /** Forget the remembered position (next query re-seeks). */
         void reset() { index = 0; }
 
+        /** Remembered segment index, for external snapshots. */
+        std::size_t position() const { return index; }
+
+        /**
+         * Restore a position previously read via position() against
+         * the same trace. The fleet engine persists cursor positions
+         * in its struct-of-arrays state so rehydrated devices resume
+         * their amortized-O(1) forward walk instead of re-walking the
+         * trace from tick 0 every slab.
+         */
+        void restore(std::size_t saved) { index = saved; }
+
       private:
         /** Move index to the segment holding at `tick`. */
         void seek(Tick tick);

@@ -1,0 +1,586 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "app/camera.hpp"
+#include "energy/harvester.hpp"
+#include "energy/solar_model.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/state.hpp"
+#include "obs/event.hpp"
+#include "sim/device.hpp"
+#include "sim/runner.hpp"
+#include "util/logging.hpp"
+
+namespace quetzal {
+namespace fleet {
+
+namespace {
+
+/** Jobs a device keeps its degraded level for after the directive
+ *  stops asking for it (recovery hysteresis; lives in the per-device
+ *  scratch byte). */
+constexpr std::uint8_t kRecoveryCooldown = 2;
+
+/** SplitMix64 finalizer: the per-device / per-capture hash behind
+ *  phase offsets and drop classification. Depends only on cohort
+ *  seed and *global* device index, never on the shard layout. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Nanojoules of a joule quantity, rounded to nearest. */
+std::uint64_t
+toNano(Joules joules)
+{
+    return static_cast<std::uint64_t>(std::llround(joules * 1e9));
+}
+
+/** P(interesting) of a capture, by crowdedness preset. */
+double
+interestingProbability(trace::EnvironmentPreset preset)
+{
+    switch (preset) {
+      case trace::EnvironmentPreset::MoreCrowded: return 0.7;
+      case trace::EnvironmentPreset::Crowded: return 0.5;
+      case trace::EnvironmentPreset::LessCrowded: return 0.3;
+      case trace::EnvironmentPreset::Msp430Short: return 0.5;
+    }
+    util::panic("invalid environment preset");
+}
+
+/** Cohort-constant inputs of the shard loop, built once. */
+struct CohortRuntime
+{
+    app::DeviceProfile profile;
+    energy::PowerTrace watts;
+    Joules captureCost = 0.0;
+    /** mix64 threshold: hash < this => interesting. */
+    std::uint64_t interestingThreshold = 0;
+};
+
+CohortRuntime
+buildRuntime(const CohortConfig &cohort, const FleetConfig &config)
+{
+    CohortRuntime runtime;
+    runtime.profile = app::deviceProfile(cohort.device);
+    // The fleet snapshot (sim::Device::State) deliberately omits the
+    // Periodic policy's rollback bookkeeping; fleet devices
+    // checkpoint just in time, like the paper's platform.
+    runtime.profile.checkpoint.policy =
+        app::CheckpointPolicy::JustInTime;
+
+    energy::SolarConfig solarCfg;
+    solarCfg.seed = cohort.seed ^ 0x5eedf00dull;
+    solarCfg.sampleSeconds = config.solarSampleSeconds;
+    energy::HarvesterConfig harvesterCfg;
+    harvesterCfg.cellCount = cohort.harvesterCells;
+    runtime.watts = energy::Harvester(harvesterCfg).powerTrace(
+        energy::SolarModel(solarCfg).generate(config.horizonTicks));
+
+    runtime.captureCost =
+        app::cameraModel(cohort.device).captureEnergy();
+    const double p = interestingProbability(cohort.environment);
+    runtime.interestingThreshold = static_cast<std::uint64_t>(
+        p * 18446744073709551615.0);
+    return runtime;
+}
+
+/** First capture instant of device `gid` at or after `from`. */
+Tick
+firstCaptureAtOrAfter(Tick offset, Tick period, Tick from)
+{
+    if (from <= offset)
+        return offset;
+    const Tick since = from - offset;
+    const Tick k = (since + period - 1) / period;
+    return offset + k * period;
+}
+
+/**
+ * Advance every device of one block across [slabStart, slabEnd).
+ * The scratch Device is rehydrated per device from the SoA columns;
+ * all writes go to this block and this report, so concurrent shards
+ * never share mutable state.
+ */
+void
+advanceBlock(CohortBlock &block, const CohortConfig &cohort,
+             const CohortRuntime &runtime, const Directive &directive,
+             Tick slabStart, Tick slabEnd, CohortCounters &report)
+{
+    sim::Device scratch(runtime.profile, runtime.watts);
+    const Tick period = cohort.capturePeriod;
+    const std::uint32_t capacity = cohort.bufferCapacity;
+    const std::uint64_t offsetKey = cohort.seed ^ 0x0ff5e7ull;
+    const std::uint64_t classKey = cohort.seed ^ 0xc1a55ull;
+
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        const std::uint64_t gid = block.firstDevice + i;
+
+        sim::Device::State state;
+        state.energy = block.charge[i];
+        state.phase =
+            static_cast<sim::DevicePhase>(block.phase[i]);
+        state.remainingTaskTicks = block.taskTicksLeft[i];
+        state.remainingPhaseTicks = block.phaseTicksLeft[i];
+        state.cursorIndex = block.cursor[i];
+        scratch.importState(state, cohort.taskPower);
+
+        std::uint32_t occupancy = block.occupancy[i];
+        std::uint8_t lastLevel = block.level[i];
+        std::uint8_t cooldown = block.scratch[i];
+
+        const Tick offset = static_cast<Tick>(
+            mix64(offsetKey + gid * 0x9e3779b97f4a7c15ull) %
+            static_cast<std::uint64_t>(period));
+        Tick nextCapture =
+            firstCaptureAtOrAfter(offset, period, slabStart);
+
+        Tick now = slabStart;
+        while (now < slabEnd) {
+            if (!scratch.taskActive() && occupancy > 0) {
+                // Start serving the next buffered input at the level
+                // the coordinator's directive implies for this
+                // device's own charge and backlog. Recovery toward
+                // full quality steps one level per job, after a
+                // cooldown — degradation applies instantly.
+                const std::uint8_t want = assignLevel(
+                    directive, toNano(scratch.energy()), occupancy);
+                std::uint8_t use;
+                if (want >= lastLevel) {
+                    use = want;
+                    if (want > lastLevel)
+                        cooldown = kRecoveryCooldown;
+                } else if (cooldown > 0) {
+                    use = lastLevel;
+                    --cooldown;
+                } else {
+                    use = lastLevel - 1;
+                }
+                lastLevel = use;
+                scratch.startTask(cohort.taskPower,
+                                  execTicks(cohort.taskTicks, use));
+                if (use > 0)
+                    ++report.degradedJobs;
+            }
+
+            const Tick limit = std::min(slabEnd, nextCapture);
+            if (limit > now) {
+                const bool wasActive = scratch.taskActive();
+                now = scratch.advance(now, limit);
+                if (wasActive && !scratch.taskActive()) {
+                    // Task completed (possibly before the limit):
+                    // the input leaves the buffer and the next
+                    // iteration may start serving another.
+                    ++report.jobsCompleted;
+                    --occupancy;
+                    continue;
+                }
+            }
+
+            if (now == nextCapture && now < slabEnd) {
+                if (scratch.phase() == sim::DevicePhase::Recharging) {
+                    // Device is off: the frame never happens.
+                    ++report.missedCaptures;
+                } else {
+                    ++report.captures;
+                    scratch.drawInstantaneous(runtime.captureCost);
+                    if (occupancy < capacity) {
+                        ++occupancy;
+                        ++report.storedInputs;
+                    } else {
+                        const std::uint64_t k = static_cast<
+                            std::uint64_t>((nextCapture - offset) /
+                                           period);
+                        const bool interesting =
+                            mix64(classKey +
+                                  gid * 0x9e3779b97f4a7c15ull + k) <
+                            runtime.interestingThreshold;
+                        if (interesting)
+                            ++report.dropsInteresting;
+                        else
+                            ++report.dropsUninteresting;
+                    }
+                }
+                nextCapture += period;
+            }
+        }
+
+        const sim::DeviceStats &stats = scratch.stats();
+        report.powerFailures += stats.powerFailures;
+        report.checkpointSaves += stats.checkpointSaves;
+        report.rechargeTicks +=
+            static_cast<std::uint64_t>(stats.rechargeTicks);
+        report.activeTicks +=
+            static_cast<std::uint64_t>(stats.activeTicks);
+        report.wastedNanojoules +=
+            toNano(scratch.store().rejectedHarvest());
+
+        const sim::Device::State after = scratch.exportState();
+        block.charge[i] = after.energy;
+        block.phase[i] = static_cast<std::uint8_t>(after.phase);
+        block.taskTicksLeft[i] = after.remainingTaskTicks;
+        block.phaseTicksLeft[i] =
+            static_cast<std::int32_t>(after.remainingPhaseTicks);
+        block.cursor[i] =
+            static_cast<std::uint32_t>(after.cursorIndex);
+        block.occupancy[i] = static_cast<std::uint16_t>(occupancy);
+        block.level[i] = lastLevel;
+        block.scratch[i] = cooldown;
+
+        report.chargeNanojoules += toNano(after.energy);
+        report.occupancySum += occupancy;
+        if (after.phase == sim::DevicePhase::Recharging)
+            ++report.devicesOff;
+    }
+}
+
+/** Counter fields that accumulate across slabs (not the gauges). */
+void
+addCounters(CohortCounters &total, const CohortCounters &slab)
+{
+    total.captures += slab.captures;
+    total.missedCaptures += slab.missedCaptures;
+    total.storedInputs += slab.storedInputs;
+    total.dropsInteresting += slab.dropsInteresting;
+    total.dropsUninteresting += slab.dropsUninteresting;
+    total.jobsCompleted += slab.jobsCompleted;
+    total.degradedJobs += slab.degradedJobs;
+    total.powerFailures += slab.powerFailures;
+    total.checkpointSaves += slab.checkpointSaves;
+    total.rechargeTicks += slab.rechargeTicks;
+    total.activeTicks += slab.activeTicks;
+    total.wastedNanojoules += slab.wastedNanojoules;
+    // Gauges describe the slab end; the latest slab wins.
+    total.chargeNanojoules = slab.chargeNanojoules;
+    total.occupancySum = slab.occupancySum;
+    total.devicesOff = slab.devicesOff;
+}
+
+void
+emitRollup(obs::TraceSink &sink, Tick tick, std::size_t cohort,
+           const CohortCounters &delta, const CohortCounters &gauge,
+           std::uint64_t devices)
+{
+    obs::Event rollup;
+    rollup.kind = obs::EventKind::FleetRollup;
+    rollup.tick = tick;
+    rollup.id = cohort;
+    rollup.value = static_cast<std::int64_t>(delta.jobsCompleted);
+    rollup.extra = static_cast<std::int64_t>(
+        delta.dropsInteresting + delta.dropsUninteresting);
+    rollup.a = devices > 0
+        ? static_cast<double>(gauge.chargeNanojoules / devices) / 1e9
+        : 0.0;
+    rollup.b = static_cast<double>(delta.wastedNanojoules) / 1e9;
+    sink.record(rollup);
+
+    obs::Event failures;
+    failures.kind = obs::EventKind::PowerFailure;
+    failures.tick = tick;
+    failures.id = cohort;
+    failures.value = static_cast<std::int64_t>(delta.powerFailures);
+    failures.extra = static_cast<std::int64_t>(delta.checkpointSaves);
+    sink.record(failures);
+
+    obs::Event recharge;
+    recharge.kind = obs::EventKind::RechargeInterval;
+    recharge.tick = tick;
+    recharge.id = cohort;
+    recharge.value = static_cast<std::int64_t>(delta.rechargeTicks);
+    sink.record(recharge);
+}
+
+void
+printRollupLine(std::ostream &out, Tick tick,
+                const CohortConfig &cohort,
+                const CohortCounters &delta,
+                const CohortCounters &gauge)
+{
+    const std::uint64_t devices = cohort.devices;
+    char line[256];
+    std::snprintf(
+        line, sizeof(line),
+        "[t=%6lld s] %-10s jobs=%llu drops=%llu missed=%llu "
+        "off=%llu q=%.3f charge=%.3f mJ wasted=%.3f J",
+        static_cast<long long>(tick / kTicksPerSecond),
+        cohort.name.c_str(),
+        static_cast<unsigned long long>(delta.jobsCompleted),
+        static_cast<unsigned long long>(delta.dropsInteresting +
+                                        delta.dropsUninteresting),
+        static_cast<unsigned long long>(delta.missedCaptures),
+        static_cast<unsigned long long>(gauge.devicesOff),
+        devices > 0 ? static_cast<double>(gauge.occupancySum) /
+                static_cast<double>(devices) : 0.0,
+        devices > 0 ? static_cast<double>(
+                gauge.chargeNanojoules / devices) / 1e6 : 0.0,
+        static_cast<double>(delta.wastedNanojoules) / 1e9);
+    out << line << "\n";
+}
+
+void
+printCohortSummary(std::ostream &out, const CohortResult &cohort,
+                   Tick horizonTicks)
+{
+    const CohortCounters &t = cohort.totals;
+    const std::uint64_t devices = cohort.devices;
+    char line[320];
+    out << "== cohort " << cohort.name << ": policy "
+        << cohort.policy << ", " << devices << " devices ==\n";
+    std::snprintf(
+        line, sizeof(line),
+        "  jobs: %llu (degraded %llu), captures: %llu "
+        "(missed %llu, stored %llu)\n"
+        "  IBO drops: interesting %llu, uninteresting %llu\n",
+        static_cast<unsigned long long>(t.jobsCompleted),
+        static_cast<unsigned long long>(t.degradedJobs),
+        static_cast<unsigned long long>(t.captures),
+        static_cast<unsigned long long>(t.missedCaptures),
+        static_cast<unsigned long long>(t.storedInputs),
+        static_cast<unsigned long long>(t.dropsInteresting),
+        static_cast<unsigned long long>(t.dropsUninteresting));
+    out << line;
+    std::snprintf(
+        line, sizeof(line),
+        "  power failures: %llu (saves %llu), per device: "
+        "recharge %.3f s, active %.3f s\n"
+        "  energy wasted: %.6f J fleet-wide, final mean charge "
+        "%.3f mJ (horizon %lld s)\n",
+        static_cast<unsigned long long>(t.powerFailures),
+        static_cast<unsigned long long>(t.checkpointSaves),
+        devices > 0 ? static_cast<double>(t.rechargeTicks / devices) /
+                kTicksPerSecond : 0.0,
+        devices > 0 ? static_cast<double>(t.activeTicks / devices) /
+                kTicksPerSecond : 0.0,
+        static_cast<double>(t.wastedNanojoules) / 1e9,
+        devices > 0 ? static_cast<double>(
+                t.chargeNanojoules / devices) / 1e6 : 0.0,
+        static_cast<long long>(horizonTicks / kTicksPerSecond));
+    out << line;
+}
+
+sim::Metrics
+toMetrics(const CohortCounters &t, Tick horizonTicks)
+{
+    sim::Metrics m;
+    m.captures = t.captures;
+    m.storedInputs = t.storedInputs;
+    m.iboDropsInteresting = t.dropsInteresting;
+    m.iboDropsUninteresting = t.dropsUninteresting;
+    m.jobsCompleted = t.jobsCompleted;
+    m.degradedJobs = t.degradedJobs;
+    m.powerFailures = t.powerFailures;
+    m.checkpointSaves = t.checkpointSaves;
+    m.rechargeTicks = static_cast<Tick>(t.rechargeTicks);
+    m.activeTicks = static_cast<Tick>(t.activeTicks);
+    m.simulatedTicks = horizonTicks;
+    m.energyWastedJoules =
+        static_cast<double>(t.wastedNanojoules) / 1e9;
+    return m;
+}
+
+} // namespace
+
+void
+CohortCounters::add(const CohortCounters &other)
+{
+    captures += other.captures;
+    missedCaptures += other.missedCaptures;
+    storedInputs += other.storedInputs;
+    dropsInteresting += other.dropsInteresting;
+    dropsUninteresting += other.dropsUninteresting;
+    jobsCompleted += other.jobsCompleted;
+    degradedJobs += other.degradedJobs;
+    powerFailures += other.powerFailures;
+    checkpointSaves += other.checkpointSaves;
+    rechargeTicks += other.rechargeTicks;
+    activeTicks += other.activeTicks;
+    chargeNanojoules += other.chargeNanojoules;
+    wastedNanojoules += other.wastedNanojoules;
+    occupancySum += other.occupancySum;
+    devicesOff += other.devicesOff;
+}
+
+FleetResult
+runFleet(const FleetConfig &config, const FleetOptions &options)
+{
+    if (config.shards == 0)
+        util::panic("runFleet: zero shards");
+    if (config.cohorts.empty())
+        util::panic("runFleet: no cohorts");
+    if (config.slabTicks <= 0 || config.horizonTicks <= 0)
+        util::panic("runFleet: non-positive slab or horizon");
+    if (config.rollupTicks <= 0 ||
+        config.rollupTicks % config.slabTicks != 0)
+        util::panic(
+            "runFleet: rollup must be a positive multiple of slab");
+    for (const CohortConfig &cohort : config.cohorts) {
+        if (cohort.devices == 0)
+            util::panic(util::msg("runFleet: cohort '", cohort.name,
+                                  "' has zero devices"));
+        if (cohort.capturePeriod <= 0 || cohort.taskTicks <= 0 ||
+            cohort.bufferCapacity == 0 || cohort.taskPower <= 0.0)
+            util::panic(util::msg("runFleet: cohort '", cohort.name,
+                                  "' has a non-positive parameter"));
+    }
+
+    const std::size_t cohortCount = config.cohorts.size();
+    const unsigned shards = config.shards;
+
+    // Validates every cohort's policy name through the registry.
+    FleetCoordinator coordinator(config);
+
+    std::vector<CohortRuntime> runtimes;
+    runtimes.reserve(cohortCount);
+    for (const CohortConfig &cohort : config.cohorts)
+        runtimes.push_back(buildRuntime(cohort, config));
+
+    // Devices materialize per shard: cohort c's global index range
+    // is split into contiguous blocks, so no structure of size
+    // (total devices) ever lives outside the shard states.
+    std::vector<ShardState> states(shards);
+    std::size_t totalDevices = 0;
+    for (unsigned s = 0; s < shards; ++s) {
+        states[s].blocks.resize(cohortCount);
+        for (std::size_t c = 0; c < cohortCount; ++c) {
+            const std::size_t n = config.cohorts[c].devices;
+            const std::size_t lo = n * s / shards;
+            const std::size_t hi = n * (s + 1) / shards;
+            states[s].blocks[c].init(
+                lo, hi - lo,
+                runtimes[c].profile.storage.capacity());
+        }
+    }
+    for (const CohortConfig &cohort : config.cohorts)
+        totalDevices += cohort.devices;
+
+    std::size_t stateBytes = 0;
+    for (const ShardState &state : states)
+        stateBytes += state.bytes();
+
+    if (options.out) {
+        // Shard count and --jobs are deliberately absent: the text
+        // stream is byte-identical across both, and the golden files
+        // under scenarios/golden/ rely on that.
+        *options.out << "== fleet: " << totalDevices << " devices, "
+                     << cohortCount << " cohorts, slab "
+                     << config.slabTicks / kTicksPerSecond
+                     << " s, horizon "
+                     << config.horizonTicks / kTicksPerSecond
+                     << " s ==\n";
+    }
+
+    std::vector<CohortCounters> cohortTotals(cohortCount);
+    std::vector<CohortCounters> rollupBase(cohortCount);
+    std::vector<CohortCounters> shardTotals(shards);
+    std::vector<std::vector<CohortCounters>> reports(
+        shards, std::vector<CohortCounters>(cohortCount));
+
+    for (Tick slabStart = 0; slabStart < config.horizonTicks;
+         slabStart += config.slabTicks) {
+        const Tick slabEnd = std::min(
+            slabStart + config.slabTicks, config.horizonTicks);
+
+        // Directives are snapshotted before the fan-out so every
+        // shard reads the same immutable copy.
+        std::vector<Directive> directives(cohortCount);
+        for (std::size_t c = 0; c < cohortCount; ++c)
+            directives[c] = coordinator.directive(c);
+
+        sim::parallelFor(shards, options.jobs, [&](std::size_t s) {
+            for (std::size_t c = 0; c < cohortCount; ++c) {
+                reports[s][c] = CohortCounters{};
+                advanceBlock(states[s].blocks[c], config.cohorts[c],
+                             runtimes[c], directives[c], slabStart,
+                             slabEnd, reports[s][c]);
+            }
+        });
+
+        // Serial aggregation, shard order (64-bit integer sums, so
+        // any order gives the same bytes; serial keeps it obvious).
+        std::vector<CohortCounters> slabTotals(cohortCount);
+        for (unsigned s = 0; s < shards; ++s) {
+            // Sum the shard's cohorts first (gauges add within one
+            // slab), then fold into the running shard total (gauges
+            // replace across slabs) — so shardTotals' gauges are
+            // "this shard's devices at the latest slab end" and the
+            // shard-sum == fleetTotals identity holds field-wise.
+            CohortCounters shardSlab;
+            for (std::size_t c = 0; c < cohortCount; ++c) {
+                slabTotals[c].add(reports[s][c]);
+                shardSlab.add(reports[s][c]);
+            }
+            addCounters(shardTotals[s], shardSlab);
+        }
+        for (std::size_t c = 0; c < cohortCount; ++c)
+            addCounters(cohortTotals[c], slabTotals[c]);
+
+        coordinator.consumeSlab(slabTotals);
+
+        const bool atRollup = slabEnd % config.rollupTicks == 0 ||
+            slabEnd == config.horizonTicks;
+        if (atRollup) {
+            for (std::size_t c = 0; c < cohortCount; ++c) {
+                CohortCounters delta = cohortTotals[c];
+                const CohortCounters &base = rollupBase[c];
+                delta.captures -= base.captures;
+                delta.missedCaptures -= base.missedCaptures;
+                delta.storedInputs -= base.storedInputs;
+                delta.dropsInteresting -= base.dropsInteresting;
+                delta.dropsUninteresting -= base.dropsUninteresting;
+                delta.jobsCompleted -= base.jobsCompleted;
+                delta.degradedJobs -= base.degradedJobs;
+                delta.powerFailures -= base.powerFailures;
+                delta.checkpointSaves -= base.checkpointSaves;
+                delta.rechargeTicks -= base.rechargeTicks;
+                delta.activeTicks -= base.activeTicks;
+                delta.wastedNanojoules -= base.wastedNanojoules;
+                if (options.sink)
+                    emitRollup(*options.sink, slabEnd, c, delta,
+                               cohortTotals[c],
+                               config.cohorts[c].devices);
+                if (options.out)
+                    printRollupLine(*options.out, slabEnd,
+                                    config.cohorts[c], delta,
+                                    cohortTotals[c]);
+                rollupBase[c] = cohortTotals[c];
+            }
+        }
+    }
+
+    FleetResult result;
+    result.devices = totalDevices;
+    result.shards = shards;
+    result.stateBytes = stateBytes;
+    result.shardTotals = std::move(shardTotals);
+    result.cohorts.reserve(cohortCount);
+    for (std::size_t c = 0; c < cohortCount; ++c) {
+        CohortResult cohort;
+        cohort.name = config.cohorts[c].name;
+        cohort.policy = config.cohorts[c].policy;
+        cohort.devices = config.cohorts[c].devices;
+        cohort.totals = cohortTotals[c];
+        cohort.metrics =
+            toMetrics(cohortTotals[c], config.horizonTicks);
+        result.fleetTotals.add(cohortTotals[c]);
+        result.cohorts.push_back(std::move(cohort));
+    }
+
+    if (options.out) {
+        for (const CohortResult &cohort : result.cohorts)
+            printCohortSummary(*options.out, cohort,
+                               config.horizonTicks);
+    }
+    return result;
+}
+
+} // namespace fleet
+} // namespace quetzal

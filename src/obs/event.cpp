@@ -32,6 +32,7 @@ constexpr KindInfo kKinds[kEventKindCount] = {
     {EventKind::FaultInjected, "fault_injected", ObsLevel::Counters},
     {EventKind::FaultDetected, "fault_detected", ObsLevel::Counters},
     {EventKind::FaultMitigated, "fault_mitigated", ObsLevel::Counters},
+    {EventKind::FleetRollup, "fleet_rollup", ObsLevel::Counters},
 };
 
 const KindInfo &

@@ -66,10 +66,11 @@ enum class EventKind : std::uint8_t {
     FaultInjected,    ///< fault layer perturbed the run (src/fault)
     FaultDetected,    ///< prediction error crossed the fault threshold
     FaultMitigated,   ///< error back under threshold while fault active
+    FleetRollup,      ///< per-cohort fleet aggregate (src/fleet)
 };
 
 /** Number of distinct event kinds. */
-constexpr std::size_t kEventKindCount = 16;
+constexpr std::size_t kEventKindCount = 17;
 
 /** Kind display name ("capture", "schedule", ...). */
 std::string eventKindName(EventKind kind);
@@ -115,6 +116,7 @@ constexpr std::uint32_t kFlagUnfinished = 1u << 9;   ///< cut by horizon
  * FaultInjected    | injection seq| fault class  | window end tick (0 = point/persistent) | magnitude | — | —
  * FaultDetected    | episode seq  | —            | —            | error (s)    | threshold (s) | —
  * FaultMitigated   | episode seq  | calm streak  | —            | error (s)    | PID output (s) | —
+ * FleetRollup      | cohort index | jobs completed (delta) | IBO drops (delta) | mean charge (J) | energy wasted (delta J) | —
  *
  * `tick` is the simulated time the event was recorded at.
  */

@@ -192,6 +192,14 @@ MetricsRegistry::record(const Event &event)
       case EventKind::FaultMitigated:
         ++replay.faultsMitigated;
         break;
+
+      case EventKind::FleetRollup:
+        ++replay.fleetRollups;
+        replay.fleetJobsCompleted +=
+            static_cast<std::uint64_t>(event.value);
+        replay.fleetIboDrops += static_cast<std::uint64_t>(event.extra);
+        replay.fleetEnergyWastedJoules += event.b;
+        break;
     }
 }
 
@@ -256,6 +264,11 @@ MetricsRegistry::printSummary(std::ostream &out,
             << " s, p95 " << errorHist.quantile(0.95)
             << " s; PID output mean " << pidRun.mean() << " s ("
             << errorRun.count() << " samples)\n";
+    }
+    if (c.fleetRollups > 0) {
+        out << "  fleet rollups: " << c.fleetRollups << " (jobs "
+            << c.fleetJobsCompleted << ", drops " << c.fleetIboDrops
+            << ", wasted " << c.fleetEnergyWastedJoules << " J)\n";
     }
     if (c.faultsInjected + c.faultsDetected + c.faultsMitigated > 0) {
         out << "  faults: injected " << c.faultsInjected

@@ -67,6 +67,12 @@ struct ReplayCounters
     std::uint64_t faultsInjected = 0;
     std::uint64_t faultsDetected = 0;
     std::uint64_t faultsMitigated = 0;
+    /** Fleet rollups (src/fleet); all zero outside fleet runs. The
+     *  jobs/drops counters are summed from the rollups' deltas. */
+    std::uint64_t fleetRollups = 0;
+    std::uint64_t fleetJobsCompleted = 0;
+    std::uint64_t fleetIboDrops = 0;
+    double fleetEnergyWastedJoules = 0.0;
 };
 
 /**

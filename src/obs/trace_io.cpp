@@ -103,6 +103,11 @@ schemaFor(EventKind kind)
         {{{"seq", Field::Id}, {"streak", Field::Value},
           {"error", Field::A}, {"output", Field::B}},
          {}},
+        // FleetRollup
+        {{{"cohort", Field::Id}, {"jobs", Field::Value},
+          {"drops", Field::Extra}, {"charge", Field::A},
+          {"wasted", Field::B}},
+         {}},
     };
     const auto index = static_cast<std::size_t>(kind);
     if (index >= kEventKindCount)

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -282,10 +283,10 @@ writeCsv(const ScenarioPlan &plan,
 }
 
 void
-writeTrace(const ScenarioPlan &plan,
+writeTrace(const ScenarioSpec &spec,
            const std::vector<obs::VectorSink> &sinks)
 {
-    const TraceOutputSpec &trace = *plan.spec.output.trace;
+    const TraceOutputSpec &trace = *spec.output.trace;
     std::ofstream file;
     std::ostream *out = &std::cout;
     if (trace.path != "-") {
@@ -390,14 +391,62 @@ runPlan(const ScenarioPlan &plan, const EngineOptions &options)
     if (!output.csvPath.empty())
         writeCsv(plan, results);
     if (tracing)
-        writeTrace(plan, sinks);
+        writeTrace(plan.spec, sinks);
     if (output.rollup)
         printRollup(plan, results, sinks);
     return results;
 }
 
+namespace {
+
+/**
+ * Run a validated spec's fleet block: fleet rollups and summaries to
+ * stdout, rollup events into a sink when the spec requests traces or
+ * the aggregate rollup. Returns 0; fills `metricsOut` (when given)
+ * with the per-cohort metrics, in cohort order.
+ */
 int
-runScenarioFile(const std::string &path, const EngineOptions &options)
+runFleetSpec(const ScenarioSpec &spec, const EngineOptions &options,
+             std::vector<sim::Metrics> *metricsOut)
+{
+    const fleet::FleetConfig config = buildFleetConfig(spec);
+
+    const bool tracing = spec.output.trace.has_value() &&
+        spec.output.trace->level != obs::ObsLevel::Off;
+    std::vector<obs::VectorSink> sinks(
+        tracing || spec.output.rollup ? 1 : 0);
+
+    fleet::FleetOptions fleetOptions;
+    fleetOptions.jobs = options.jobs;
+    fleetOptions.out = &std::cout;
+    if (!sinks.empty())
+        fleetOptions.sink = &sinks.front();
+
+    const fleet::FleetResult result =
+        fleet::runFleet(config, fleetOptions);
+
+    if (tracing)
+        writeTrace(spec, sinks);
+    if (spec.output.rollup) {
+        obs::MetricsRegistry registry;
+        for (const obs::Event &event : sinks.front().events())
+            registry.record(event);
+        registry.printSummary(std::cout, "fleet");
+    }
+
+    if (metricsOut) {
+        metricsOut->clear();
+        for (const fleet::CohortResult &cohort : result.cohorts)
+            metricsOut->push_back(cohort.metrics);
+    }
+    return 0;
+}
+
+int
+runScenarioFileImpl(const std::string &path,
+                    const EngineOptions &options,
+                    std::vector<sim::Metrics> *metricsOut,
+                    bool requireFleet)
 {
     const auto reportErrors = [&](const std::vector<SpecError> &errors,
                                   const char *stage) {
@@ -411,6 +460,30 @@ runScenarioFile(const std::string &path, const EngineOptions &options)
     Expected<ScenarioSpec> spec = loadScenarioFile(path);
     if (!spec.ok())
         return reportErrors(spec.errors, "validation");
+
+    if (requireFleet && !spec.value->fleet)
+        return reportErrors(
+            {{"fleet",
+              "a fleet run needs a \"fleet\" block in the scenario"}},
+            "validation");
+
+    if (spec.value->fleet) {
+        if (options.validateOnly) {
+            const fleet::FleetConfig config =
+                buildFleetConfig(*spec.value);
+            std::size_t devices = 0;
+            for (const fleet::CohortConfig &cohort : config.cohorts)
+                devices += cohort.devices;
+            std::printf("%s: OK — fleet: %zu devices x %zu cohorts, "
+                        "%u shards\n",
+                        path.c_str(), devices, config.cohorts.size(),
+                        config.shards);
+            return 0;
+        }
+        // --events applies to run-matrix event traces; the fleet's
+        // workload is set by the spec's capture/horizon parameters.
+        return runFleetSpec(*spec.value, options, metricsOut);
+    }
 
     CompileOptions compileOptions;
     compileOptions.eventCountOverride = options.eventCountOverride;
@@ -428,8 +501,123 @@ runScenarioFile(const std::string &path, const EngineOptions &options)
         return 0;
     }
 
-    (void)runPlan(*plan.value, options);
+    std::vector<sim::Metrics> results =
+        runPlan(*plan.value, options);
+    if (metricsOut)
+        *metricsOut = std::move(results);
     return 0;
+}
+
+} // namespace
+
+int
+runScenarioFile(const std::string &path, const EngineOptions &options)
+{
+    return runScenarioFileImpl(path, options, nullptr, false);
+}
+
+fleet::FleetConfig
+buildFleetConfig(const ScenarioSpec &spec)
+{
+    if (!spec.fleet)
+        util::panic("buildFleetConfig: spec has no fleet block");
+    const FleetSpec &fleetSpec = *spec.fleet;
+
+    fleet::FleetConfig config;
+    config.shards = static_cast<unsigned>(fleetSpec.shards);
+    config.slabTicks =
+        static_cast<Tick>(fleetSpec.slabSeconds) * kTicksPerSecond;
+    config.horizonTicks =
+        static_cast<Tick>(fleetSpec.horizonSeconds) * kTicksPerSecond;
+    config.rollupTicks =
+        static_cast<Tick>(fleetSpec.rollupSeconds) * kTicksPerSecond;
+    config.solarSampleSeconds = fleetSpec.solarSampleSeconds;
+
+    config.cohorts.reserve(fleetSpec.cohorts.size());
+    for (const FleetCohortSpec &cohortSpec : fleetSpec.cohorts) {
+        const PopulationSpec *population = nullptr;
+        for (const PopulationSpec &candidate : spec.populations) {
+            if (candidate.name == cohortSpec.population) {
+                population = &candidate;
+                break;
+            }
+        }
+        if (population == nullptr)
+            util::panic(util::msg(
+                "unvalidated fleet population reference: ",
+                cohortSpec.population));
+
+        // Apply scenario defaults then the population's overrides
+        // through the shared field table, and copy out the subset
+        // the fleet honors — only for keys the spec actually set, so
+        // unset fields keep the fleet-scale cohort defaults.
+        sim::ExperimentConfig scratch;
+        std::set<std::string> present;
+        const auto applyAll =
+            [&](const std::vector<Override> &overrides) {
+                for (const Override &override : overrides) {
+                    fields::applyField(override.field, override.value,
+                                       scratch);
+                    present.insert(override.field);
+                }
+            };
+        applyAll(spec.defaults);
+        applyAll(population->overrides);
+
+        fleet::CohortConfig cohort;
+        cohort.name = cohortSpec.name.empty() ? cohortSpec.population
+                                              : cohortSpec.name;
+        cohort.devices =
+            static_cast<std::size_t>(cohortSpec.devices);
+        cohort.taskTicks = static_cast<Tick>(cohortSpec.taskMs);
+        cohort.taskPower = cohortSpec.taskMw * 1e-3;
+        if (present.count("policy"))
+            cohort.policy = scratch.policyName;
+        if (present.count("device"))
+            cohort.device = scratch.device;
+        if (present.count("environment"))
+            cohort.environment = scratch.environment;
+        if (present.count("seed"))
+            cohort.seed = scratch.seed;
+        if (present.count("cells"))
+            cohort.harvesterCells = scratch.harvesterCells;
+        if (present.count("buffer"))
+            cohort.bufferCapacity = static_cast<std::uint32_t>(
+                scratch.sim.bufferCapacity);
+        if (present.count("capture_period_ms"))
+            cohort.capturePeriod = scratch.sim.capturePeriod;
+        config.cohorts.push_back(std::move(cohort));
+    }
+    return config;
+}
+
+void
+installRunHandlers(sim::RunDispatcher &dispatcher)
+{
+    dispatcher.setHandler(
+        sim::RunKind::Scenario, [](const sim::RunRequest &request) {
+            sim::RunOutcome outcome;
+            EngineOptions options;
+            options.jobs = request.jobs;
+            options.validateOnly = request.validateOnly;
+            options.eventCountOverride = request.eventCountOverride;
+            outcome.exitCode = runScenarioFileImpl(
+                request.scenarioPath, options, &outcome.metrics,
+                false);
+            return outcome;
+        });
+    dispatcher.setHandler(
+        sim::RunKind::Fleet, [](const sim::RunRequest &request) {
+            sim::RunOutcome outcome;
+            EngineOptions options;
+            options.jobs = request.jobs;
+            options.validateOnly = request.validateOnly;
+            options.eventCountOverride = request.eventCountOverride;
+            outcome.exitCode = runScenarioFileImpl(
+                request.scenarioPath, options, &outcome.metrics,
+                true);
+            return outcome;
+        });
 }
 
 } // namespace scenario

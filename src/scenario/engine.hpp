@@ -19,8 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet.hpp"
 #include "scenario/compile.hpp"
 #include "sim/metrics.hpp"
+#include "sim/runner.hpp"
 
 namespace quetzal {
 namespace scenario {
@@ -54,6 +56,27 @@ std::vector<sim::Metrics> runPlan(const ScenarioPlan &plan,
  */
 int runScenarioFile(const std::string &path,
                     const EngineOptions &options = {});
+
+/**
+ * Lower a validated scenario's "fleet" block onto the fleet engine's
+ * config. Each cohort starts from the fleet-scale CohortConfig
+ * defaults; the referenced population's overrides (after scenario
+ * defaults) are applied through the same fields:: table as the run
+ * matrix, for the subset the fleet honors: policy, device,
+ * environment, seed, cells, buffer, capture_period_ms.
+ * Precondition: validateSpec(spec) passed and spec.fleet is present.
+ */
+fleet::FleetConfig buildFleetConfig(const ScenarioSpec &spec);
+
+/**
+ * Install the Scenario and Fleet handlers on a RunDispatcher (the
+ * built-in Experiment/Ensemble/Batch handlers live in sim; these two
+ * are installed here so src/sim does not depend on the scenario
+ * parser). Scenario runs runScenarioFile() — which itself routes to
+ * the fleet engine when the file has a "fleet" block; Fleet requires
+ * the block and fails with exit code 1 if it is missing.
+ */
+void installRunHandlers(sim::RunDispatcher &dispatcher);
 
 } // namespace scenario
 } // namespace quetzal

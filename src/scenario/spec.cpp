@@ -876,6 +876,101 @@ validateSpec(const ScenarioSpec &spec)
                      "must be \"jsonl\" or \"chrome\"");
     }
 
+    if (spec.fleet) {
+        const FleetSpec &fleet = *spec.fleet;
+        if (fleet.shards < 1 || fleet.shards > 65536)
+            addError(errors, "fleet.shards",
+                     "must be an integer in [1, 65536]");
+        if (fleet.slabSeconds < 1 || fleet.slabSeconds > 86400)
+            addError(errors, "fleet.slab_s",
+                     "must be an integer in [1, 86400]");
+        if (fleet.horizonSeconds < fleet.slabSeconds ||
+            fleet.horizonSeconds > 31557600)
+            addError(errors, "fleet.horizon_s",
+                     "must be an integer in [slab_s, 31557600]");
+        if (fleet.rollupSeconds < fleet.slabSeconds ||
+            fleet.slabSeconds == 0 ||
+            fleet.rollupSeconds % fleet.slabSeconds != 0)
+            addError(errors, "fleet.rollup_s",
+                     "must be a positive multiple of slab_s");
+        if (fleet.solarSampleSeconds < 1.0 ||
+            fleet.solarSampleSeconds > 86400.0)
+            addError(errors, "fleet.solar_sample_s",
+                     "must be a number in [1, 86400]");
+        if (fleet.cohorts.empty())
+            addError(errors, "fleet.cohorts",
+                     "fleet needs at least one cohort");
+        std::set<std::string> cohortNames;
+        for (std::size_t i = 0; i < fleet.cohorts.size(); ++i) {
+            const FleetCohortSpec &cohort = fleet.cohorts[i];
+            const std::string path = cohort.path.empty()
+                ? "fleet.cohorts[" + std::to_string(i) + "]"
+                : cohort.path;
+            if (cohort.population.empty())
+                addError(errors, path + ".population",
+                         "cohort needs a \"population\" reference");
+            else if (populationNames.count(cohort.population) == 0)
+                addError(errors, path + ".population",
+                         "unknown population \"" + cohort.population +
+                             "\"");
+            const std::string display = cohort.name.empty()
+                ? cohort.population
+                : cohort.name;
+            if (!display.empty() &&
+                !cohortNames.insert(display).second)
+                addError(errors, path + ".name",
+                         "duplicate cohort name \"" + display + "\"");
+            if (cohort.devices < 1 ||
+                cohort.devices > 100'000'000)
+                addError(errors, path + ".devices",
+                         "must be an integer in [1, 100000000]");
+            if (cohort.taskMs < 1 || cohort.taskMs > 10'000'000)
+                addError(errors, path + ".task_ms",
+                         "must be an integer in [1, 10000000]");
+            if (!(cohort.taskMw > 0.0) || cohort.taskMw > 10'000.0)
+                addError(errors, path + ".task_mw",
+                         "must be a number in (0, 10000]");
+        }
+
+        // The fleet engine replaces the run matrix: sweep axes would
+        // be silently ignored, and the tick/event "engine" field does
+        // not exist at fleet scale. Both are hard errors with the
+        // offending JSON path, never a silent ignore.
+        if (!spec.axes.empty())
+            addError(errors,
+                     spec.axes.front().path.empty()
+                         ? "sweep.axes"
+                         : spec.axes.front().path,
+                     "sweep axes cannot be combined with a \"fleet\" "
+                     "block (the fleet engine runs cohorts, not a "
+                     "run matrix)");
+        const auto rejectEngine = [&](const Override &override) {
+            if (override.field == "engine")
+                addError(errors, override.path,
+                         "\"engine\" overrides do not apply to the "
+                         "fleet engine (remove this override or the "
+                         "\"fleet\" block)");
+        };
+        for (const Override &override : spec.defaults)
+            rejectEngine(override);
+        for (const PopulationSpec &population : spec.populations) {
+            for (const Override &override : population.overrides)
+                rejectEngine(override);
+        }
+        if (spec.report.enabled)
+            addError(errors, "report",
+                     "figure reports compare run-matrix populations "
+                     "and are not produced by the fleet engine");
+        if (!spec.output.csvPath.empty())
+            addError(errors, "output.csv",
+                     "per-run CSV is not produced by the fleet "
+                     "engine");
+        if (spec.output.league)
+            addError(errors, "output.league",
+                     "league tables rank run-matrix populations and "
+                     "are not produced by the fleet engine");
+    }
+
     return errors;
 }
 
@@ -1210,6 +1305,116 @@ parseReport(const json::Value &report, ScenarioSpec &spec,
     }
 }
 
+void
+parseFleet(const json::Value &fleetValue, ScenarioSpec &spec,
+           std::vector<SpecError> &errors)
+{
+    if (!fleetValue.isObject()) {
+        addError(errors, "fleet", typeMismatch(fleetValue, "object"));
+        return;
+    }
+    FleetSpec fleet;
+    for (const auto &[key, value] : fleetValue.members) {
+        if (key == "shards") {
+            if (value.asUint64())
+                fleet.shards = *value.asUint64();
+            else
+                addError(errors, "fleet.shards",
+                         "must be an unsigned integer");
+        } else if (key == "slab_s") {
+            if (value.asUint64())
+                fleet.slabSeconds = *value.asUint64();
+            else
+                addError(errors, "fleet.slab_s",
+                         "must be an unsigned integer");
+        } else if (key == "horizon_s") {
+            if (value.asUint64())
+                fleet.horizonSeconds = *value.asUint64();
+            else
+                addError(errors, "fleet.horizon_s",
+                         "must be an unsigned integer");
+        } else if (key == "rollup_s") {
+            if (value.asUint64())
+                fleet.rollupSeconds = *value.asUint64();
+            else
+                addError(errors, "fleet.rollup_s",
+                         "must be an unsigned integer");
+        } else if (key == "solar_sample_s") {
+            if (value.asDouble())
+                fleet.solarSampleSeconds = *value.asDouble();
+            else
+                addError(errors, "fleet.solar_sample_s",
+                         "must be a number");
+        } else if (key == "cohorts") {
+            if (!value.isArray()) {
+                addError(errors, "fleet.cohorts",
+                         typeMismatch(value, "array"));
+                continue;
+            }
+            for (std::size_t i = 0; i < value.items.size(); ++i) {
+                const json::Value &entry = value.items[i];
+                const std::string path =
+                    "fleet.cohorts[" + std::to_string(i) + "]";
+                if (!entry.isObject()) {
+                    addError(errors, path,
+                             typeMismatch(entry, "object"));
+                    continue;
+                }
+                FleetCohortSpec cohort;
+                cohort.path = path;
+                for (const auto &[cohortKey, cohortValue] :
+                     entry.members) {
+                    if (cohortKey == "population") {
+                        const auto text = cohortValue.asString();
+                        if (text)
+                            cohort.population = *text;
+                        else
+                            addError(errors, path + ".population",
+                                     typeMismatch(cohortValue,
+                                                  "string"));
+                    } else if (cohortKey == "name") {
+                        const auto text = cohortValue.asString();
+                        if (text)
+                            cohort.name = *text;
+                        else
+                            addError(errors, path + ".name",
+                                     typeMismatch(cohortValue,
+                                                  "string"));
+                    } else if (cohortKey == "devices") {
+                        if (cohortValue.asUint64())
+                            cohort.devices = *cohortValue.asUint64();
+                        else
+                            addError(errors, path + ".devices",
+                                     "must be an unsigned integer");
+                    } else if (cohortKey == "task_ms") {
+                        if (cohortValue.asUint64())
+                            cohort.taskMs = *cohortValue.asUint64();
+                        else
+                            addError(errors, path + ".task_ms",
+                                     "must be an unsigned integer");
+                    } else if (cohortKey == "task_mw") {
+                        if (cohortValue.asDouble())
+                            cohort.taskMw = *cohortValue.asDouble();
+                        else
+                            addError(errors, path + ".task_mw",
+                                     "must be a number");
+                    } else {
+                        addError(errors, path + "." + cohortKey,
+                                 "unknown key (allowed: population, "
+                                 "name, devices, task_ms, task_mw)");
+                    }
+                }
+                fleet.cohorts.push_back(std::move(cohort));
+            }
+        } else {
+            addError(errors, "fleet." + key,
+                     "unknown key (allowed: shards, slab_s, "
+                     "horizon_s, rollup_s, solar_sample_s, cohorts)");
+        }
+    }
+    spec.fleet = std::move(fleet);
+}
+
 } // namespace
 
 Expected<ScenarioSpec>
@@ -1301,11 +1506,13 @@ parseScenario(const json::Value &root)
             parseOutput(value, spec, errors);
         } else if (key == "report") {
             parseReport(value, spec, errors);
+        } else if (key == "fleet") {
+            parseFleet(value, spec, errors);
         } else {
             addError(errors, key,
                      "unknown key (allowed: schema_version, name, "
                      "description, defaults, populations, sweep, "
-                     "max_runs, output, report)");
+                     "max_runs, output, report, fleet)");
         }
     }
 

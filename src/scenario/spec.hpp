@@ -185,6 +185,45 @@ struct OutputSpec
     bool league = false;
 };
 
+/**
+ * One fleet cohort: a device population instantiated `devices` times
+ * by the sharded fleet engine. The referenced population's overrides
+ * supply the device/policy/harvest parameters the fleet honors
+ * (policy, device, environment, seed, cells, buffer,
+ * capture_period_ms); the cohort adds the population size and the
+ * job shape.
+ */
+struct FleetCohortSpec
+{
+    std::string population; ///< referenced populations[].name
+    /** Display name in rollups; defaults to the population name. */
+    std::string name;
+    std::uint64_t devices = 0;
+    /** Full-quality job execution time (level L runs in
+     *  max(1 ms, task_ms >> L)). */
+    std::uint64_t taskMs = 3000;
+    /** Job execution power, milliwatts. */
+    double taskMw = 12.0;
+    std::string path;
+};
+
+/**
+ * The "fleet" block: run the scenario on the sharded fleet engine
+ * (src/fleet) instead of the per-run experiment matrix. Mutually
+ * exclusive with sweep axes and with "engine" overrides — the fleet
+ * has its own slab engine, and silently ignoring either would lie
+ * about what ran.
+ */
+struct FleetSpec
+{
+    std::uint64_t shards = 1;
+    std::uint64_t slabSeconds = 600;
+    std::uint64_t horizonSeconds = 86400;
+    std::uint64_t rollupSeconds = 3600;
+    double solarSampleSeconds = 300.0;
+    std::vector<FleetCohortSpec> cohorts;
+};
+
 /** A complete, declarative experiment description. */
 struct ScenarioSpec
 {
@@ -202,6 +241,8 @@ struct ScenarioSpec
     std::uint64_t maxRuns = 10000;
     OutputSpec output;
     ReportSpec report;
+    /** Present = run on the fleet engine instead of the run matrix. */
+    std::optional<FleetSpec> fleet;
 };
 
 /**

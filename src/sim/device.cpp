@@ -15,6 +15,34 @@ Device::Device(const app::DeviceProfile &profile_,
 {
 }
 
+Device::State
+Device::exportState() const
+{
+    State state;
+    state.energy = storage.energy();
+    state.phase = currentPhase;
+    state.remainingTaskTicks = remainingTaskTicks;
+    state.remainingPhaseTicks = remainingPhaseTicks;
+    state.progressSinceSave = progressSinceSave;
+    state.periodicSaveInProgress = periodicSaveInProgress;
+    state.cursorIndex = powerCursor.position();
+    return state;
+}
+
+void
+Device::importState(const State &state, Watts power)
+{
+    storage.restore(state.energy);
+    currentPhase = state.phase;
+    taskPower = power;
+    remainingTaskTicks = state.remainingTaskTicks;
+    remainingPhaseTicks = state.remainingPhaseTicks;
+    progressSinceSave = state.progressSinceSave;
+    periodicSaveInProgress = state.periodicSaveInProgress;
+    powerCursor.restore(state.cursorIndex);
+    deviceStats = DeviceStats{};
+}
+
 void
 Device::startTask(Watts power, Tick exeTicks)
 {

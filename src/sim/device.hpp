@@ -132,6 +132,38 @@ class Device
      */
     void drawInstantaneous(Joules amount);
 
+    /**
+     * Compact snapshot of the mutable per-device state: plain
+     * scalars only, so a fleet shard can persist millions of devices
+     * in struct-of-arrays form between time slabs and rehydrate a
+     * single scratch Device per cohort. Cumulative stats are *not*
+     * part of the snapshot — importState() zeroes them, so the
+     * caller reads stats() as a per-slab delta.
+     */
+    struct State
+    {
+        Joules energy = 0.0;
+        DevicePhase phase = DevicePhase::Idle;
+        Tick remainingTaskTicks = 0;
+        Tick remainingPhaseTicks = 0;
+        Tick progressSinceSave = 0;
+        bool periodicSaveInProgress = false;
+        std::size_t cursorIndex = 0; ///< PowerTrace::Cursor position
+    };
+
+    /** Snapshot the mutable state (see State). */
+    State exportState() const;
+
+    /**
+     * Rehydrate from a snapshot taken against the same profile and
+     * power trace: restores energy/phase/task bookkeeping and the
+     * trace cursor, zeroes cumulative stats and the rejected-harvest
+     * accumulator so both read back as per-slab deltas.
+     * @param power execution power of the in-flight task (constant
+     *        per cohort, so not stored per device)
+     */
+    void importState(const State &state, Watts power);
+
     /** Cumulative statistics. */
     const DeviceStats &stats() const { return deviceStats; }
 

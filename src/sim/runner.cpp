@@ -42,6 +42,43 @@ defaultJobs()
 }
 
 void
+parallelFor(std::size_t count, unsigned jobs,
+            const std::function<void(std::size_t)> &body)
+{
+    const unsigned requested = jobs > 0 ? jobs : defaultJobs();
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(requested, count));
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    // Each worker claims the next unclaimed index; no two workers
+    // ever receive the same index, so as long as the body writes
+    // only to per-index slots the result is independent of
+    // scheduling order.
+    std::atomic<std::size_t> next{0};
+    auto work = [&]() {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            body(i);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(work);
+    for (std::thread &thread : pool)
+        thread.join();
+}
+
+void
 TraceCache::prepare(ExperimentConfig &config)
 {
     if (config.sharedEvents && config.sharedPowerTrace)
@@ -85,36 +122,12 @@ ParallelRunner::runBatch(std::vector<ExperimentConfig> configs)
     for (ExperimentConfig &config : configs)
         cache.prepare(config);
 
+    // Runs share only immutable inputs (the traces); each index
+    // writes its own result slot.
     std::vector<Metrics> results(configs.size());
-    const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(jobCount, configs.size()));
-
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < configs.size(); ++i)
-            results[i] = runExperiment(configs[i]);
-        return results;
-    }
-
-    // Each worker claims the next unclaimed submission index and
-    // writes into that slot; no two workers ever touch the same run
-    // or result, and runs share only immutable inputs (the traces).
-    std::atomic<std::size_t> next{0};
-    auto work = [&]() {
-        while (true) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= configs.size())
-                return;
-            results[i] = runExperiment(configs[i]);
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w)
-        pool.emplace_back(work);
-    for (std::thread &thread : pool)
-        thread.join();
+    parallelFor(configs.size(), jobCount, [&](std::size_t i) {
+        results[i] = runExperiment(configs[i]);
+    });
     return results;
 }
 
@@ -134,6 +147,72 @@ ParallelRunner::runSeeds(const ExperimentConfig &config,
         configs.push_back(std::move(cfg));
     }
     return runBatch(std::move(configs));
+}
+
+const char *
+runKindName(RunKind kind)
+{
+    switch (kind) {
+      case RunKind::Experiment: return "experiment";
+      case RunKind::Ensemble: return "ensemble";
+      case RunKind::Batch: return "batch";
+      case RunKind::Scenario: return "scenario";
+      case RunKind::Fleet: return "fleet";
+    }
+    util::panic("invalid RunKind");
+}
+
+RunDispatcher::RunDispatcher()
+{
+    handlers[static_cast<std::size_t>(RunKind::Experiment)] =
+        [](const RunRequest &request) {
+            RunOutcome outcome;
+            ParallelRunner runner(request.jobs);
+            outcome.metrics = runner.runBatch({request.config});
+            return outcome;
+        };
+    handlers[static_cast<std::size_t>(RunKind::Ensemble)] =
+        [](const RunRequest &request) {
+            RunOutcome outcome;
+            ParallelRunner runner(request.jobs);
+            outcome.metrics =
+                runner.runSeeds(request.config, request.seeds);
+            return outcome;
+        };
+    handlers[static_cast<std::size_t>(RunKind::Batch)] =
+        [](const RunRequest &request) {
+            RunOutcome outcome;
+            ParallelRunner runner(request.jobs);
+            outcome.metrics = runner.runBatch(request.batch);
+            return outcome;
+        };
+}
+
+void
+RunDispatcher::setHandler(RunKind kind, Handler handler)
+{
+    handlers[static_cast<std::size_t>(kind)] = std::move(handler);
+}
+
+bool
+RunDispatcher::hasHandler(RunKind kind) const
+{
+    return static_cast<bool>(
+        handlers[static_cast<std::size_t>(kind)]);
+}
+
+RunOutcome
+RunDispatcher::run(const RunRequest &request) const
+{
+    const auto &handler =
+        handlers[static_cast<std::size_t>(request.kind)];
+    if (!handler)
+        util::panic(util::msg(
+            "RunDispatcher: no handler installed for run kind '",
+            runKindName(request.kind),
+            "' (scenario/fleet handlers are installed by "
+            "scenario::installRunHandlers)"));
+    return handler(request);
 }
 
 } // namespace sim

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests of the fleet's per-device state block, the integer
+ * counter algebra, and the coordinator's directive protocol — the
+ * pieces whose exactness the determinism suite builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fleet/coordinator.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/state.hpp"
+
+namespace {
+
+using namespace quetzal;
+
+TEST(CohortBlock, InitAllocatesDeploymentState)
+{
+    fleet::CohortBlock block;
+    block.init(/*first=*/120, /*count=*/7, /*fullCharge=*/0.05);
+
+    EXPECT_EQ(block.firstDevice, 120u);
+    EXPECT_EQ(block.size(), 7u);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        EXPECT_DOUBLE_EQ(block.charge[i], 0.05);
+        EXPECT_EQ(block.taskTicksLeft[i], 0);
+        EXPECT_EQ(block.phaseTicksLeft[i], 0);
+        EXPECT_EQ(block.cursor[i], 0u);
+        EXPECT_EQ(block.phase[i], 0);
+        EXPECT_EQ(block.occupancy[i], 0);
+        EXPECT_EQ(block.level[i], 0);
+        EXPECT_EQ(block.scratch[i], 0);
+    }
+}
+
+TEST(CohortBlock, BytesIsTwentyNinePerDevice)
+{
+    fleet::CohortBlock block;
+    block.init(0, 1000, 0.1);
+    EXPECT_EQ(block.bytes(), 29u * 1000u);
+
+    fleet::ShardState shard;
+    shard.blocks.push_back(block);
+    shard.blocks.push_back(block);
+    EXPECT_EQ(shard.bytes(), 2u * 29u * 1000u);
+}
+
+TEST(CohortCounters, AddIsFieldWiseSum)
+{
+    fleet::CohortCounters a;
+    a.captures = 10;
+    a.missedCaptures = 3;
+    a.storedInputs = 7;
+    a.dropsInteresting = 1;
+    a.dropsUninteresting = 2;
+    a.jobsCompleted = 6;
+    a.degradedJobs = 4;
+    a.powerFailures = 5;
+    a.checkpointSaves = 5;
+    a.rechargeTicks = 900;
+    a.activeTicks = 800;
+    a.chargeNanojoules = 123456789;
+    a.wastedNanojoules = 1000;
+    a.occupancySum = 12;
+    a.devicesOff = 2;
+
+    fleet::CohortCounters b = a;
+    b.add(a);
+
+    EXPECT_EQ(b.captures, 20u);
+    EXPECT_EQ(b.missedCaptures, 6u);
+    EXPECT_EQ(b.storedInputs, 14u);
+    EXPECT_EQ(b.dropsInteresting, 2u);
+    EXPECT_EQ(b.dropsUninteresting, 4u);
+    EXPECT_EQ(b.jobsCompleted, 12u);
+    EXPECT_EQ(b.degradedJobs, 8u);
+    EXPECT_EQ(b.powerFailures, 10u);
+    EXPECT_EQ(b.checkpointSaves, 10u);
+    EXPECT_EQ(b.rechargeTicks, 1800u);
+    EXPECT_EQ(b.activeTicks, 1600u);
+    EXPECT_EQ(b.chargeNanojoules, 246913578u);
+    EXPECT_EQ(b.wastedNanojoules, 2000u);
+    EXPECT_EQ(b.occupancySum, 24u);
+    EXPECT_EQ(b.devicesOff, 4u);
+}
+
+TEST(Directive, ExecTicksHalvesPerLevelAndFloorsAtOne)
+{
+    EXPECT_EQ(fleet::execTicks(90000, 0), 90000);
+    EXPECT_EQ(fleet::execTicks(90000, 1), 45000);
+    EXPECT_EQ(fleet::execTicks(90000, 2), 22500);
+    EXPECT_EQ(fleet::execTicks(1, 2), 1);
+}
+
+TEST(Directive, AssignLevelAppliesPressureThresholds)
+{
+    fleet::Directive directive;
+    directive.baseLevel = 0;
+    directive.pressureLevel = 2;
+    directive.occupancyHigh = 3;
+    directive.chargeLowNano = 1000;
+
+    // Healthy device: base level.
+    EXPECT_EQ(fleet::assignLevel(directive, 5000, 1), 0);
+    // Occupancy at the threshold: pressure.
+    EXPECT_EQ(fleet::assignLevel(directive, 5000, 3), 2);
+    // Charge at the floor: pressure.
+    EXPECT_EQ(fleet::assignLevel(directive, 1000, 0), 2);
+    // Default directive never leaves base quality.
+    EXPECT_EQ(fleet::assignLevel(fleet::Directive{}, 0, 100), 0);
+}
+
+/** The fleet_day stress cohort: keep-up needs one degrade level. */
+fleet::FleetConfig
+stressConfig(const char *policy)
+{
+    fleet::FleetConfig config;
+    fleet::CohortConfig cohort;
+    cohort.name = "c0";
+    cohort.policy = policy;
+    cohort.devices = 100;
+    cohort.harvesterCells = 1;
+    cohort.capturePeriod = 60 * kTicksPerSecond;
+    cohort.bufferCapacity = 4;
+    cohort.taskTicks = 90 * kTicksPerSecond;
+    config.cohorts.push_back(cohort);
+    return config;
+}
+
+TEST(FleetCoordinator, UnknownPolicyFailsAtConstruction)
+{
+    const fleet::FleetConfig config = stressConfig("no-such-policy");
+    EXPECT_DEATH(fleet::FleetCoordinator coordinator(config),
+                 "no-such-policy");
+}
+
+TEST(FleetCoordinator, GreedyNeverDegrades)
+{
+    const fleet::FleetConfig config = stressConfig("greedy-fcfs");
+    fleet::FleetCoordinator coordinator(config);
+
+    fleet::CohortCounters slab;
+    slab.dropsInteresting = 500;
+    slab.occupancySum = 400; // mean occupancy 4 of capacity 4
+    coordinator.consumeSlab({slab});
+
+    const fleet::Directive &directive = coordinator.directive(0);
+    EXPECT_EQ(directive.baseLevel, 0);
+    EXPECT_EQ(directive.pressureLevel, 0);
+    EXPECT_EQ(fleet::assignLevel(directive, 0, 4), 0);
+}
+
+TEST(FleetCoordinator, SjfIboEscalatesOnDropsAndRelaxesWhenQuiet)
+{
+    const fleet::FleetConfig config = stressConfig("sjf-ibo");
+    fleet::FleetCoordinator coordinator(config);
+
+    // Drops observed: escalate to the keep-up level (90 s jobs vs
+    // 60 s captures -> level 1) with pressure one above.
+    fleet::CohortCounters drops;
+    drops.dropsInteresting = 10;
+    coordinator.consumeSlab({drops});
+    EXPECT_EQ(coordinator.directive(0).baseLevel, 1);
+    EXPECT_EQ(coordinator.directive(0).pressureLevel, 2);
+    EXPECT_EQ(coordinator.directive(0).occupancyHigh, 3u);
+
+    // Two quiet slabs: relax one level per slab, back to full quality.
+    coordinator.consumeSlab({fleet::CohortCounters{}});
+    EXPECT_EQ(coordinator.directive(0).baseLevel, 0);
+    coordinator.consumeSlab({fleet::CohortCounters{}});
+    EXPECT_EQ(coordinator.directive(0).baseLevel, 0);
+}
+
+TEST(FleetCoordinator, ZygardeDrainsBacklogByDeadline)
+{
+    const fleet::FleetConfig config = stressConfig("zygarde");
+    fleet::FleetCoordinator coordinator(config);
+
+    // Empty backlog: (0+1) * execTicks(90 s, 1) = 45 s <= 60 s, so
+    // level 1 is the lowest that clears before the next capture.
+    coordinator.consumeSlab({fleet::CohortCounters{}});
+    EXPECT_EQ(coordinator.directive(0).baseLevel, 1);
+    EXPECT_EQ(coordinator.directive(0).pressureLevel,
+              fleet::kMaxDegradeLevel);
+    EXPECT_EQ(coordinator.directive(0).occupancyHigh, 3u);
+
+    // Mean occupancy 2: (2+1) * 22.5 s = 67.5 s > 60 s even at max
+    // level, so the base clamps to kMaxDegradeLevel.
+    fleet::CohortCounters backlog;
+    backlog.occupancySum = 200;
+    coordinator.consumeSlab({backlog});
+    EXPECT_EQ(coordinator.directive(0).baseLevel,
+              fleet::kMaxDegradeLevel);
+}
+
+TEST(FleetCoordinator, DelgadoShedsWhenMeanChargeIsLow)
+{
+    const fleet::FleetConfig config = stressConfig("delgado-famaey");
+    fleet::FleetCoordinator coordinator(config);
+
+    // Healthy fleet: full quality, but a per-device low-charge
+    // pressure threshold at 30 % of usable capacity.
+    fleet::CohortCounters healthy;
+    healthy.chargeNanojoules = 100ull * 100000000ull; // 0.1 J mean
+    coordinator.consumeSlab({healthy});
+    EXPECT_EQ(coordinator.directive(0).baseLevel, 0);
+    EXPECT_GT(coordinator.directive(0).chargeLowNano, 0u);
+
+    // Starved fleet (mean charge ~0): shed at the base level too.
+    coordinator.consumeSlab({fleet::CohortCounters{}});
+    EXPECT_GE(coordinator.directive(0).baseLevel, 1);
+}
+
+} // namespace

@@ -69,6 +69,8 @@ shapeOf(EventKind kind)
         return {true, false, false, true, true, false, 0};
       case EventKind::FaultMitigated:
         return {true, true, false, true, true, false, 0};
+      case EventKind::FleetRollup:
+        return {true, true, true, true, true, false, 0};
     }
     return {};
 }

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * RunRequest / RunDispatcher: the single front door every entry
+ * point (CLI, figures, tests) routes runs through. The built-in
+ * experiment-shaped handlers must reproduce the direct
+ * ParallelRunner results exactly, and unrouted kinds must fail fast
+ * and name the installer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace quetzal;
+
+sim::ExperimentConfig
+smallConfig(std::uint64_t seed = 42)
+{
+    sim::ExperimentConfig config;
+    config.eventCount = 40;
+    config.seed = seed;
+    return config;
+}
+
+void
+expectSameMetrics(const sim::Metrics &a, const sim::Metrics &b)
+{
+    EXPECT_EQ(a.jobsCompleted, b.jobsCompleted);
+    EXPECT_EQ(a.iboDropsInteresting, b.iboDropsInteresting);
+    EXPECT_EQ(a.txInterestingHq, b.txInterestingHq);
+    EXPECT_EQ(a.powerFailures, b.powerFailures);
+    EXPECT_EQ(a.simulatedTicks, b.simulatedTicks);
+}
+
+TEST(RunDispatcher, RunKindNamesAreStable)
+{
+    EXPECT_STREQ(sim::runKindName(sim::RunKind::Experiment),
+                 "experiment");
+    EXPECT_STREQ(sim::runKindName(sim::RunKind::Ensemble), "ensemble");
+    EXPECT_STREQ(sim::runKindName(sim::RunKind::Batch), "batch");
+    EXPECT_STREQ(sim::runKindName(sim::RunKind::Scenario), "scenario");
+    EXPECT_STREQ(sim::runKindName(sim::RunKind::Fleet), "fleet");
+}
+
+TEST(RunDispatcher, ExperimentKindMatchesDirectRun)
+{
+    sim::RunRequest request;
+    request.kind = sim::RunKind::Experiment;
+    request.config = smallConfig();
+    request.jobs = 1;
+
+    const sim::RunOutcome outcome = sim::RunDispatcher().run(request);
+    EXPECT_EQ(outcome.exitCode, 0);
+    ASSERT_EQ(outcome.metrics.size(), 1u);
+
+    const sim::Metrics direct = sim::runExperiment(smallConfig());
+    expectSameMetrics(outcome.metrics.front(), direct);
+}
+
+TEST(RunDispatcher, EnsembleKindMatchesRunSeeds)
+{
+    sim::RunRequest request;
+    request.kind = sim::RunKind::Ensemble;
+    request.config = smallConfig();
+    request.seeds = {1, 2, 3};
+    request.jobs = 2;
+
+    const sim::RunOutcome outcome = sim::RunDispatcher().run(request);
+    EXPECT_EQ(outcome.exitCode, 0);
+    ASSERT_EQ(outcome.metrics.size(), 3u);
+
+    sim::ParallelRunner runner(1);
+    const std::vector<sim::Metrics> direct =
+        runner.runSeeds(smallConfig(), {1, 2, 3});
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        expectSameMetrics(outcome.metrics[i], direct[i]);
+}
+
+TEST(RunDispatcher, BatchKindPreservesSubmissionOrder)
+{
+    sim::RunRequest request;
+    request.kind = sim::RunKind::Batch;
+    request.batch = {smallConfig(5), smallConfig(6), smallConfig(7)};
+    request.jobs = 3;
+
+    const sim::RunOutcome outcome = sim::RunDispatcher().run(request);
+    ASSERT_EQ(outcome.metrics.size(), 3u);
+
+    for (std::size_t i = 0; i < request.batch.size(); ++i) {
+        const sim::Metrics direct =
+            sim::runExperiment(request.batch[i]);
+        expectSameMetrics(outcome.metrics[i], direct);
+    }
+}
+
+TEST(RunDispatcher, UnroutedKindPanicsNamingTheInstaller)
+{
+    sim::RunDispatcher dispatcher;
+    EXPECT_FALSE(dispatcher.hasHandler(sim::RunKind::Scenario));
+
+    sim::RunRequest request;
+    request.kind = sim::RunKind::Scenario;
+    request.scenarioPath = "unused.json";
+    EXPECT_DEATH((void)dispatcher.run(request),
+                 "installRunHandlers");
+}
+
+TEST(RunDispatcher, SetHandlerReplacesAndReceivesTheRequest)
+{
+    sim::RunDispatcher dispatcher;
+    dispatcher.setHandler(
+        sim::RunKind::Fleet, [](const sim::RunRequest &request) {
+            sim::RunOutcome outcome;
+            outcome.exitCode =
+                request.scenarioPath == "fleet.json" ? 0 : 9;
+            return outcome;
+        });
+    ASSERT_TRUE(dispatcher.hasHandler(sim::RunKind::Fleet));
+
+    sim::RunRequest request;
+    request.kind = sim::RunKind::Fleet;
+    request.scenarioPath = "fleet.json";
+    EXPECT_EQ(dispatcher.run(request).exitCode, 0);
+    request.scenarioPath = "other.json";
+    EXPECT_EQ(dispatcher.run(request).exitCode, 9);
+}
+
+} // namespace

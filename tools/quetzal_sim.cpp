@@ -1,49 +1,30 @@
 /**
  * @file
- * quetzal_sim — run any experiment configuration from the command
- * line and print either the human-readable report or a CSV row
- * (for scripting sweeps).
+ * quetzal_sim — the one command-line front door onto the run API
+ * (sim::RunRequest / sim::RunDispatcher). Flags are parsed exactly
+ * once into a RunRequest; the dispatcher routes it to the experiment
+ * engine, the parallel ensemble runner, the declarative scenario
+ * engine, or the sharded fleet engine.
  *
- * Usage:
- *   quetzal_sim --scenario FILE.json [--validate] [--jobs N]
- *               [--events N]
- *   quetzal_sim [--controller QZ|NA|AD|CN|THR|PZO|PZI|Ideal|
- *                             QZ-FCFS|QZ-LCFS|QZ-AvgSe2e]
- *               [--policy sjf-ibo|zygarde|delgado-famaey|greedy-fcfs]
- *               [--env more-crowded|crowded|less-crowded|msp430]
- *               [--device apollo4|msp430]
- *               [--events N] [--seed N] [--buffer N] [--cells N]
- *               [--capture-period-ms N] [--threshold PCT]
- *               [--arrival-window N] [--task-window N]
- *               [--power-trace FILE.csv]
- *               [--ensemble N] [--jobs N]
- *               [--trace-out FILE|-] [--trace-level LVL]
- *               [--trace-format jsonl|chrome]
- *               [--no-pid] [--no-circuit] [--csv] [--csv-header]
+ * Run modes (mutually exclusive; flags that conflict are reported as
+ * errors naming both flags, never silently ignored):
  *
- * --scenario FILE.json runs a declarative scenario file (see
- * scenarios/ and DESIGN.md section 10) on the parallel engine:
- * populations x sweep cells, with the outputs the file requests.
- * --validate parses + validates without running; invalid files list
- * every problem with its JSON field path and exit with status 1.
- * --events overrides every run's event count (reduced smoke runs);
- * --jobs picks the worker count (output is identical for every
- * value).
+ *   quetzal_sim [experiment flags]           one experiment
+ *   quetzal_sim --ensemble N [flags]         seeds 1..N in parallel
+ *   quetzal_sim --scenario FILE.json         declarative scenario
+ *   quetzal_sim --fleet FILE.json            fleet scenario (the file
+ *                                            must have a "fleet" block)
  *
- * --ensemble N runs the configuration over seeds 1..N on the
- * parallel experiment engine (--jobs worker threads, default
- * hardware concurrency / QUETZAL_JOBS) and prints either the
- * aggregate summary or one CSV row per seed. Results are
- * bit-identical for every --jobs value.
- *
- * --trace-out FILE streams the telemetry subsystem's typed event
- * trace to FILE ("-" = stdout). --trace-level picks the verbosity
- * (counters | decisions | full; default full) and --trace-format the
- * encoding: jsonl (one event per line; feed to tools/trace_stat) or
- * chrome (trace_event JSON; open in chrome://tracing or Perfetto).
- * In ensemble mode every seed records into its own sink and the file
- * contains one run per seed, keyed by run index in seed order — the
- * bytes are identical for every --jobs value.
+ * --scenario runs a scenario file (see scenarios/ and DESIGN.md
+ * sections 10 and 15) on the parallel engine; when the file has a
+ * "fleet" block the sharded fleet engine runs it instead of the run
+ * matrix. --fleet does the same but *requires* the block. --validate
+ * parses + validates without running; invalid files list every
+ * problem with its JSON field path and exit with status 1. --events
+ * overrides every run-matrix event count (reduced smoke runs; the
+ * fleet's workload comes from the spec's capture parameters) and
+ * --jobs picks the worker count — outputs are byte-identical for
+ * every value.
  *
  * --policy NAME runs a registered scheduling policy from the policy
  * zoo (src/policy) instead of a --controller configuration; it
@@ -53,11 +34,11 @@
  * Examples:
  *   quetzal_sim --controller QZ --env crowded --events 1000
  *   quetzal_sim --policy zygarde --env crowded --events 1000
- *   quetzal_sim --controller THR --threshold 75 --csv
  *   quetzal_sim --controller QZ --ensemble 20 --jobs 8
- *   quetzal_sim --ensemble 20 --csv-header
  *   quetzal_sim --events 200 --trace-out run.jsonl
- *   quetzal_sim --events 200 --trace-format chrome --trace-out run.json
+ *   quetzal_sim --scenario scenarios/fig09.json --jobs 4
+ *   quetzal_sim --fleet scenarios/fleet_day.json --jobs 8
+ *   quetzal_sim --scenario scenarios/fleet_day.json --validate
  */
 
 #include <cstdio>
@@ -82,26 +63,83 @@ namespace {
 using namespace quetzal;
 
 [[noreturn]] void
-usage(const char *argv0)
+usage(const char *argv0, bool requested)
+{
+    std::FILE *out = requested ? stdout : stderr;
+    std::fprintf(out,
+        "usage: %s [mode] [flags]\n"
+        "\n"
+        "Run modes (choose one):\n"
+        "  (default)              one experiment from the flags below\n"
+        "  --ensemble N           seeds 1..N of the experiment, in "
+        "parallel\n"
+        "  --scenario FILE.json   declarative scenario file "
+        "(populations x sweep,\n"
+        "                         or the fleet engine when the file "
+        "has a \"fleet\" block)\n"
+        "  --fleet FILE.json      fleet scenario; the file must have "
+        "a \"fleet\" block\n"
+        "\n"
+        "Scenario & fleet:\n"
+        "  --validate             parse + validate FILE and print the "
+        "plan, don't run\n"
+        "  --events N             override every run-matrix event "
+        "count (smoke runs);\n"
+        "                         the fleet engine takes its workload "
+        "from the file\n"
+        "\n"
+        "Experiment configuration (conflicts with --scenario/--fleet):"
+        "\n"
+        "  --controller KIND      QZ|QZ-FCFS|QZ-LCFS|QZ-AvgSe2e|NA|AD|"
+        "CN|THR|PZO|PZI|Ideal\n"
+        "  --policy NAME          sjf-ibo|zygarde|delgado-famaey|"
+        "greedy-fcfs\n"
+        "  --env ENV              more-crowded|crowded|less-crowded|"
+        "msp430\n"
+        "  --device DEV           apollo4|msp430\n"
+        "  --engine KIND          tick|event\n"
+        "  --events N             sensing events per run\n"
+        "  --seed N               master RNG seed\n"
+        "  --buffer N             input-buffer capacity\n"
+        "  --cells N              harvester cell count\n"
+        "  --capture-period-ms N  capture period\n"
+        "  --threshold PCT        THR controller buffer threshold\n"
+        "  --arrival-window N     arrival-rate tracking window\n"
+        "  --task-window N        service-time tracking window\n"
+        "  --power-trace FILE.csv piecewise-constant power trace\n"
+        "  --no-pid               disable the PID assist\n"
+        "  --no-circuit           disable the analog monitor circuit\n"
+        "\n"
+        "Telemetry (experiment modes):\n"
+        "  --trace-out FILE|-     stream the typed event trace\n"
+        "  --trace-level LVL      off|counters|decisions|full "
+        "(default full)\n"
+        "  --trace-format FMT     jsonl|chrome\n"
+        "\n"
+        "Output (experiment modes):\n"
+        "  --csv                  one CSV row per run instead of the "
+        "report\n"
+        "  --csv-header           --csv plus the header line\n"
+        "\n"
+        "Execution:\n"
+        "  --jobs N               worker threads (default: hardware "
+        "cores, or\n"
+        "                         QUETZAL_JOBS); every output is "
+        "byte-identical\n"
+        "                         for every value\n",
+        argv0);
+    std::exit(requested ? 0 : 2);
+}
+
+/** Conflicting flags are an error naming both, never a silent win. */
+[[noreturn]] void
+conflict(const std::string &flag, const std::string &other,
+         const char *why)
 {
     std::fprintf(stderr,
-                 "usage: %s --scenario FILE.json [--validate] "
-                 "[--jobs N] [--events N]\n"
-                 "       %s [--controller KIND] [--policy NAME] "
-                 "[--env ENV] [--device DEV]\n"
-                 "          [--events N] [--seed N] [--buffer N] "
-                 "[--cells N]\n"
-                 "          [--capture-period-ms N] [--threshold PCT]\n"
-                 "          [--arrival-window N] [--task-window N]\n"
-                 "          [--power-trace FILE.csv]\n"
-                 "          [--engine tick|event]\n"
-                 "          [--ensemble N] [--jobs N]\n"
-                 "          [--trace-out FILE|-] "
-                 "[--trace-level off|counters|decisions|full]\n"
-                 "          [--trace-format jsonl|chrome]\n"
-                 "          [--no-pid] [--no-circuit] [--csv] "
-                 "[--csv-header]\n",
-                 argv0, argv0);
+                 "conflicting flags: %s cannot be combined with %s "
+                 "(%s)\n",
+                 flag.c_str(), other.c_str(), why);
     std::exit(2);
 }
 
@@ -207,33 +245,52 @@ writeTraceOutput(const std::string &path, const std::string &format,
 int
 main(int argc, char **argv)
 {
-    sim::ExperimentConfig cfg;
+    sim::RunRequest request;
+    sim::ExperimentConfig &cfg = request.config;
     bool csv = false;
     bool header = false;
     std::size_t ensembleRuns = 0;
-    unsigned jobs = 0; // 0 = defaultJobs()
     std::string environment = "crowded";
     std::string traceOut;
     std::string traceFormat = "jsonl";
     obs::ObsLevel traceLevel = obs::ObsLevel::Full;
-    std::string scenarioPath;
-    bool validateOnly = false;
     bool eventsSet = false;
+
+    // Flag provenance for conflict diagnostics: the mode flag, and
+    // the first flag seen from each conflicting group.
+    std::string modeFlag;       ///< --scenario or --fleet
+    std::string configFlag;     ///< first experiment-config flag
+    std::string traceFlag;      ///< first --trace-* flag
+    std::string outputFlag;     ///< --csv / --csv-header
+    std::string ensembleFlag;   ///< --ensemble
+    bool validateOnly = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> std::string {
             if (i + 1 >= argc)
-                usage(argv[0]);
+                usage(argv[0], false);
             return argv[++i];
         };
-        if (arg == "--scenario") {
-            scenarioPath = value();
+        auto configArg = [&]() {
+            if (configFlag.empty())
+                configFlag = arg;
+        };
+        if (arg == "--scenario" || arg == "--fleet") {
+            if (!modeFlag.empty() && modeFlag != arg)
+                conflict(arg, modeFlag,
+                         "give one scenario file in one mode");
+            modeFlag = arg;
+            request.kind = arg == "--fleet" ? sim::RunKind::Fleet
+                                            : sim::RunKind::Scenario;
+            request.scenarioPath = value();
         } else if (arg == "--validate") {
             validateOnly = true;
         } else if (arg == "--controller") {
+            configArg();
             cfg.controller = parseController(value());
         } else if (arg == "--policy") {
+            configArg();
             cfg.policyName = value();
             if (!policy::isRegisteredPolicy(cfg.policyName)) {
                 std::string known;
@@ -243,9 +300,11 @@ main(int argc, char **argv)
                                       " (registered: ", known, ")"));
             }
         } else if (arg == "--env") {
+            configArg();
             environment = value();
             cfg.environment = parseEnvironment(environment);
         } else if (arg == "--device") {
+            configArg();
             const std::string dev = value();
             if (dev == "apollo4")
                 cfg.device = app::DeviceKind::Apollo4;
@@ -254,32 +313,43 @@ main(int argc, char **argv)
             else
                 util::fatal(util::msg("unknown device: ", dev));
         } else if (arg == "--events") {
+            // Shared: run-matrix event count, and the scenario smoke
+            // override — deliberately not a configArg().
             cfg.eventCount = std::strtoull(value().c_str(), nullptr, 10);
             eventsSet = true;
         } else if (arg == "--seed") {
+            configArg();
             cfg.seed = std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--buffer") {
+            configArg();
             cfg.sim.bufferCapacity =
                 std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--cells") {
+            configArg();
             cfg.harvesterCells =
                 static_cast<int>(std::strtol(value().c_str(), nullptr,
                                              10));
         } else if (arg == "--capture-period-ms") {
+            configArg();
             cfg.sim.capturePeriod = std::strtoll(value().c_str(), nullptr,
                                              10);
         } else if (arg == "--threshold") {
+            configArg();
             cfg.bufferThreshold =
                 std::strtod(value().c_str(), nullptr) / 100.0;
         } else if (arg == "--arrival-window") {
+            configArg();
             cfg.system.arrivalWindow = static_cast<std::uint32_t>(
                 std::strtoul(value().c_str(), nullptr, 10));
         } else if (arg == "--task-window") {
+            configArg();
             cfg.system.taskWindow = static_cast<std::uint32_t>(
                 std::strtoul(value().c_str(), nullptr, 10));
         } else if (arg == "--power-trace") {
+            configArg();
             cfg.powerTraceCsv = value();
         } else if (arg == "--engine") {
+            configArg();
             const std::string name = value();
             const auto engine = sim::parseEngineKind(name);
             if (!engine)
@@ -287,86 +357,112 @@ main(int argc, char **argv)
                                       " (expected tick or event)"));
             cfg.sim.engine = *engine;
         } else if (arg == "--ensemble") {
+            ensembleFlag = arg;
             ensembleRuns = std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--jobs") {
-            jobs = static_cast<unsigned>(
+            request.jobs = static_cast<unsigned>(
                 std::strtoul(value().c_str(), nullptr, 10));
         } else if (arg == "--trace-out") {
+            traceFlag = arg;
             traceOut = value();
         } else if (arg == "--trace-level") {
+            traceFlag = traceFlag.empty() ? arg : traceFlag;
             const std::string name = value();
             const auto level = obs::parseObsLevel(name);
             if (!level)
                 util::fatal(util::msg("unknown trace level: ", name));
             traceLevel = *level;
         } else if (arg == "--trace-format") {
+            traceFlag = traceFlag.empty() ? arg : traceFlag;
             traceFormat = value();
             if (traceFormat != "jsonl" && traceFormat != "chrome")
                 util::fatal(util::msg("unknown trace format: ",
                                       traceFormat));
         } else if (arg == "--no-pid") {
+            configArg();
             cfg.usePid = false;
         } else if (arg == "--no-circuit") {
+            configArg();
             cfg.useCircuit = false;
         } else if (arg == "--csv") {
+            outputFlag = outputFlag.empty() ? arg : outputFlag;
             csv = true;
         } else if (arg == "--csv-header") {
+            outputFlag = outputFlag.empty() ? arg : outputFlag;
             csv = true;
             header = true;
         } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0]);
+            usage(argv[0], true);
         } else {
             std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-            usage(argv[0]);
+            usage(argv[0], false);
         }
     }
 
-    if (validateOnly && scenarioPath.empty())
-        util::fatal("--validate requires --scenario FILE.json");
+    if (!modeFlag.empty()) {
+        if (!configFlag.empty())
+            conflict(configFlag, modeFlag,
+                     "scenario files define their own device "
+                     "populations");
+        if (!ensembleFlag.empty())
+            conflict(ensembleFlag, modeFlag,
+                     "scenario files define their own run matrix");
+        if (!outputFlag.empty())
+            conflict(outputFlag, modeFlag,
+                     "scenario outputs are configured in the file's "
+                     "\"output\" block");
+        if (!traceFlag.empty())
+            conflict(traceFlag, modeFlag,
+                     "scenario traces are configured in the file's "
+                     "\"output.trace\" block");
+    } else if (validateOnly) {
+        util::fatal(
+            "--validate requires --scenario or --fleet FILE.json");
+    }
 
-    if (!scenarioPath.empty()) {
-        scenario::EngineOptions options;
-        options.jobs = jobs;
-        options.eventCountOverride = eventsSet ? cfg.eventCount : 0;
-        options.validateOnly = validateOnly;
-        return scenario::runScenarioFile(scenarioPath, options);
+    // The single dispatch point: every mode goes through the run API.
+    sim::RunDispatcher dispatcher;
+    scenario::installRunHandlers(dispatcher);
+
+    if (!modeFlag.empty()) {
+        request.validateOnly = validateOnly;
+        request.eventCountOverride = eventsSet ? cfg.eventCount : 0;
+        return dispatcher.run(request).exitCode;
     }
 
     const bool tracing = !traceOut.empty() &&
         traceLevel != obs::ObsLevel::Off;
 
     if (ensembleRuns > 0) {
-        // Seeds 1..N on the parallel engine. Per-seed CSV rows print
-        // in seed order; the summary aggregates in seed order — both
+        // Seeds 1..N as one batch. Per-seed CSV rows print in seed
+        // order; the summary aggregates in seed order — both
         // independent of --jobs. When tracing, every seed records
         // into its own sink (no locks on the hot path) and the sinks
         // are serialized in seed order after the joins.
-        std::vector<std::uint64_t> seeds(ensembleRuns);
-        std::iota(seeds.begin(), seeds.end(), 1);
         std::vector<obs::VectorSink> sinks(tracing ? ensembleRuns : 0);
-        std::vector<sim::ExperimentConfig> configs;
-        configs.reserve(ensembleRuns);
+        request.kind = sim::RunKind::Batch;
+        request.batch.reserve(ensembleRuns);
         for (std::size_t i = 0; i < ensembleRuns; ++i) {
             sim::ExperimentConfig seedCfg = cfg;
-            seedCfg.seed = seeds[i];
+            seedCfg.seed = i + 1;
             if (tracing) {
                 seedCfg.obsLevel = traceLevel;
                 seedCfg.obsSink = &sinks[i];
             }
-            configs.push_back(std::move(seedCfg));
+            request.batch.push_back(std::move(seedCfg));
         }
 
-        sim::ParallelRunner runner(jobs);
-        const std::vector<sim::Metrics> all = runner.runBatch(configs);
+        const sim::RunOutcome outcome = dispatcher.run(request);
 
         if (csv) {
             if (header)
                 csvHeader();
-            for (std::size_t i = 0; i < all.size(); ++i)
-                csvRow(configs[i], environment, all[i]);
+            for (std::size_t i = 0; i < outcome.metrics.size(); ++i)
+                csvRow(request.batch[i], environment,
+                       outcome.metrics[i]);
         } else {
-            sim::aggregateEnsemble(all).printSummary(
-                std::cout, sim::experimentLabel(cfg));
+            sim::aggregateEnsemble(outcome.metrics)
+                .printSummary(std::cout, sim::experimentLabel(cfg));
         }
         if (tracing)
             writeTraceOutput(traceOut, traceFormat, sinks);
@@ -379,7 +475,9 @@ main(int argc, char **argv)
         cfg.obsSink = &sinks[0];
     }
 
-    const sim::Metrics m = sim::runExperiment(cfg);
+    request.kind = sim::RunKind::Experiment;
+    const sim::RunOutcome outcome = dispatcher.run(request);
+    const sim::Metrics &m = outcome.metrics.front();
 
     if (csv) {
         if (header)
