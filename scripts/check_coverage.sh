@@ -2,7 +2,10 @@
 # Line-coverage gate over the scheduling core (src/core), the
 # queueing layer (src/queueing), the simulation engine (src/sim), the
 # hardware models (src/hw), the fault-injection layer (src/fault),
-# the policy zoo (src/policy) and the fleet engine (src/fleet):
+# the policy zoo (src/policy), the fleet engine (src/fleet), the
+# input event-trace layer (src/trace) and the observability/trace
+# pipeline (src/obs — JSONL + btrace codecs, streaming sinks, trace
+# cursors):
 # build with gcov instrumentation, run the test binaries that exercise
 # those modules, aggregate gcov's per-file "Lines executed" reports,
 # print a per-directory breakdown and fail if overall line coverage
@@ -38,7 +41,8 @@ done
 # (headers included — templates and inline hot paths count).
 summary="$(
     for module in quetzal_core quetzal_queueing quetzal_sim \
-            quetzal_hw quetzal_fault quetzal_policy quetzal_fleet; do
+            quetzal_hw quetzal_fault quetzal_policy quetzal_fleet \
+            quetzal_trace quetzal_obs; do
         objdir="$BUILD_DIR/src/CMakeFiles/$module.dir"
         find "$objdir" -name '*.gcno' | while read -r gcno; do
             gcov -n -o "$(dirname "$gcno")" "$gcno" 2>/dev/null
@@ -49,7 +53,7 @@ summary="$(
 echo "$summary" | awk -v floor="$FLOOR" '
     /^File / {
         gated = 0
-        if (match($0, /src\/(core|queueing|sim|hw|fault|policy|fleet)\//)) {
+        if (match($0, /src\/(core|queueing|sim|hw|fault|policy|fleet|trace|obs)\//)) {
             gated = 1
             dir = substr($0, RSTART + 4, RLENGTH - 5)
         }
@@ -70,7 +74,8 @@ echo "$summary" | awk -v floor="$FLOOR" '
             print "check_coverage: no gcov data found" > "/dev/stderr"
             exit 2
         }
-        ndirs = split("core queueing sim hw fault policy fleet", order, " ")
+        ndirs = split("core queueing sim hw fault policy fleet trace obs",
+                      order, " ")
         for (i = 1; i <= ndirs; ++i) {
             d = order[i]
             if (dirTotal[d] == 0)

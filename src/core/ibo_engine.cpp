@@ -147,5 +147,33 @@ IboReactionEngine::adapt(const TaskSystem &system, const Job &job,
     return decision;
 }
 
+void
+IboReactionEngine::saveState(std::string &out) const
+{
+    namespace wire = util::wire;
+    wire::putVarint(out, currentOption.size());
+    for (const std::size_t option : currentOption)
+        wire::putVarint(out, option);
+    // taskTermScratch is rebuilt per call; not state.
+}
+
+bool
+IboReactionEngine::loadState(util::wire::Reader &in)
+{
+    std::uint64_t size = 0;
+    if (!in.getVarint(size) || size > in.remaining())
+        return false;
+    std::vector<std::size_t> restored;
+    restored.reserve(static_cast<std::size_t>(size));
+    for (std::uint64_t i = 0; i < size; ++i) {
+        std::uint64_t option = 0;
+        if (!in.getVarint(option))
+            return false;
+        restored.push_back(static_cast<std::size_t>(option));
+    }
+    currentOption = std::move(restored);
+    return true;
+}
+
 } // namespace core
 } // namespace quetzal

@@ -83,6 +83,21 @@ class AdaptationPolicy
 
     /** Human-readable policy name. */
     virtual std::string name() const = 0;
+
+    /**
+     * @name Checkpoint hooks
+     * Serialize / restore mutable adaptation state (see
+     * ServiceTimeEstimator's hooks). Stateless policies keep the
+     * no-op defaults; loadState() returns false on malformed bytes.
+     */
+    /// @{
+    virtual void saveState(std::string &out) const { (void)out; }
+    virtual bool loadState(util::wire::Reader &in)
+    {
+        (void)in;
+        return true;
+    }
+    /// @}
 };
 
 /**
@@ -110,6 +125,10 @@ class IboReactionEngine : public AdaptationPolicy
           double pidCorrection) override;
 
     std::string name() const override { return "ibo-engine"; }
+
+    /** Serializes the per-task current-option settings. */
+    void saveState(std::string &out) const override;
+    bool loadState(util::wire::Reader &in) override;
 
   private:
     /**

@@ -59,6 +59,33 @@ class PidController
     /** Reset all state. */
     void reset();
 
+    /** Loop state for checkpoint/restore (gains are configuration). */
+    struct State
+    {
+        double integrator = 0.0;
+        double differentiator = 0.0;
+        double previousError = 0.0;
+        double lastOutput = 0.0;
+        unsigned long updateCount = 0;
+    };
+
+    /** Snapshot the loop state (see State). */
+    State exportState() const
+    {
+        return State{integrator, differentiator, previousError,
+                     lastOutput, updateCount};
+    }
+
+    /** Restore a snapshot taken with exportState(). */
+    void importState(const State &snapshot)
+    {
+        integrator = snapshot.integrator;
+        differentiator = snapshot.differentiator;
+        previousError = snapshot.previousError;
+        lastOutput = snapshot.lastOutput;
+        updateCount = snapshot.updateCount;
+    }
+
   private:
     PidConfig cfg;
     double integrator = 0.0;

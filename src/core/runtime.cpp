@@ -156,6 +156,95 @@ Controller::pidCorrection() const
     return pid ? pid->output() : 0.0;
 }
 
+void
+Controller::saveCheckpoint(std::string &out) const
+{
+    namespace wire = util::wire;
+    wire::putVarint(out, decisionCounter);
+    wire::putVarint(out, runStats.invocations);
+    wire::putVarint(out, runStats.iboPredictions);
+    wire::putVarint(out, runStats.degradedJobs);
+    wire::putVarint(out, runStats.jobsCompleted);
+    const util::RunningStats::State error =
+        runStats.predictionError.exportState();
+    wire::putVarint(out, error.n);
+    wire::putDouble(out, error.runningMean);
+    wire::putDouble(out, error.m2);
+    wire::putDouble(out, error.minSample);
+    wire::putDouble(out, error.maxSample);
+    wire::putDouble(out, error.total);
+    out.push_back(pid ? '\1' : '\0');
+    if (pid) {
+        const PidController::State loop = pid->exportState();
+        wire::putDouble(out, loop.integrator);
+        wire::putDouble(out, loop.differentiator);
+        wire::putDouble(out, loop.previousError);
+        wire::putDouble(out, loop.lastOutput);
+        wire::putVarint(out, loop.updateCount);
+    }
+    // Length-prefixed sub-blobs: a hook that reads short or long is
+    // caught here rather than corrupting the following section.
+    std::string blob;
+    serviceEstimator->saveState(blob);
+    wire::putBytes(out, blob);
+    blob.clear();
+    adaptPolicy->saveState(blob);
+    wire::putBytes(out, blob);
+}
+
+bool
+Controller::loadCheckpoint(util::wire::Reader &in)
+{
+    namespace wire = util::wire;
+    std::uint64_t counter = 0;
+    ControllerStats restored;
+    if (!in.getVarint(counter) || !in.getVarint(restored.invocations) ||
+        !in.getVarint(restored.iboPredictions) ||
+        !in.getVarint(restored.degradedJobs) ||
+        !in.getVarint(restored.jobsCompleted))
+        return false;
+    std::uint64_t errorN = 0;
+    util::RunningStats::State error;
+    if (!in.getVarint(errorN) || !in.getDouble(error.runningMean) ||
+        !in.getDouble(error.m2) || !in.getDouble(error.minSample) ||
+        !in.getDouble(error.maxSample) || !in.getDouble(error.total))
+        return false;
+    error.n = static_cast<std::size_t>(errorN);
+    std::uint8_t hasPid = 0;
+    if (!in.getByte(hasPid) || hasPid > 1)
+        return false;
+    if ((hasPid != 0) != pid.has_value())
+        return false; // PID presence is configuration; must match
+    PidController::State loop;
+    if (hasPid != 0) {
+        std::uint64_t updates = 0;
+        if (!in.getDouble(loop.integrator) ||
+            !in.getDouble(loop.differentiator) ||
+            !in.getDouble(loop.previousError) ||
+            !in.getDouble(loop.lastOutput) || !in.getVarint(updates))
+            return false;
+        loop.updateCount = static_cast<unsigned long>(updates);
+    }
+    std::string estimatorBlob;
+    std::string adaptationBlob;
+    if (!in.getBytes(estimatorBlob) || !in.getBytes(adaptationBlob))
+        return false;
+    wire::Reader estimatorReader(estimatorBlob);
+    if (!serviceEstimator->loadState(estimatorReader) ||
+        !estimatorReader.atEnd())
+        return false;
+    wire::Reader adaptationReader(adaptationBlob);
+    if (!adaptPolicy->loadState(adaptationReader) ||
+        !adaptationReader.atEnd())
+        return false;
+    decisionCounter = counter;
+    runStats = restored;
+    runStats.predictionError.importState(error);
+    if (pid)
+        pid->importState(loop);
+    return true;
+}
+
 std::unique_ptr<Controller>
 makeQuetzalController(const QuetzalOptions &options)
 {

@@ -28,6 +28,7 @@
 #include "core/system.hpp"
 #include "obs/trace_sink.hpp"
 #include "util/stats.hpp"
+#include "util/wire.hpp"
 
 namespace quetzal {
 namespace core {
@@ -135,6 +136,20 @@ class Controller
     const SchedulerPolicy &scheduler() const { return *schedPolicy; }
     const AdaptationPolicy &adaptation() const { return *adaptPolicy; }
     ServiceTimeEstimator &estimator() { return *serviceEstimator; }
+
+    /**
+     * @name Checkpoint
+     * Serialize / restore the controller's mutable runtime state:
+     * counters, the PID loop, and the estimator's / adaptation
+     * policy's histories (via their saveState hooks). The policy
+     * bundle itself is configuration — the restoring controller must
+     * be built identically. loadCheckpoint() returns false on
+     * malformed bytes or a PID-presence mismatch.
+     */
+    /// @{
+    void saveCheckpoint(std::string &out) const;
+    bool loadCheckpoint(util::wire::Reader &in);
+    /// @}
 
   private:
     std::string controllerName;

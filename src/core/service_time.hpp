@@ -24,6 +24,7 @@
 #include "core/task.hpp"
 #include "util/stats.hpp"
 #include "util/types.hpp"
+#include "util/wire.hpp"
 
 namespace quetzal {
 namespace core {
@@ -95,6 +96,23 @@ class ServiceTimeEstimator
      */
     virtual std::uint64_t powerKey(const PowerReading &power) const;
 
+    /**
+     * @name Checkpoint hooks
+     * Serialize / restore the estimator's mutable history with the
+     * util::wire primitives, so a resumed run predicts exactly what
+     * the uninterrupted run would have. Stateless estimators (the
+     * energy-aware paths) keep the no-op defaults. loadState()
+     * returns false on malformed bytes.
+     */
+    /// @{
+    virtual void saveState(std::string &out) const { (void)out; }
+    virtual bool loadState(util::wire::Reader &in)
+    {
+        (void)in;
+        return true;
+    }
+    /// @}
+
   private:
     std::uint64_t uniqueId;
 };
@@ -156,6 +174,10 @@ class AverageServiceTimeEstimator : public ServiceTimeEstimator
         (void)power;
         return 0;
     }
+
+    /** Serializes the per-option observation history. */
+    void saveState(std::string &out) const override;
+    bool loadState(util::wire::Reader &in) override;
 
   private:
     /**

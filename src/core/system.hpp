@@ -155,6 +155,21 @@ class TaskSystem
      */
     std::uint64_t revision() const { return stateRevision; }
 
+    /**
+     * @name Checkpoint
+     * Serialize / restore the live trackers, circuit physical state
+     * and revision counter. The registry (tasks, jobs) and config are
+     * configuration: the restoring system must be built identically,
+     * and loadCheckpoint() returns false when the tracker count
+     * disagrees with the registered tasks (or on malformed bytes).
+     * Memo caches are dropped on restore — a miss recomputes the
+     * exact double a hit would have replayed, so this is byte-inert.
+     */
+    /// @{
+    void saveCheckpoint(std::string &out) const;
+    bool loadCheckpoint(util::wire::Reader &in);
+    /// @}
+
   private:
     /** Cold panic path kept out of line so the lookups inline. */
     [[noreturn]] static void badId(const char *what, std::uint64_t id);

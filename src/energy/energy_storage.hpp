@@ -126,6 +126,20 @@ class EnergyStorage
         rejected = 0.0;
     }
 
+    /**
+     * Exact restore for checkpoint/resume: overwrites both the
+     * stored energy (unclamped beyond rounding — snapshots were
+     * taken from a valid store) and the cumulative rejected-harvest
+     * accumulator, so a resumed run's waste accounting continues
+     * from the snapshot instead of reading as a delta.
+     */
+    void
+    restoreExact(Joules amount, Joules rejectedTotal)
+    {
+        stored = amount < 0.0 ? 0.0 : (amount > cap ? cap : amount);
+        rejected = rejectedTotal;
+    }
+
   private:
     /** Cold panic path kept out of line so harvest()/draw() inline. */
     [[noreturn]] static void negativeAmount(const char *op);

@@ -283,5 +283,111 @@ FaultInjector::observePrediction(double predictedSeconds,
     calmStreak = 0;
 }
 
+namespace {
+
+namespace wire = util::wire;
+
+void
+putRng(std::string &out, const util::Rng &rng)
+{
+    const util::Rng::State state = rng.exportState();
+    for (const std::uint64_t word : state.words)
+        wire::putFixed64(out, word);
+    wire::putDouble(out, state.cachedNormal);
+    out.push_back(state.hasCachedNormal ? '\1' : '\0');
+}
+
+bool
+getRng(wire::Reader &in, util::Rng &rng)
+{
+    util::Rng::State state;
+    for (std::uint64_t &word : state.words)
+        if (!in.getFixed64(word))
+            return false;
+    std::uint8_t hasCached = 0;
+    if (!in.getDouble(state.cachedNormal) || !in.getByte(hasCached) ||
+        hasCached > 1)
+        return false;
+    state.hasCachedNormal = hasCached != 0;
+    rng.importState(state);
+    return true;
+}
+
+} // namespace
+
+void
+FaultInjector::saveCheckpoint(std::string &out) const
+{
+    out.push_back(prepared ? '\1' : '\0');
+    putRng(out, measurementRng);
+    putRng(out, executionRng);
+    putRng(out, jitterRng);
+    putRng(out, windowRng);
+    wire::putVarint(out, windows_.size());
+    for (const Window &window : windows_) {
+        wire::putVarint(out, static_cast<std::uint64_t>(window.start));
+        wire::putVarint(out, static_cast<std::uint64_t>(window.end));
+        out.push_back(static_cast<char>(window.cls));
+        wire::putDouble(out, window.magnitude);
+    }
+    wire::putVarint(out, pendingWindow);
+    wire::putVarint(out, burstCursor);
+    wire::putVarint(out, injected_);
+    wire::putVarint(out, detected_);
+    wire::putVarint(out, mitigated_);
+    out.push_back(inEpisode ? '\1' : '\0');
+    wire::putVarint(out, calmStreak);
+    wire::putVarint(out, episodeSeq);
+}
+
+bool
+FaultInjector::loadCheckpoint(util::wire::Reader &in)
+{
+    std::uint8_t wasPrepared = 0;
+    if (!in.getByte(wasPrepared) || wasPrepared > 1 ||
+        (wasPrepared != 0) != prepared)
+        return false;
+    if (!getRng(in, measurementRng) || !getRng(in, executionRng) ||
+        !getRng(in, jitterRng) || !getRng(in, windowRng))
+        return false;
+    std::uint64_t windowCount = 0;
+    if (!in.getVarint(windowCount) || windowCount > in.remaining())
+        return false;
+    std::vector<Window> restored;
+    restored.reserve(static_cast<std::size_t>(windowCount));
+    for (std::uint64_t i = 0; i < windowCount; ++i) {
+        Window window;
+        std::uint64_t start = 0;
+        std::uint64_t end = 0;
+        std::uint8_t cls = 0;
+        if (!in.getVarint(start) || !in.getVarint(end) ||
+            !in.getByte(cls) || cls >= kFaultClassCount ||
+            !in.getDouble(window.magnitude))
+            return false;
+        window.start = static_cast<Tick>(start);
+        window.end = static_cast<Tick>(end);
+        window.cls = static_cast<FaultClass>(cls);
+        restored.push_back(window);
+    }
+    std::uint64_t pending = 0;
+    std::uint64_t burst = 0;
+    if (!in.getVarint(pending) || !in.getVarint(burst) ||
+        pending > windowCount || burst > windowCount ||
+        !in.getVarint(injected_) || !in.getVarint(detected_) ||
+        !in.getVarint(mitigated_))
+        return false;
+    std::uint8_t episode = 0;
+    std::uint64_t calm = 0;
+    if (!in.getByte(episode) || episode > 1 || !in.getVarint(calm) ||
+        !in.getVarint(episodeSeq))
+        return false;
+    windows_ = std::move(restored);
+    pendingWindow = static_cast<std::size_t>(pending);
+    burstCursor = static_cast<std::size_t>(burst);
+    inEpisode = episode != 0;
+    calmStreak = static_cast<std::uint32_t>(calm);
+    return true;
+}
+
 } // namespace fault
 } // namespace quetzal

@@ -30,6 +30,7 @@
 #include "obs/trace_sink.hpp"
 #include "util/random.hpp"
 #include "util/types.hpp"
+#include "util/wire.hpp"
 
 namespace quetzal {
 namespace fault {
@@ -122,6 +123,20 @@ class FaultInjector
     std::uint64_t injectedCount() const { return injected_; }
     std::uint64_t detectedCount() const { return detected_; }
     std::uint64_t mitigatedCount() const { return mitigated_; }
+    /// @}
+
+    /**
+     * @name Checkpoint
+     * Serialize / restore the injector's mutable runtime state: all
+     * four RNG streams, the scheduled windows, the announcement and
+     * burst cursors, the counters and the detection-episode state.
+     * The restoring injector must be built from the same (spec,
+     * runSeed) and prepare()d with the same horizon; loadCheckpoint()
+     * returns false on malformed bytes or a preparedness mismatch.
+     */
+    /// @{
+    void saveCheckpoint(std::string &out) const;
+    bool loadCheckpoint(util::wire::Reader &in);
     /// @}
 
   private:

@@ -98,6 +98,37 @@ class PowerMonitorCircuit
      */
     Volts diodeVoltageForPower(Watts power) const;
 
+    /**
+     * Physical-side state for checkpoint/restore (the config is not
+     * part of it — a restored circuit must be built with the same
+     * CircuitConfig).
+     */
+    struct State
+    {
+        Watts inputPower = 0.0;
+        Watts executionPower = 0.0;
+        Volts capVoltage = 0.0;
+        Kelvin temperature = 0.0;
+        std::uint8_t selected = 0; ///< Channel as its underlying value
+    };
+
+    /** Snapshot the physical side (see State). */
+    State exportState() const
+    {
+        return State{inputPower, executionPower, capVoltage,
+                     temperature(), static_cast<std::uint8_t>(selected)};
+    }
+
+    /** Restore a snapshot taken with exportState(). */
+    void importState(const State &snapshot)
+    {
+        inputPower = snapshot.inputPower;
+        executionPower = snapshot.executionPower;
+        capVoltage = snapshot.capVoltage;
+        setTemperature(snapshot.temperature);
+        selected = static_cast<Channel>(snapshot.selected);
+    }
+
   private:
     CircuitConfig cfg;
     Diode diodes;

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * quetzal-btrace-v1: the compact binary trace format (DESIGN.md
+ * section 16).
+ *
+ * Layout:
+ *
+ *     file   := header chunk* footer
+ *     header := "QZBT" u8(major) u8(minor) u16le(0)
+ *     chunk  := u32le(payload size > 0) u32le(crc32c of payload) payload
+ *     footer := u32le(0) u32le(0)
+ *
+ *     payload := varint(run index) varint(event count) record*
+ *     record  := u8(kind) u8(field mask) zigzag(tick delta) field*
+ *
+ * A record's tick is zigzag-delta-coded against the previous record
+ * in the same chunk (the first record deltas against 0), so chunks
+ * decode independently. The field mask holds one presence bit per
+ * non-zero Event member in a fixed order (id, value, extra, a, b,
+ * flags, options); absent members decode as zero. Doubles travel as
+ * raw IEEE-754 fixed64, so every value round-trips bit-exactly.
+ *
+ * Chunks never mix runs and seal deterministically: when the encoded
+ * body reaches kBtraceChunkTarget, at a run boundary, and at
+ * finish(). Chunk boundaries are therefore a pure function of the
+ * event stream — the streaming sink and the batch writer produce
+ * byte-identical files. The zero-size footer distinguishes a clean
+ * end of stream from a truncated file.
+ */
+
+#ifndef QUETZAL_OBS_BTRACE_HPP
+#define QUETZAL_OBS_BTRACE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace quetzal {
+namespace obs {
+
+/** @name Format identity */
+/// @{
+inline constexpr char kBtraceMagic[4] = {'Q', 'Z', 'B', 'T'};
+inline constexpr std::uint8_t kBtraceMajor = 1;
+inline constexpr std::uint8_t kBtraceMinor = 0;
+
+/** Header size in bytes (magic + major + minor + reserved). */
+inline constexpr std::size_t kBtraceHeaderSize = 8;
+
+/** Body size at which a chunk seals (before framing). */
+inline constexpr std::size_t kBtraceChunkTarget = 1u << 16;
+/// @}
+
+/**
+ * Incremental btrace encoder. Sealed byte blocks (header, framed
+ * chunks, footer) are handed to the emit callback in file order; the
+ * callback either writes them to a stream (BtraceWriter) or queues
+ * them for a background flusher (StreamingBtraceSink). Emission
+ * granularity is one block per ~64 KiB of payload, so the callback
+ * indirection is off the per-event path.
+ */
+class BtraceEncoder
+{
+  public:
+    using EmitFn = std::function<void(std::string &&block)>;
+
+    /** Emits the file header immediately. */
+    explicit BtraceEncoder(EmitFn emit);
+
+    /** Start (or switch to) a run; seals any pending chunk. */
+    void beginRun(std::uint64_t runIndex);
+
+    /** Append one event to the current run's chunk. */
+    void add(const Event &event);
+
+    /** Seal the pending chunk and emit the footer. Idempotent. */
+    void finish();
+
+    /** Events encoded so far (all runs). */
+    std::uint64_t eventCount() const { return totalEvents; }
+
+  private:
+    void sealChunk();
+
+    EmitFn emit;
+    /**
+     * Fixed-size encode arena for the open chunk: records are
+     * encoded in place at `bodyUsed` (the arena always holds
+     * kBtraceChunkTarget plus one worst-case record), so the
+     * per-event path performs no string bookkeeping at all.
+     */
+    std::string body;
+    std::size_t bodyUsed = 0;
+    std::uint64_t run = 0;
+    std::uint64_t chunkEvents = 0;
+    std::uint64_t totalEvents = 0;
+    Tick previousTick = 0;
+    bool finished = false;
+};
+
+/** Batch convenience: encoder wired straight to an ostream. */
+class BtraceWriter
+{
+  public:
+    /** Writes the header to `out` immediately. */
+    explicit BtraceWriter(std::ostream &out);
+
+    /** Append one run's events (call in run-index order). */
+    void writeRun(const std::vector<Event> &events,
+                  std::uint64_t runIndex);
+
+    /** Seal and write the footer. Idempotent. */
+    void finish();
+
+  private:
+    BtraceEncoder encoder;
+};
+
+/** One decoded chunk: the run it belongs to and its events. */
+struct BtraceChunk
+{
+    std::uint64_t run = 0;
+    std::vector<Event> events;
+};
+
+/**
+ * Decode one chunk payload (the bytes the chunk CRC covers).
+ * @return false with a diagnostic in `error` on malformed input.
+ */
+bool decodeBtracePayload(const std::string &payload, BtraceChunk &out,
+                         std::string &error);
+
+/** True when `bytes` starts with the btrace magic. */
+bool looksLikeBtrace(const std::string &prefix);
+
+} // namespace obs
+} // namespace quetzal
+
+#endif // QUETZAL_OBS_BTRACE_HPP

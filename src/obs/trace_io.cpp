@@ -377,77 +377,87 @@ writeJsonl(std::ostream &out, const std::vector<Event> &events,
     }
 }
 
+bool
+parseJsonlLine(const std::string &line, std::size_t lineNumber,
+               TraceRecord &out)
+{
+    if (line.rfind(kSchemaPrefix, 0) == 0) {
+        checkSchemaHeader(line, lineNumber);
+        return false;
+    }
+    if (line.empty() || line[0] == '#')
+        return false;
+
+    const std::vector<RawPair> pairs = scanObject(line, lineNumber);
+    TraceRecord record;
+    // The kind drives the schema, so find it first.
+    const Schema *schema = nullptr;
+    for (const RawPair &pair : pairs) {
+        if (pair.key != "kind")
+            continue;
+        const auto kind = parseEventKind(pair.value);
+        if (!kind)
+            util::fatal(util::msg("trace line ", lineNumber,
+                                  ": unknown kind: ", pair.value));
+        record.event.kind = *kind;
+        schema = &schemaFor(*kind);
+    }
+    if (schema == nullptr)
+        util::fatal(util::msg("trace line ", lineNumber,
+                              ": missing kind"));
+
+    for (const RawPair &pair : pairs) {
+        if (pair.key == "kind")
+            continue;
+        if (pair.key == "run") {
+            record.run = static_cast<std::uint64_t>(
+                parseIntValue(pair.value, lineNumber));
+            continue;
+        }
+        if (pair.key == "t") {
+            record.event.tick = parseIntValue(pair.value, lineNumber);
+            continue;
+        }
+        bool known = false;
+        for (const FieldDesc &field : schema->fields) {
+            if (pair.key == field.key) {
+                assignField(record.event, field.field, pair.value,
+                            lineNumber);
+                known = true;
+                break;
+            }
+        }
+        if (known)
+            continue;
+        for (const FlagDesc &flag : schema->flags) {
+            if (pair.key == flag.key) {
+                if (parseBoolValue(pair.value, lineNumber))
+                    record.event.flags |= flag.bit;
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            util::fatal(util::msg("trace line ", lineNumber,
+                                  ": unknown key '", pair.key,
+                                  "' for kind ",
+                                  eventKindName(record.event.kind)));
+    }
+    out = std::move(record);
+    return true;
+}
+
 std::vector<TraceRecord>
 readJsonl(std::istream &in)
 {
     std::vector<TraceRecord> records;
     std::string line;
     std::size_t lineNumber = 0;
+    TraceRecord record;
     while (std::getline(in, line)) {
         ++lineNumber;
-        if (line.rfind(kSchemaPrefix, 0) == 0) {
-            checkSchemaHeader(line, lineNumber);
-            continue;
-        }
-        if (line.empty() || line[0] == '#')
-            continue;
-
-        const std::vector<RawPair> pairs = scanObject(line, lineNumber);
-        TraceRecord record;
-        // The kind drives the schema, so find it first.
-        const Schema *schema = nullptr;
-        for (const RawPair &pair : pairs) {
-            if (pair.key != "kind")
-                continue;
-            const auto kind = parseEventKind(pair.value);
-            if (!kind)
-                util::fatal(util::msg("trace line ", lineNumber,
-                                      ": unknown kind: ", pair.value));
-            record.event.kind = *kind;
-            schema = &schemaFor(*kind);
-        }
-        if (schema == nullptr)
-            util::fatal(util::msg("trace line ", lineNumber,
-                                  ": missing kind"));
-
-        for (const RawPair &pair : pairs) {
-            if (pair.key == "kind")
-                continue;
-            if (pair.key == "run") {
-                record.run = static_cast<std::uint64_t>(
-                    parseIntValue(pair.value, lineNumber));
-                continue;
-            }
-            if (pair.key == "t") {
-                record.event.tick = parseIntValue(pair.value, lineNumber);
-                continue;
-            }
-            bool known = false;
-            for (const FieldDesc &field : schema->fields) {
-                if (pair.key == field.key) {
-                    assignField(record.event, field.field, pair.value,
-                                lineNumber);
-                    known = true;
-                    break;
-                }
-            }
-            if (known)
-                continue;
-            for (const FlagDesc &flag : schema->flags) {
-                if (pair.key == flag.key) {
-                    if (parseBoolValue(pair.value, lineNumber))
-                        record.event.flags |= flag.bit;
-                    known = true;
-                    break;
-                }
-            }
-            if (!known)
-                util::fatal(util::msg("trace line ", lineNumber,
-                                      ": unknown key '", pair.key,
-                                      "' for kind ",
-                                      eventKindName(record.event.kind)));
-        }
-        records.push_back(std::move(record));
+        if (parseJsonlLine(line, lineNumber, record))
+            records.push_back(record);
     }
     return records;
 }

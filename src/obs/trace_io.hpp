@@ -67,6 +67,17 @@ void writeJsonl(std::ostream &out, const std::vector<Event> &events,
 std::vector<TraceRecord> readJsonl(std::istream &in);
 
 /**
+ * Parse one line of a JSONL trace (the streaming unit behind
+ * readJsonl() and JsonlTraceCursor). Returns false for lines that
+ * carry no record — blank lines and `#` comments, including the
+ * schema_version header, which is still version-checked (fatal on a
+ * major mismatch). Calls util::fatal() on malformed input;
+ * `lineNumber` is 1-based and only used in diagnostics.
+ */
+bool parseJsonlLine(const std::string &line, std::size_t lineNumber,
+                    TraceRecord &out);
+
+/**
  * Write one run's events in Chrome trace_event JSON array format.
  * Each run becomes one "process" (pid == run index): decision and
  * lifecycle instants, job-duration slices, recharge slices, and a

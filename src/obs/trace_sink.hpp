@@ -137,6 +137,7 @@ class Recorder
     void record(Event event)
     {
         event.tick = now_;
+        ++recorded_;
         sink_->record(event);
     }
 
@@ -144,13 +145,22 @@ class Recorder
     void recordAt(Tick tick, Event event)
     {
         event.tick = tick;
+        ++recorded_;
         sink_->record(event);
     }
+
+    /**
+     * Events recorded through this handle so far. The telemetry
+     * self-cost model (SimulationConfig::telemetry*PerEvent) charges
+     * the run for the delta between readings.
+     */
+    std::uint64_t recordedCount() const { return recorded_; }
 
   private:
     TraceSink *sink_ = nullptr;
     ObsLevel level_ = ObsLevel::Off;
     Tick now_ = 0;
+    std::uint64_t recorded_ = 0;
 };
 
 } // namespace obs

@@ -65,6 +65,37 @@ class BitVectorWindow
     /** Reset to empty. */
     void clear();
 
+    /**
+     * Mutable internals for checkpoint/restore. The window size is
+     * construction-time configuration, not state, so it is asserted
+     * against rather than restored.
+     */
+    struct State
+    {
+        std::uint32_t filledBits = 0;
+        std::uint32_t onesCount = 0;
+        std::uint32_t cursor = 0;
+        std::vector<std::uint64_t> words;
+    };
+
+    /** Snapshot the window contents (see State). */
+    State exportState() const
+    {
+        return State{filledBits, onesCount, cursor, words};
+    }
+
+    /**
+     * Restore a snapshot taken against a window of the same size
+     * (word count must match; callers validate the configuration).
+     */
+    void importState(const State &snapshot)
+    {
+        filledBits = snapshot.filledBits;
+        onesCount = snapshot.onesCount;
+        cursor = snapshot.cursor;
+        words = snapshot.words;
+    }
+
   private:
     std::uint32_t windowBits;
     std::uint32_t filledBits = 0;

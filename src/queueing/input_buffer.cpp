@@ -332,6 +332,48 @@ InputBuffer::retag(std::uint64_t id, JobId nextJob, Tick enqueueTick)
     retagSlot(slotForId(id, "retag"), nextJob, enqueueTick);
 }
 
+InputBuffer::State
+InputBuffer::exportState() const
+{
+    State snapshot;
+    snapshot.records.reserve(occupiedCount);
+    forEachFifo([&snapshot](SlotId, const InputRecord &rec) {
+        if (rec.inFlight)
+            util::panic("InputBuffer::exportState with an in-flight "
+                        "record (checkpoints are quiescent-only)");
+        snapshot.records.push_back(rec);
+    });
+    snapshot.overflows = overflowCounts;
+    snapshot.maxPushedId = maxPushedId;
+    snapshot.anyIdPushed = anyIdPushed;
+    snapshot.captureStrictlyIncreasing = captureStrictlyIncreasing;
+    snapshot.anyPush = anyPush;
+    snapshot.lastPushCaptureTick = lastPushCaptureTick;
+    return snapshot;
+}
+
+void
+InputBuffer::importState(const State &snapshot)
+{
+    if (snapshot.records.size() > cap)
+        util::panic("InputBuffer::importState beyond capacity "
+                    "(snapshot from a different configuration?)");
+    clear();
+    // Re-pushing in FIFO order reconstructs the intrusive index —
+    // global FIFO, per-job lanes, free list — with identical
+    // iteration and tie-break order.
+    for (const InputRecord &rec : snapshot.records) {
+        if (!tryPush(rec))
+            util::panic("InputBuffer::importState push rejected");
+    }
+    overflowCounts = snapshot.overflows;
+    maxPushedId = snapshot.maxPushedId;
+    anyIdPushed = snapshot.anyIdPushed;
+    captureStrictlyIncreasing = snapshot.captureStrictlyIncreasing;
+    anyPush = snapshot.anyPush;
+    lastPushCaptureTick = snapshot.lastPushCaptureTick;
+}
+
 void
 InputBuffer::clear()
 {

@@ -173,6 +173,35 @@ class InputBuffer
     void clear();
 
     /**
+     * Logical checkpoint of the buffer: the resident records in FIFO
+     * (arrival) order plus the push-history metadata that shapes
+     * future behavior. Slot ids and arrival sequence numbers are
+     * *not* state — policies order on the FIFO list and per-job
+     * lanes, which re-pushing the records in order reconstructs
+     * exactly — so a restored buffer is behavior-identical without
+     * persisting the intrusive index.
+     */
+    struct State
+    {
+        std::vector<InputRecord> records; ///< FIFO order
+        OverflowCounts overflows;
+        std::uint64_t maxPushedId = 0;
+        bool anyIdPushed = false;
+        bool captureStrictlyIncreasing = true;
+        bool anyPush = false;
+        Tick lastPushCaptureTick = 0;
+    };
+
+    /**
+     * Snapshot the buffer (see State). Panics when any record is in
+     * flight: checkpoints are taken at quiescent instants only.
+     */
+    State exportState() const;
+
+    /** Restore a snapshot taken against the same capacity. */
+    void importState(const State &snapshot);
+
+    /**
      * Visit every resident record (in-flight included) oldest-first.
      * fn receives (SlotId, const InputRecord &). Mutating the buffer
      * during iteration is undefined.

@@ -81,6 +81,31 @@ class ArrivalRateTracker
     /** Reset all history. */
     void clear();
 
+    /** Mutable internals for checkpoint/restore (the window size and
+     *  capture rate are configuration, not state). */
+    struct State
+    {
+        std::vector<std::uint8_t> counts;
+        std::uint32_t cursor = 0;
+        std::uint32_t filledPeriods = 0;
+        std::uint32_t runningSum = 0;
+    };
+
+    /** Snapshot the tracker contents (see State). */
+    State exportState() const
+    {
+        return State{counts, cursor, filledPeriods, runningSum};
+    }
+
+    /** Restore a snapshot taken against the same window size. */
+    void importState(const State &snapshot)
+    {
+        counts = snapshot.counts;
+        cursor = snapshot.cursor;
+        filledPeriods = snapshot.filledPeriods;
+        runningSum = snapshot.runningSum;
+    }
+
   private:
     std::vector<std::uint8_t> counts;
     std::uint32_t cursor = 0;
@@ -118,6 +143,18 @@ class ExecutionProbabilityTracker
 
     /** Reset all history. */
     void clear() { window.clear(); }
+
+    /** Snapshot the underlying bit window for checkpoint/restore. */
+    BitVectorWindow::State exportState() const
+    {
+        return window.exportState();
+    }
+
+    /** Restore a snapshot taken against the same window size. */
+    void importState(const BitVectorWindow::State &snapshot)
+    {
+        window.importState(snapshot);
+    }
 
   private:
     BitVectorWindow window;

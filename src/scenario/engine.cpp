@@ -9,6 +9,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/btrace.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace_io.hpp"
 #include "obs/trace_sink.hpp"
@@ -303,6 +304,14 @@ writeTrace(const ScenarioSpec &spec,
             first = obs::writeChromeTrace(*out, sinks[i].events(), i,
                                           first);
         obs::writeChromeTraceFooter(*out);
+    } else if (trace.format == "btrace") {
+        // Byte-identical to a StreamingBtraceSink over the same
+        // streams: chunk boundaries are a pure function of the
+        // events (obs/btrace.hpp).
+        obs::BtraceWriter writer(*out);
+        for (std::size_t i = 0; i < sinks.size(); ++i)
+            writer.writeRun(sinks[i].events(), i);
+        writer.finish();
     } else {
         obs::writeJsonlHeader(*out);
         for (std::size_t i = 0; i < sinks.size(); ++i)

@@ -871,9 +871,10 @@ validateSpec(const ScenarioSpec &spec)
         if (trace.path.empty())
             addError(errors, "output.trace.path",
                      "trace output needs a file path (\"-\" = stdout)");
-        if (trace.format != "jsonl" && trace.format != "chrome")
+        if (trace.format != "jsonl" && trace.format != "chrome" &&
+            trace.format != "btrace")
             addError(errors, "output.trace.format",
-                     "must be \"jsonl\" or \"chrome\"");
+                     "must be \"jsonl\", \"chrome\" or \"btrace\"");
     }
 
     if (spec.fleet) {

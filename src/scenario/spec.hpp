@@ -135,7 +135,7 @@ struct TraceOutputSpec
 {
     std::string path;  ///< "-" = stdout
     obs::ObsLevel level = obs::ObsLevel::Full;
-    std::string format = "jsonl";  ///< "jsonl" | "chrome"
+    std::string format = "jsonl";  ///< "jsonl" | "chrome" | "btrace"
 };
 
 /** One value interpolated into a report line's format string. */

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Checkpoint archive framing and experiment fingerprinting
+ * (DESIGN.md section 16).
+ *
+ * A checkpoint *state blob* — produced by the Simulator's quiescent
+ * capture-boundary hook via SimulationConfig::checkpointSink — is a
+ * pure byte serialization of the full run state. This file wraps it
+ * into a self-describing archive for disk:
+ *
+ *   file   := magic "QZCK" | u8 major | u8 minor | u16 reserved
+ *           | fixed64 fingerprint | fixed64 boundaryTick
+ *           | fixed32 stateSize | fixed32 crc32(state) | state
+ *
+ * The fingerprint hashes every ExperimentConfig knob that shapes the
+ * run's evolution; readers refuse an archive whose fingerprint does
+ * not match the resuming configuration, turning "resumed the wrong
+ * run" into a clean diagnostic instead of silent divergence. The
+ * engine kind is deliberately *not* part of it: both engines produce
+ * byte-identical timelines, so a checkpoint taken under one resumes
+ * under the other.
+ */
+
+#ifndef QUETZAL_SIM_CHECKPOINT_HPP
+#define QUETZAL_SIM_CHECKPOINT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "util/types.hpp"
+
+namespace quetzal {
+namespace sim {
+
+/** Archive magic and schema version ("QZCK" v1.0). */
+inline constexpr char kCheckpointMagic[4] = {'Q', 'Z', 'C', 'K'};
+inline constexpr std::uint8_t kCheckpointMajor = 1;
+inline constexpr std::uint8_t kCheckpointMinor = 0;
+
+/** A parsed checkpoint archive. */
+struct CheckpointArchive
+{
+    std::uint64_t fingerprint = 0;
+    Tick boundaryTick = 0; ///< capture boundary the state was taken at
+    std::string state;     ///< the Simulator state blob
+};
+
+/**
+ * Hash of every configuration knob that shapes the run's evolution
+ * (FNV-1a 64). Two configs with equal fingerprints build the same
+ * environment, device, controller and seeds, so a checkpoint from
+ * one resumes under the other.
+ */
+std::uint64_t experimentFingerprint(const ExperimentConfig &config);
+
+/** Frame a state blob into archive bytes. */
+std::string frameCheckpoint(const std::string &state,
+                            std::uint64_t fingerprint,
+                            Tick boundaryTick);
+
+/**
+ * Parse archive bytes. Returns false with a diagnostic in `error`
+ * on bad magic, an unsupported major version, truncation or a CRC
+ * mismatch — never on a fingerprint difference (callers compare
+ * archive.fingerprint themselves so they can name both configs).
+ */
+bool unframeCheckpoint(const std::string &bytes,
+                       CheckpointArchive &archive, std::string &error);
+
+/** Write an archive file; util::fatal on I/O failure. */
+void writeCheckpointFile(const std::string &path,
+                         const std::string &state,
+                         std::uint64_t fingerprint, Tick boundaryTick);
+
+/**
+ * Read and validate an archive file; util::fatal (naming the file)
+ * on I/O failure, corruption or a fingerprint mismatch against
+ * `expectedFingerprint`.
+ */
+CheckpointArchive readCheckpointFile(const std::string &path,
+                                     std::uint64_t expectedFingerprint);
+
+} // namespace sim
+} // namespace quetzal
+
+#endif // QUETZAL_SIM_CHECKPOINT_HPP

@@ -43,6 +43,37 @@ Device::importState(const State &state, Watts power)
     deviceStats = DeviceStats{};
 }
 
+Device::CheckpointState
+Device::exportCheckpoint() const
+{
+    CheckpointState snapshot;
+    snapshot.energy = storage.energy();
+    snapshot.rejectedHarvest = storage.rejectedHarvest();
+    snapshot.phase = currentPhase;
+    snapshot.taskPower = taskPower;
+    snapshot.remainingTaskTicks = remainingTaskTicks;
+    snapshot.remainingPhaseTicks = remainingPhaseTicks;
+    snapshot.progressSinceSave = progressSinceSave;
+    snapshot.periodicSaveInProgress = periodicSaveInProgress;
+    snapshot.cursorIndex = powerCursor.position();
+    snapshot.stats = deviceStats;
+    return snapshot;
+}
+
+void
+Device::importCheckpoint(const CheckpointState &snapshot)
+{
+    storage.restoreExact(snapshot.energy, snapshot.rejectedHarvest);
+    currentPhase = snapshot.phase;
+    taskPower = snapshot.taskPower;
+    remainingTaskTicks = snapshot.remainingTaskTicks;
+    remainingPhaseTicks = snapshot.remainingPhaseTicks;
+    progressSinceSave = snapshot.progressSinceSave;
+    periodicSaveInProgress = snapshot.periodicSaveInProgress;
+    powerCursor.restore(snapshot.cursorIndex);
+    deviceStats = snapshot.stats;
+}
+
 void
 Device::startTask(Watts power, Tick exeTicks)
 {

@@ -164,6 +164,36 @@ class Device
      */
     void importState(const State &state, Watts power);
 
+    /**
+     * Full mid-run snapshot for checkpoint/resume: unlike State (the
+     * fleet's per-slab delta snapshot), this preserves the cumulative
+     * stats, the in-flight task's execution power and the exact
+     * rejected-harvest accumulator, so a resumed run reports the
+     * totals the uninterrupted run would have.
+     */
+    struct CheckpointState
+    {
+        Joules energy = 0.0;
+        Joules rejectedHarvest = 0.0;
+        DevicePhase phase = DevicePhase::Idle;
+        Watts taskPower = 0.0;
+        Tick remainingTaskTicks = 0;
+        Tick remainingPhaseTicks = 0;
+        Tick progressSinceSave = 0;
+        bool periodicSaveInProgress = false;
+        std::size_t cursorIndex = 0;
+        DeviceStats stats;
+    };
+
+    /** Snapshot everything mutable (see CheckpointState). */
+    CheckpointState exportCheckpoint() const;
+
+    /**
+     * Rehydrate from a snapshot taken against the same profile and
+     * power trace, preserving cumulative stats exactly.
+     */
+    void importCheckpoint(const CheckpointState &snapshot);
+
     /** Cumulative statistics. */
     const DeviceStats &stats() const { return deviceStats; }
 

@@ -53,7 +53,11 @@ Simulator::runEvent(Tick horizon, Tick hardCap)
     // may jitter each actual instant around its nominal one.
     Tick nominalCapture = cfg.capturePeriod;
     Tick nextCapture = nominalCapture;
-    if (cfg.faults != nullptr) {
+    if (cfg.resumeState != nullptr) {
+        // Mid-run rehydration (see runTick): skip the run-start hooks
+        // — their draws live in the restored RNG streams.
+        restoreCheckpoint(now, nominalCapture, nextCapture);
+    } else if (cfg.faults != nullptr) {
         cfg.faults->onRunStart();
         nextCapture = std::max<Tick>(
             1, nominalCapture + cfg.faults->captureJitter());
@@ -62,9 +66,15 @@ Simulator::runEvent(Tick horizon, Tick hardCap)
 
     obs::Recorder *const observer = cfg.observer;
 
+    // Seed the queue. On resume, nextCapture is the boundary capture
+    // itself (== now; the first retire block consumes it), and the
+    // one pending fault edge is the first window start strictly after
+    // `now` — exactly what the uninterrupted run's queue held at this
+    // point, every earlier edge having been retired by earlier spans.
     queue.push(nextCapture, EventKind::CaptureArrival);
     if (cfg.faults != nullptr) {
-        const Tick edge = cfg.faults->nextWindowEdgeAfter(-1);
+        const Tick edge = cfg.faults->nextWindowEdgeAfter(
+            cfg.resumeState != nullptr ? now : -1);
         if (edge != kTickNever)
             queue.push(edge, EventKind::FaultWindowEdge);
     }
@@ -74,6 +84,17 @@ Simulator::runEvent(Tick horizon, Tick hardCap)
     // advances event-by-event to the next system instant.
     while (true) {
         // --- system instant at `now` --------------------------------
+        const bool capturing = now < horizon;
+        // Quiescent-boundary checkpoint hook (see runTick): fires
+        // before any of the instant's observation or control acts.
+        if (checkpointDue(capturing, now, nextCapture)) {
+            saveCheckpoint(now, nominalCapture, nextCapture);
+            if (cfg.checkpointStop) {
+                stoppedAtCheckpoint_ = true;
+                return now;
+            }
+        }
+
         if (observer != nullptr)
             observer->setTime(now);
         if (cfg.faults != nullptr)
@@ -92,7 +113,6 @@ Simulator::runEvent(Tick horizon, Tick hardCap)
             }
         }
 
-        const bool capturing = now < horizon;
         if (!capturing) {
             const bool pendingWork = activeJob.has_value() ||
                 !buffer.empty();

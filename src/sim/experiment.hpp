@@ -82,7 +82,10 @@ struct ExperimentConfig
     /**
      * Run-level simulation knobs. Respected fields: engine,
      * capturePeriod, bufferCapacity, drainTicks,
-     * executionJitterSigma, debugLog.
+     * executionJitterSigma, debugLog, the checkpoint/resume block
+     * (checkpointEveryCaptures, checkpointStop, checkpointSink,
+     * resumeState) and the telemetry self-cost rates
+     * (telemetrySecondsPerEvent, telemetryEnergyPerEvent).
      * The rest (infiniteBuffer, drainToEmpty, outcomeSeed, scheduler
      * overheads/power, observer) are derived per run by
      * runExperiment() and ignored here.

@@ -96,6 +96,12 @@ Metrics::printReport(std::ostream &out, const std::string &label) const
         << ticksToSeconds(simulatedTicks) << " s\n"
         << "  scheduler overhead: " << schedulerOverheadSeconds
         << " s, " << schedulerOverheadEnergy << " J\n";
+    // Printed only when the measurement-overhead knobs are on, so
+    // reports from default configurations stay byte-identical.
+    if (telemetryOverheadSeconds != 0.0 || telemetryOverheadEnergy != 0.0) {
+        out << "  telemetry overhead: " << telemetryOverheadSeconds
+            << " s, " << telemetryOverheadEnergy << " J\n";
+    }
 }
 
 void

@@ -76,6 +76,11 @@ struct Metrics
     Joules energyWastedJoules = 0.0;
     double schedulerOverheadSeconds = 0.0;
     Joules schedulerOverheadEnergy = 0.0;
+    /** Modeled cost of the telemetry layer itself (see
+     *  SimulationConfig::telemetrySecondsPerEvent); 0 unless the
+     *  measurement-overhead knobs are set. */
+    double telemetryOverheadSeconds = 0.0;
+    Joules telemetryOverheadEnergy = 0.0;
     util::RunningStats jobServiceSeconds;
     util::RunningStats predictionErrorSeconds;
     /// @}

@@ -80,9 +80,20 @@ Simulator::run()
     // backlog as unprocessed rather than simulating forever.
     const Tick hardCap = horizon * 4 + 3600 * kTicksPerSecond;
 
+    nextCheckpointAtCaptures = cfg.checkpointEveryCaptures;
+
     const Tick now = cfg.engine == EngineKind::Event
         ? runEvent(horizon, hardCap)
         : runTick(horizon, hardCap);
+
+    if (stoppedAtCheckpoint_) {
+        // The run was cut at a checkpoint boundary on request: skip
+        // the end-of-run accounting and lifecycle events so the
+        // segment's trace ends exactly where the resumed segment's
+        // begins.
+        metrics.simulatedTicks = now;
+        return metrics;
+    }
 
     obs::Recorder *const observer = cfg.observer;
 
@@ -148,7 +159,14 @@ Simulator::runTick(Tick horizon, Tick hardCap)
     // may jitter each actual instant around its nominal one.
     Tick nominalCapture = cfg.capturePeriod;
     Tick nextCapture = nominalCapture;
-    if (cfg.faults != nullptr) {
+    if (cfg.resumeState != nullptr) {
+        // Mid-run rehydration: every component resumes exactly where
+        // the checkpointed run stood at this capture boundary. The
+        // run-start hooks (faults->onRunStart, the initial jitter
+        // draw) already happened in the first segment, so they are
+        // skipped — their RNG draws live in the restored streams.
+        restoreCheckpoint(now, nominalCapture, nextCapture);
+    } else if (cfg.faults != nullptr) {
         cfg.faults->onRunStart();
         nextCapture = std::max<Tick>(
             1, nominalCapture + cfg.faults->captureJitter());
@@ -158,12 +176,25 @@ Simulator::runTick(Tick horizon, Tick hardCap)
     obs::Recorder *const observer = cfg.observer;
 
     while (true) {
+        const bool capturing = now < horizon;
+        // Checkpoint at quiescent capture boundaries, before any of
+        // the instant's observation or control acts — the boundary
+        // cleanly splits the run's observable timeline into
+        // "strictly before now" (already flushed) and "now onward"
+        // (replayed by the resumed segment).
+        if (checkpointDue(capturing, now, nextCapture)) {
+            saveCheckpoint(now, nominalCapture, nextCapture);
+            if (cfg.checkpointStop) {
+                stoppedAtCheckpoint_ = true;
+                return now;
+            }
+        }
+
         if (observer != nullptr)
             observer->setTime(now);
         if (cfg.faults != nullptr)
             cfg.faults->onTick(now);
 
-        const bool capturing = now < horizon;
         if (!capturing) {
             const bool pendingWork = activeJob.has_value() ||
                 !buffer.empty();
@@ -275,10 +306,42 @@ Simulator::recordDeviceObs()
 }
 
 void
+Simulator::chargeTelemetry()
+{
+    // Off by default: with both rates at 0 this never touches the
+    // device, so recording stays observation-only (byte-inert).
+    if (cfg.observer == nullptr ||
+        (cfg.telemetrySecondsPerEvent <= 0.0 &&
+         cfg.telemetryEnergyPerEvent <= 0.0))
+        return;
+    const auto recorded =
+        static_cast<std::int64_t>(cfg.observer->recordedCount());
+    const std::int64_t fresh = recorded - telemetryChargedEvents;
+    if (fresh <= 0)
+        return;
+    telemetryChargedEvents = recorded;
+    const double seconds =
+        static_cast<double>(fresh) * cfg.telemetrySecondsPerEvent;
+    const Joules energy =
+        static_cast<double>(fresh) * cfg.telemetryEnergyPerEvent;
+    metrics.telemetryOverheadSeconds += seconds;
+    metrics.telemetryOverheadEnergy += energy;
+    device.drawInstantaneous(energy);
+    // The time cost rides the scheduler-overhead carry: it surfaces
+    // as extra overhead-phase ticks on this or a later round.
+    overheadCarrySeconds += seconds;
+}
+
+void
 Simulator::tryBeginJob(Tick now)
 {
     if (buffer.empty())
         return;
+
+    // Measurement-overhead accounting: the events recorded since the
+    // last scheduling round cost MCU time and energy *on the device*
+    // when the estimator path is instrumented for real.
+    chargeTelemetry();
 
     // The controller schedules against the *measured* input power;
     // the fault layer can make that measurement lie while the

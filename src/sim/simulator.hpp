@@ -20,6 +20,7 @@
 #define QUETZAL_SIM_SIMULATOR_HPP
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -100,6 +101,50 @@ struct SimulationConfig
      * the default — is the clean path: no fault code runs at all.
      */
     fault::FaultInjector *faults = nullptr;
+
+    /**
+     * @name Checkpoint / resume (DESIGN.md section 16)
+     * Checkpoints are taken at quiescent capture boundaries: the
+     * first boundary (no job in flight, no overhead phase pending)
+     * once `checkpointEveryCaptures` more captures have been
+     * processed. Saving serializes the entire run state — simulator
+     * loop, device, buffer, metrics, RNG streams, TaskSystem
+     * trackers, controller (PID/estimator/adaptation) and fault
+     * runtime — and hands the blob to `checkpointSink`. Saving draws
+     * no randomness and records no events, so a checkpointing run is
+     * byte-identical to a clean one.
+     */
+    /// @{
+    /** Captures between checkpoints (0 disables checkpointing). */
+    std::uint64_t checkpointEveryCaptures = 0;
+    /** Return from the run right after the first checkpoint saves. */
+    bool checkpointStop = false;
+    /** Receives each serialized checkpoint (must outlive the run). */
+    std::function<void(std::string &&state, Tick now)> checkpointSink;
+    /**
+     * Resume from a state blob produced by checkpointSink. The run
+     * must be built from the identical configuration (same traces,
+     * device profile, controller, seeds); the resumed run then
+     * replays the exact observable timeline the uninterrupted run
+     * would have produced from that boundary on. Must outlive the
+     * run.
+     */
+    const std::string *resumeState = nullptr;
+    /// @}
+
+    /**
+     * @name Telemetry self-cost (measurement-overhead accounting)
+     * Model the cost of the observability layer itself: every event
+     * the attached recorder stores is charged at these rates on the
+     * next scheduling round (time folded into the scheduler-overhead
+     * carry, energy drawn from the store). The defaults are 0 — the
+     * recorder is free, and the simulation is byte-identical to a
+     * build without this accounting.
+     */
+    /// @{
+    double telemetrySecondsPerEvent = 0.0;
+    Joules telemetryEnergyPerEvent = 0.0;
+    /// @}
 };
 
 /**
@@ -121,6 +166,14 @@ class Simulator
 
     /** Execute the full run and return its metrics. */
     Metrics run();
+
+    /**
+     * True when run() returned because checkpointStop fired: the
+     * metrics are a partial prefix and no end-of-run events were
+     * emitted (so a stop-segment trace concatenates cleanly with the
+     * resumed segment's).
+     */
+    bool stoppedAtCheckpoint() const { return stoppedAtCheckpoint_; }
 
   private:
     /** In-flight job bookkeeping. */
@@ -151,6 +204,24 @@ class Simulator
      * exactly. Returns the final simulated tick.
      */
     Tick runEvent(Tick horizon, Tick hardCap);
+
+    /**
+     * @name Checkpoint plumbing (sim/checkpoint.cpp)
+     * Both engine loops call checkpointDue() at the top of every
+     * system instant and saveCheckpoint() when it fires; a resuming
+     * run calls restoreCheckpoint() once before its first instant.
+     * The loop-local clocks travel by reference because they are the
+     * only run state not owned by a member.
+     */
+    /// @{
+    bool checkpointDue(bool capturing, Tick now, Tick nextCapture) const;
+    void saveCheckpoint(Tick now, Tick nominalCapture, Tick nextCapture);
+    void restoreCheckpoint(Tick &now, Tick &nominalCapture,
+                           Tick &nextCapture);
+    /// @}
+
+    /** Charge pending telemetry self-cost (see SimulationConfig). */
+    void chargeTelemetry();
 
     void processCapture(Tick now);
     void tryBeginJob(Tick now);
@@ -202,6 +273,23 @@ class Simulator
     util::Rng jitterRng;
     /** Device-stats snapshot recordDeviceObs() diffs against. */
     DeviceStats obsDevice;
+
+    /**
+     * Captures that must have been processed before the next
+     * checkpoint fires (derived from checkpointEveryCaptures; never
+     * serialized — a resumed run recomputes it from the restored
+     * capture count).
+     */
+    std::uint64_t nextCheckpointAtCaptures = 0;
+    bool stoppedAtCheckpoint_ = false;
+
+    /**
+     * Recorder events already charged as telemetry self-cost, in the
+     * attached recorder's counting. Signed: a resumed run starts a
+     * fresh recorder at 0 with the previous segment's uncharged tail
+     * carried over as a negative offset.
+     */
+    std::int64_t telemetryChargedEvents = 0;
 };
 
 } // namespace sim

@@ -46,6 +46,18 @@ class EventTrace
         /** Forget the remembered position (next query re-seeks). */
         void reset() { index = 0; }
 
+        /** Remembered event index, for external snapshots. */
+        std::size_t position() const { return index; }
+
+        /**
+         * Restore a position previously read via position() against
+         * the same trace. Purely a performance memo — answers are
+         * identical for any remembered index — but restoring it keeps
+         * a resumed run's forward walk amortized O(1) from the first
+         * query.
+         */
+        void restore(std::size_t saved) { index = saved; }
+
       private:
         const EventTrace *trace = nullptr;
         /** Index of the last event with start <= the query tick

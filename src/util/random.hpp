@@ -76,6 +76,32 @@ class Rng
      */
     Rng fork();
 
+    /**
+     * Full generator state — the xoshiro words plus the Box-Muller
+     * cache — so a checkpointed run resumes mid-sequence and every
+     * later draw matches the uninterrupted run exactly.
+     */
+    struct State
+    {
+        std::array<std::uint64_t, 4> words = {};
+        double cachedNormal = 0.0;
+        bool hasCachedNormal = false;
+    };
+
+    /** Snapshot the generator state (see State). */
+    State exportState() const
+    {
+        return State{state, cachedNormal, hasCachedNormal};
+    }
+
+    /** Restore a snapshot taken with exportState(). */
+    void importState(const State &snapshot)
+    {
+        state = snapshot.words;
+        cachedNormal = snapshot.cachedNormal;
+        hasCachedNormal = snapshot.hasCachedNormal;
+    }
+
   private:
     std::array<std::uint64_t, 4> state;
     double cachedNormal = 0.0;

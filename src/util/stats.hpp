@@ -62,6 +62,34 @@ class RunningStats
     /** Sum of all samples. */
     double sum() const { return total; }
 
+    /** Accumulator internals, for checkpoint/restore. */
+    struct State
+    {
+        std::size_t n = 0;
+        double runningMean = 0.0;
+        double m2 = 0.0;
+        double minSample = 0.0;
+        double maxSample = 0.0;
+        double total = 0.0;
+    };
+
+    /** Snapshot the accumulator (see State). */
+    State exportState() const
+    {
+        return State{n, runningMean, m2, minSample, maxSample, total};
+    }
+
+    /** Restore a snapshot taken with exportState(). */
+    void importState(const State &snapshot)
+    {
+        n = snapshot.n;
+        runningMean = snapshot.runningMean;
+        m2 = snapshot.m2;
+        minSample = snapshot.minSample;
+        maxSample = snapshot.maxSample;
+        total = snapshot.total;
+    }
+
   private:
     std::size_t n = 0;
     double runningMean = 0.0;

@@ -15,6 +15,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/trace_cursor.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/spec.hpp"
 #include "sim/experiment.hpp"
@@ -160,6 +161,36 @@ TEST(ScenarioEngine, CsvOutputLandsOnDisk)
     while (std::getline(in, line))
         ++lines;
     EXPECT_EQ(lines, plan.runs.size());
+    std::remove(path.c_str());
+}
+
+TEST(ScenarioEngine, BtraceOutputLandsOnDiskAndDecodes)
+{
+    const std::string path =
+        testing::TempDir() + "scenario_engine_test.btrace";
+    std::string text(kSmall);
+    text.insert(text.rfind('}'),
+                ",\n  \"output\": {\"trace\": {\"path\": \"" + path +
+                    "\", \"format\": \"btrace\"}}");
+    const ScenarioPlan plan = compileSmall(text);
+
+    testing::internal::CaptureStdout();
+    runPlan(plan, {});
+    testing::internal::GetCapturedStdout();
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    const auto cursor = obs::openTraceCursor(in, path);
+    EXPECT_EQ(cursor->format(), obs::TraceFormat::Btrace);
+    obs::TraceRecord record;
+    std::size_t records = 0;
+    std::uint64_t lastRun = 0;
+    while (cursor->next(record)) {
+        lastRun = record.run;
+        ++records;
+    }
+    EXPECT_GT(records, 0u);
+    EXPECT_EQ(lastRun, plan.runs.size() - 1);
     std::remove(path.c_str());
 }
 

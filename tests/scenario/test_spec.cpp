@@ -232,6 +232,24 @@ TEST(ScenarioSpecParse, EnforcesCrossProductRunLimit)
     EXPECT_TRUE(contains(paths, "sweep"));
 }
 
+TEST(ScenarioSpecParse, TraceFormatAcceptsBtraceRejectsUnknown)
+{
+    const ScenarioSpec spec = parseOk(R"({
+      "name": "t",
+      "populations": [{"name": "QZ", "controller": "QZ"}],
+      "output": {"trace": {"path": "-", "format": "btrace"}}
+    })");
+    ASSERT_TRUE(spec.output.trace.has_value());
+    EXPECT_EQ(spec.output.trace->format, "btrace");
+
+    const std::vector<std::string> paths = errorPaths(R"({
+      "name": "t",
+      "populations": [{"name": "QZ", "controller": "QZ"}],
+      "output": {"trace": {"path": "-", "format": "protobuf"}}
+    })");
+    EXPECT_TRUE(contains(paths, "output.trace.format"));
+}
+
 TEST(ScenarioSpecParse, RejectsUnknownSchemaVersion)
 {
     const auto paths = errorPaths(R"({

@@ -47,12 +47,16 @@
 #include <fstream>
 #include <iostream>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/btrace.hpp"
+#include "obs/stream_sink.hpp"
 #include "obs/trace_io.hpp"
 #include "policy/registry.hpp"
 #include "scenario/engine.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/ensemble.hpp"
 #include "sim/experiment.hpp"
 #include "sim/runner.hpp"
@@ -114,7 +118,25 @@ usage(const char *argv0, bool requested)
         "  --trace-out FILE|-     stream the typed event trace\n"
         "  --trace-level LVL      off|counters|decisions|full "
         "(default full)\n"
-        "  --trace-format FMT     jsonl|chrome\n"
+        "  --trace-format FMT     jsonl|chrome|btrace (btrace streams "
+        "to disk\n"
+        "                         with bounded memory)\n"
+        "  --telemetry-cost-s X   modeled seconds charged per recorded "
+        "event\n"
+        "  --telemetry-cost-j X   modeled joules charged per recorded "
+        "event\n"
+        "\n"
+        "Checkpoint / resume (single-experiment mode):\n"
+        "  --checkpoint FILE      write a QZCK archive at each "
+        "checkpoint\n"
+        "                         boundary (the file holds the latest)\n"
+        "  --checkpoint-every N   captures between checkpoints "
+        "(default 1000)\n"
+        "  --checkpoint-stop      exit right after the first "
+        "checkpoint saves\n"
+        "  --resume FILE          resume from a QZCK archive written "
+        "by an\n"
+        "                         identically-configured run\n"
         "\n"
         "Output (experiment modes):\n"
         "  --csv                  one CSV row per run instead of the "
@@ -231,6 +253,14 @@ writeTraceOutput(const std::string &path, const std::string &format,
             first = obs::writeChromeTrace(*out, sinks[i].events(), i,
                                           first);
         obs::writeChromeTraceFooter(*out);
+    } else if (format == "btrace") {
+        // Ensemble runs record in parallel into per-run sinks, so the
+        // batch writer serializes them in run order after the joins —
+        // byte-identical to the streaming sink over the same stream.
+        obs::BtraceWriter writer(*out);
+        for (std::size_t i = 0; i < sinks.size(); ++i)
+            writer.writeRun(sinks[i].events(), i);
+        writer.finish();
     } else {
         obs::writeJsonlHeader(*out);
         for (std::size_t i = 0; i < sinks.size(); ++i)
@@ -263,7 +293,13 @@ main(int argc, char **argv)
     std::string traceFlag;      ///< first --trace-* flag
     std::string outputFlag;     ///< --csv / --csv-header
     std::string ensembleFlag;   ///< --ensemble
+    std::string checkpointFlag; ///< first --checkpoint*/--resume flag
     bool validateOnly = false;
+
+    std::string checkpointOut;
+    std::uint64_t checkpointEvery = 1000;
+    bool checkpointStop = false;
+    std::string resumePath;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -375,9 +411,33 @@ main(int argc, char **argv)
         } else if (arg == "--trace-format") {
             traceFlag = traceFlag.empty() ? arg : traceFlag;
             traceFormat = value();
-            if (traceFormat != "jsonl" && traceFormat != "chrome")
+            if (traceFormat != "jsonl" && traceFormat != "chrome" &&
+                traceFormat != "btrace")
                 util::fatal(util::msg("unknown trace format: ",
                                       traceFormat));
+        } else if (arg == "--telemetry-cost-s") {
+            configArg();
+            cfg.sim.telemetrySecondsPerEvent =
+                std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--telemetry-cost-j") {
+            configArg();
+            cfg.sim.telemetryEnergyPerEvent =
+                std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--checkpoint") {
+            checkpointFlag = checkpointFlag.empty() ? arg : checkpointFlag;
+            checkpointOut = value();
+        } else if (arg == "--checkpoint-every") {
+            checkpointFlag = checkpointFlag.empty() ? arg : checkpointFlag;
+            checkpointEvery =
+                std::strtoull(value().c_str(), nullptr, 10);
+            if (checkpointEvery == 0)
+                util::fatal("--checkpoint-every must be positive");
+        } else if (arg == "--checkpoint-stop") {
+            checkpointFlag = checkpointFlag.empty() ? arg : checkpointFlag;
+            checkpointStop = true;
+        } else if (arg == "--resume") {
+            checkpointFlag = checkpointFlag.empty() ? arg : checkpointFlag;
+            resumePath = value();
         } else if (arg == "--no-pid") {
             configArg();
             cfg.usePid = false;
@@ -415,9 +475,25 @@ main(int argc, char **argv)
             conflict(traceFlag, modeFlag,
                      "scenario traces are configured in the file's "
                      "\"output.trace\" block");
+        if (!checkpointFlag.empty())
+            conflict(checkpointFlag, modeFlag,
+                     "scenario checkpointing is configured in the "
+                     "file's \"output\" block");
     } else if (validateOnly) {
         util::fatal(
             "--validate requires --scenario or --fleet FILE.json");
+    }
+
+    if (!checkpointFlag.empty()) {
+        if (!ensembleFlag.empty())
+            conflict(checkpointFlag, ensembleFlag,
+                     "checkpoint/resume is a single-experiment "
+                     "feature");
+        if (checkpointStop && checkpointOut.empty())
+            util::fatal("--checkpoint-stop requires --checkpoint FILE");
+        if (checkpointOut.empty() && resumePath.empty())
+            util::fatal(
+                "--checkpoint-every requires --checkpoint FILE");
     }
 
     // The single dispatch point: every mode goes through the run API.
@@ -469,10 +545,50 @@ main(int argc, char **argv)
         return 0;
     }
 
-    std::vector<obs::VectorSink> sinks(tracing ? 1 : 0);
+    // Checkpoint/resume plumbing — the fingerprint is computed after
+    // every configuration flag has landed, so a mismatched archive is
+    // rejected with both fingerprints named.
+    std::string resumeState;
+    if (!resumePath.empty()) {
+        sim::CheckpointArchive archive = sim::readCheckpointFile(
+            resumePath, sim::experimentFingerprint(cfg));
+        resumeState = std::move(archive.state);
+        cfg.sim.resumeState = &resumeState;
+    }
+    if (!checkpointOut.empty()) {
+        const std::uint64_t fingerprint = sim::experimentFingerprint(cfg);
+        cfg.sim.checkpointEveryCaptures = checkpointEvery;
+        cfg.sim.checkpointStop = checkpointStop;
+        cfg.sim.checkpointSink = [&checkpointOut, fingerprint](
+                                     std::string &&state, Tick now) {
+            sim::writeCheckpointFile(checkpointOut, state, fingerprint,
+                                     now);
+        };
+    }
+
+    // btrace streams through the bounded-memory sink while the run
+    // executes; the text formats buffer into a VectorSink and
+    // serialize after the run.
+    std::vector<obs::VectorSink> sinks;
+    std::ofstream btraceFile;
+    std::optional<obs::StreamingBtraceSink> btraceSink;
     if (tracing) {
         cfg.obsLevel = traceLevel;
-        cfg.obsSink = &sinks[0];
+        if (traceFormat == "btrace") {
+            std::ostream *out = &std::cout;
+            if (traceOut != "-") {
+                btraceFile.open(traceOut, std::ios::binary);
+                if (!btraceFile)
+                    util::fatal(util::msg("cannot open trace output: ",
+                                          traceOut));
+                out = &btraceFile;
+            }
+            btraceSink.emplace(*out, 0);
+            cfg.obsSink = &*btraceSink;
+        } else {
+            sinks.resize(1);
+            cfg.obsSink = &sinks[0];
+        }
     }
 
     request.kind = sim::RunKind::Experiment;
@@ -486,7 +602,16 @@ main(int argc, char **argv)
     } else {
         m.printReport(std::cout, sim::experimentLabel(cfg));
     }
-    if (tracing)
+    if (btraceSink) {
+        btraceSink->finish();
+        if (btraceFile.is_open()) {
+            btraceFile.close();
+            if (!btraceFile)
+                util::fatal(util::msg("error writing trace output: ",
+                                      traceOut));
+        }
+    } else if (tracing) {
         writeTraceOutput(traceOut, traceFormat, sinks);
+    }
     return 0;
 }

@@ -1,7 +1,11 @@
 /**
  * @file
- * trace_stat — offline analyzer for JSONL traces written by
- * `quetzal-sim --trace-out` (or any obs::writeJsonl() caller).
+ * trace_stat — offline analyzer for traces written by
+ * `quetzal-sim --trace-out`, in either trace format: JSONL or the
+ * binary quetzal-btrace-v1. The format is sniffed from the first
+ * bytes and both stream through one obs::TraceCursor, so a
+ * billion-event trace replays in bounded memory — the file is never
+ * materialized.
  *
  * Replays each run's event stream through an obs::MetricsRegistry —
  * the same replay implementation the live aggregation and the test
@@ -29,10 +33,9 @@
 #include <iostream>
 #include <map>
 #include <string>
-#include <vector>
 
 #include "obs/metrics_registry.hpp"
-#include "obs/trace_io.hpp"
+#include "obs/trace_cursor.hpp"
 #include "util/logging.hpp"
 
 namespace {
@@ -98,20 +101,24 @@ main(int argc, char **argv)
     std::ifstream file;
     std::istream *in = &std::cin;
     if (!path.empty() && path != "-") {
-        file.open(path);
+        // Binary-safe open; harmless for JSONL (getline still splits
+        // on '\n' and the writers never emit '\r').
+        file.open(path, std::ios::binary);
         if (!file)
             util::fatal(util::msg("cannot open trace: ", path));
         in = &file;
     }
 
-    const std::vector<obs::TraceRecord> records = obs::readJsonl(*in);
-
+    // Stream the file — one record in flight, never the whole run.
     // Replay every run through its own registry (runs are independent
     // streams) plus one combined registry for the aggregate view.
     // std::map keeps the per-run output in run-index order.
+    const auto cursor =
+        obs::openTraceCursor(*in, path.empty() ? "<stdin>" : path);
     std::map<std::uint64_t, obs::MetricsRegistry> byRun;
     obs::MetricsRegistry combined;
-    for (const obs::TraceRecord &record : records) {
+    obs::TraceRecord record;
+    while (cursor->next(record)) {
         if (filterRun && record.run != runFilter)
             continue;
         byRun[record.run].record(record.event);
