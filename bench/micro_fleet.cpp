@@ -25,10 +25,20 @@
  * byte-identical or panic (the determinism contract the fleet test
  * suite enforces per commit; here it guards the bench numbers too).
  *
+ * --checkpoint measures the barrier-checkpoint tax: three clean and
+ * three checkpointing runs interleaved (an in-memory sink swallows
+ * the blobs so disk speed stays out of the number), min-of wall
+ * times, and the line gains "checkpoint_overhead_pct" — the extra
+ * slab-advance cost of snapshotting every barrier, which
+ * scripts/check_bench.sh gates below 5%. In this mode
+ * ns_per_device_day comes from the clean minimum, so the primary
+ * metric stays comparable to non-checkpoint baselines.
+ *
  * Usage: micro_fleet [--devices N] [--horizon-s N] [--shards N]
- *                    [--slab-s N] [--jobs N] [--verify]
+ *                    [--slab-s N] [--jobs N] [--verify] [--checkpoint]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -114,6 +124,7 @@ main(int argc, char **argv)
     unsigned shards = 64;
     unsigned jobs = sim::defaultJobs();
     bool verify = false;
+    bool checkpoint = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -122,7 +133,7 @@ main(int argc, char **argv)
                 std::fprintf(stderr,
                              "usage: %s [--devices N] [--horizon-s N] "
                              "[--shards N] [--slab-s N] [--jobs N] "
-                             "[--verify]\n",
+                             "[--verify] [--checkpoint]\n",
                              argv[0]);
                 std::exit(2);
             }
@@ -142,6 +153,8 @@ main(int argc, char **argv)
                 std::strtoul(value(), nullptr, 10));
         else if (arg == "--verify")
             verify = true;
+        else if (arg == "--checkpoint")
+            checkpoint = true;
         else {
             std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
             return 2;
@@ -169,6 +182,51 @@ main(int argc, char **argv)
     const fleet::FleetResult result = fleet::runFleet(config, options);
     const auto end = clock::now();
 
+    double wallNs =
+        static_cast<double>(std::chrono::duration_cast<
+            std::chrono::nanoseconds>(end - start).count());
+
+    // The checkpoint tax: interleave clean and checkpointing runs so
+    // both phases see the same thermal/cache conditions, take the
+    // minimum of each, and report the relative slab-advance overhead
+    // of snapshotting every barrier. An in-memory sink swallows the
+    // blobs; encoding cost is the measurement, disk speed is not.
+    double overheadPct = 0.0;
+    std::size_t checkpointBytes = 0;
+    std::uint64_t checkpointsWritten = 0;
+    if (checkpoint) {
+        auto timedRun = [&](bool withSink) -> double {
+            fleet::FleetOptions repOptions;
+            repOptions.jobs = jobs;
+            std::string blob;
+            if (withSink)
+                repOptions.checkpointSink = [&](std::string &&state,
+                                                Tick) {
+                    blob = std::move(state);
+                };
+            const auto repStart = clock::now();
+            const fleet::FleetResult rep =
+                fleet::runFleet(config, repOptions);
+            const auto repEnd = clock::now();
+            assertIdentical(rep, result);
+            if (withSink) {
+                checkpointBytes = blob.size();
+                checkpointsWritten = rep.checkpointsWritten;
+            }
+            return static_cast<double>(std::chrono::duration_cast<
+                std::chrono::nanoseconds>(repEnd - repStart).count());
+        };
+        double cleanNs = timedRun(false);
+        double ckptNs = timedRun(true);
+        for (int rep = 1; rep < 3; ++rep) {
+            cleanNs = std::min(cleanNs, timedRun(false));
+            ckptNs = std::min(ckptNs, timedRun(true));
+        }
+        overheadPct =
+            std::max(0.0, (ckptNs - cleanNs) / cleanNs * 100.0);
+        wallNs = cleanNs;
+    }
+
     if (verify) {
         fleet::FleetOptions serialOptions;
         serialOptions.jobs = 1;
@@ -182,9 +240,6 @@ main(int argc, char **argv)
                 "fleet rollup text diverged between --jobs values");
     }
 
-    const double wallNs =
-        static_cast<double>(std::chrono::duration_cast<
-            std::chrono::nanoseconds>(end - start).count());
     const double deviceDays = static_cast<double>(devices) *
         (static_cast<double>(horizonSeconds) / 86400.0);
 
@@ -194,6 +249,7 @@ main(int argc, char **argv)
         .add("shards", shards)
         .add("jobs", jobs)
         .add("verified", verify ? "jobs-1-vs-N" : "off")
+        .add("checkpointed", checkpoint ? "alternating-min3" : "off")
         .add("ns_per_device_day", wallNs / deviceDays)
         .add("device_days_per_sec", deviceDays / (wallNs * 1e-9))
         .add("bytes_per_device",
@@ -205,6 +261,11 @@ main(int argc, char **argv)
         .add("ibo_drops", static_cast<std::size_t>(
             result.fleetTotals.dropsInteresting +
             result.fleetTotals.dropsUninteresting));
+    if (checkpoint)
+        line.add("checkpoint_overhead_pct", overheadPct, 2)
+            .add("checkpoint_bytes", checkpointBytes)
+            .add("checkpoints",
+                 static_cast<std::size_t>(checkpointsWritten));
     line.print();
     return 0;
 }

@@ -35,6 +35,13 @@
 #   QUETZAL_BENCH_THRESHOLD  allowed current/baseline ratio (default 4.0)
 #   QUETZAL_BENCH_INJECT     multiply measurements by this factor
 #                            (testing aid; the self-test uses it)
+#   QUETZAL_CHECKPOINT_OVERHEAD_PCT
+#                            max checkpoint_overhead_pct a bench line
+#                            may report (default 5; DESIGN.md
+#                            section 17's barrier-snapshot budget).
+#                            Unlike the wall-clock ratio this gate is
+#                            absolute: the overhead is a self-relative
+#                            percentage, so host speed cancels out.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -145,7 +152,7 @@ EOF
     verdict="$(python3 - "$baseline" "$THRESHOLD" "$INJECT" "$UPDATE" \
             "${QUETZAL_BENCH_LABEL:-$(git rev-parse --short HEAD \
                 2>/dev/null || echo local)}" "$out" <<'EOF'
-import json, sys
+import json, os, sys
 path, threshold, inject, update, label, out = sys.argv[1:7]
 line = json.loads(out.splitlines()[-1])
 threshold, inject = float(threshold), float(inject)
@@ -165,6 +172,15 @@ else:
     word = "FAIL" if ratio > threshold else "OK"
     verdict = (f"{word} {primary}={current:.0f} baseline={base:.0f} "
                f"ratio={ratio:.2f} (threshold {threshold:.1f})")
+# Absolute gate on the checkpoint tax: any bench line carrying a
+# checkpoint_overhead_pct column (micro_fleet --checkpoint) must keep
+# the barrier-snapshot cost below the budget.
+if "checkpoint_overhead_pct" in line:
+    limit = float(os.environ.get("QUETZAL_CHECKPOINT_OVERHEAD_PCT", "5"))
+    pct = float(line["checkpoint_overhead_pct"]) * inject
+    word = "FAIL" if pct >= limit else "OK"
+    verdict += (f"; {word} checkpoint_overhead_pct={pct:.2f}"
+                f" (budget {limit:.1f})")
 if update == "1":
     entry = dict(line)
     entry["label"] = label
@@ -180,7 +196,7 @@ EOF
 )"
 
     echo "check_bench: $verdict  $name"
-    case "$verdict" in FAIL*) status=1 ;; esac
+    case "$verdict" in *FAIL*) status=1 ;; esac
 done
 
 if [ $status -ne 0 ]; then

@@ -11,6 +11,11 @@
 # print a per-directory breakdown and fail if overall line coverage
 # drops below the floor.
 #
+# The checkpoint codecs get their own per-file lines and per-file
+# floor on top of the directory rollup: they are the crash-recovery
+# trust anchor (DESIGN.md sections 13/17), and a dead error branch in
+# a codec is exactly the line that eats a corrupt resume.
+#
 # Usage: scripts/check_coverage.sh [build-dir]   (default build-cov)
 # Env:   QUETZAL_COVERAGE_FLOOR  minimum percent (default 85)
 set -euo pipefail
@@ -53,10 +58,13 @@ summary="$(
 echo "$summary" | awk -v floor="$FLOOR" '
     /^File / {
         gated = 0
+        tracked = ""
         if (match($0, /src\/(core|queueing|sim|hw|fault|policy|fleet|trace|obs)\//)) {
             gated = 1
             dir = substr($0, RSTART + 4, RLENGTH - 5)
         }
+        if (match($0, /src\/(sim|fleet)\/checkpoint\.cpp/))
+            tracked = substr($0, RSTART, RLENGTH)
     }
     gated && /^Lines executed:/ {
         # "Lines executed:NN.NN% of M"
@@ -67,6 +75,10 @@ echo "$summary" | awk -v floor="$FLOOR" '
         total += n
         dirExecuted[dir] += pct / 100.0 * n
         dirTotal[dir] += n
+        if (tracked != "") {
+            fileExecuted[tracked] += pct / 100.0 * n
+            fileTotal[tracked] += n
+        }
         gated = 0  # count each file once per gcov invocation block
     }
     END {
@@ -83,10 +95,30 @@ echo "$summary" | awk -v floor="$FLOOR" '
             printf "check_coverage:   src/%-9s %6.1f%% of %5d lines\n",
                 d, 100.0 * dirExecuted[d] / dirTotal[d], dirTotal[d]
         }
+        nfiles = split("src/sim/checkpoint.cpp src/fleet/checkpoint.cpp",
+                       files, " ")
+        bad = 0
+        for (i = 1; i <= nfiles; ++i) {
+            f = files[i]
+            if (fileTotal[f] == 0) {
+                printf "check_coverage: FAIL — no gcov data for %s\n",
+                    f > "/dev/stderr"
+                bad = 1
+                continue
+            }
+            filePct = 100.0 * fileExecuted[f] / fileTotal[f]
+            printf "check_coverage:   %-24s %6.1f%% of %5d lines\n",
+                f, filePct, fileTotal[f]
+            if (filePct < floor) {
+                printf "check_coverage: FAIL — %s below floor\n",
+                    f > "/dev/stderr"
+                bad = 1
+            }
+        }
         coverage = 100.0 * executed / total
         printf "check_coverage: %.1f%% of %d lines overall (floor %s%%)\n",
             coverage, total, floor
-        if (coverage < floor) {
+        if (coverage < floor || bad) {
             print "check_coverage: FAIL — below floor" > "/dev/stderr"
             exit 1
         }

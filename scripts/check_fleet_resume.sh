@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Kill-and-resume drill over the committed fleet scenario: run the
+# fleet day straight with barrier checkpointing, run it again killed
+# at mid-day, resume from the stream on disk, and demand byte
+# identity — the stitched stdout equals the straight run's, and the
+# resumed checkpoint stream equals the straight run's stream — at
+# --jobs 1 and 4. This is the CLI-level counterpart of the
+# FleetChaos gtest harness (tests/fleet/test_fleet_chaos.cpp).
+#
+# Usage: scripts/check_fleet_resume.sh [quetzal-sim] [scenario-dir]
+#   quetzal-sim   path to the CLI (default build/tools/quetzal-sim)
+#   scenario-dir  directory holding fleet_day.json (default scenarios/)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SIM="${1:-build/tools/quetzal-sim}"
+DIR="${2:-scenarios}"
+SCENARIO="$DIR/fleet_day.json"
+STOP_S="${CHECK_FLEET_RESUME_STOP_S:-43200}"
+
+if [ ! -x "$SIM" ]; then
+    echo "check_fleet_resume: simulator not found at $SIM" >&2
+    echo "  build it first: cmake --build build --target quetzal_sim_cli" >&2
+    exit 1
+fi
+if [ ! -f "$SCENARIO" ]; then
+    echo "check_fleet_resume: $SCENARIO not found" >&2
+    exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+status=0
+for jobs in 1 4; do
+    # The straight run, checkpointing every barrier.
+    "$SIM" --fleet "$SCENARIO" --jobs "$jobs" \
+        --fleet-checkpoint "$tmp/straight.qzck" \
+        >"$tmp/straight.out"
+
+    # The chaos run: killed cleanly at the first barrier past STOP_S,
+    # then resumed from (and appending to) the same stream.
+    "$SIM" --fleet "$SCENARIO" --jobs "$jobs" \
+        --fleet-checkpoint "$tmp/chaos.qzck" \
+        --fleet-stop-after-s "$STOP_S" \
+        >"$tmp/part1.out"
+    "$SIM" --fleet "$SCENARIO" --jobs "$jobs" \
+        --fleet-resume "$tmp/chaos.qzck" \
+        --fleet-checkpoint "$tmp/chaos.qzck" \
+        --fleet-ckpt-trace "$tmp/episodes.jsonl" \
+        >"$tmp/part2.out"
+
+    cat "$tmp/part1.out" "$tmp/part2.out" >"$tmp/stitched.out"
+    if ! diff -u "$tmp/straight.out" "$tmp/stitched.out"; then
+        echo "check_fleet_resume: FAIL --jobs $jobs (stitched stdout" \
+             "differs from the straight run)" >&2
+        status=1
+    fi
+    if ! cmp "$tmp/straight.qzck" "$tmp/chaos.qzck"; then
+        echo "check_fleet_resume: FAIL --jobs $jobs (resumed stream" \
+             "differs from the straight stream)" >&2
+        status=1
+    fi
+    if ! grep -q '"kind":"fleet_restore"' "$tmp/episodes.jsonl"; then
+        echo "check_fleet_resume: FAIL --jobs $jobs (no fleet_restore" \
+             "episode recorded)" >&2
+        status=1
+    fi
+
+    # Job counts must not show in any artifact: pin --jobs 1's bytes
+    # and compare every later job count against them.
+    if [ "$jobs" = 1 ]; then
+        cp "$tmp/straight.out" "$tmp/reference.out"
+        cp "$tmp/straight.qzck" "$tmp/reference.qzck"
+    else
+        if ! diff -u "$tmp/reference.out" "$tmp/straight.out"; then
+            echo "check_fleet_resume: FAIL (stdout differs between" \
+                 "--jobs 1 and --jobs $jobs)" >&2
+            status=1
+        fi
+        if ! cmp "$tmp/reference.qzck" "$tmp/straight.qzck"; then
+            echo "check_fleet_resume: FAIL (checkpoint stream differs" \
+                 "between --jobs 1 and --jobs $jobs)" >&2
+            status=1
+        fi
+    fi
+
+    if [ $status -eq 0 ]; then
+        echo "check_fleet_resume: OK --jobs $jobs (killed at" \
+             "${STOP_S}s, resumed byte-identically)"
+    fi
+done
+
+if [ $status -ne 0 ]; then
+    echo "check_fleet_resume: FAILED" >&2
+    exit $status
+fi
+echo "check_fleet_resume: all fleet resume drills OK"

@@ -79,6 +79,17 @@ export TSAN_OPTIONS="halt_on_error=1 exitcode=66 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/bench/micro_fleet --devices 4000 --horizon-s 1800 \
     --shards 8 --jobs 4 --verify >/dev/null
 
+# Barrier checkpointing under the shard pool: snapshots are encoded
+# from worker-written device columns after the joins, and resumes
+# re-seed the columns before the workers restart. The checkpoint
+# suite runs save/resume across jobs 1 vs 4; the chaos suite stitches
+# killed runs back together on 4 workers; the bench's --checkpoint
+# mode alternates clean and checkpointing phases on the pool.
+"$BUILD_DIR"/tests/test_fleet \
+    --gtest_filter='FleetCheckpoint.*:FleetChaos.KillAt*:FleetChaos.Random*'
+"$BUILD_DIR"/bench/micro_fleet --devices 4000 --horizon-s 1800 \
+    --shards 8 --jobs 4 --checkpoint >/dev/null
+
 "$BUILD_DIR"/bench/micro_simulator --jobs 4 --runs 8 --events 120
 "$BUILD_DIR"/bench/micro_simulator --jobs 4 --runs 8 --events 120 \
     --engine event

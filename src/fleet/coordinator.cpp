@@ -139,5 +139,26 @@ FleetCoordinator::consumeSlab(
     }
 }
 
+std::vector<FleetCoordinator::CohortState>
+FleetCoordinator::exportState() const
+{
+    std::vector<CohortState> state;
+    state.reserve(controls.size());
+    for (const Control &control : controls)
+        state.push_back({control.directive, control.lastBase});
+    return state;
+}
+
+void
+FleetCoordinator::importState(const std::vector<CohortState> &state)
+{
+    if (state.size() != controls.size())
+        util::panic("coordinator state cohort count mismatch");
+    for (std::size_t c = 0; c < controls.size(); ++c) {
+        controls[c].directive = state[c].directive;
+        controls[c].lastBase = state[c].lastBase;
+    }
+}
+
 } // namespace fleet
 } // namespace quetzal

@@ -83,6 +83,22 @@ class FleetCoordinator
      */
     void consumeSlab(const std::vector<CohortCounters> &slabTotals);
 
+    /** Mutable per-cohort rule state, for checkpoint serialization.
+     *  The policy object itself is stateless at fleet scope — the
+     *  directive plus lastBase is the whole evolution state. */
+    struct CohortState
+    {
+        Directive directive;
+        std::uint8_t lastBase = 0;
+    };
+
+    /** Snapshot the per-cohort rule state, in cohort order. */
+    std::vector<CohortState> exportState() const;
+
+    /** Restore a snapshot taken by exportState on an identically
+     *  configured coordinator (size must match the cohort count). */
+    void importState(const std::vector<CohortState> &state);
+
   private:
     struct Control
     {

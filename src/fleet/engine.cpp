@@ -8,6 +8,7 @@
 #include "app/camera.hpp"
 #include "energy/harvester.hpp"
 #include "energy/solar_model.hpp"
+#include "fleet/checkpoint.hpp"
 #include "fleet/coordinator.hpp"
 #include "fleet/state.hpp"
 #include "obs/event.hpp"
@@ -265,6 +266,35 @@ addCounters(CohortCounters &total, const CohortCounters &slab)
     total.devicesOff = slab.devicesOff;
 }
 
+/**
+ * Fans rollup events out to the run sink while keeping the copy a
+ * barrier snapshot serializes — replayed into the run sink on
+ * restore, so a resumed run's event stream is the straight run's.
+ */
+struct LoggingSink final : obs::TraceSink
+{
+    obs::TraceSink *inner = nullptr;
+    std::vector<obs::Event> *log = nullptr;
+
+    void
+    record(const obs::Event &event) override
+    {
+        if (inner != nullptr)
+            inner->record(event);
+        if (log != nullptr)
+            log->push_back(event);
+    }
+};
+
+/** Barrier epoch of a slab end (1-based; the final, possibly
+ *  partial, slab rounds up to its own epoch). */
+std::uint64_t
+barrierEpoch(const FleetConfig &config, Tick slabEnd)
+{
+    return static_cast<std::uint64_t>(
+        (slabEnd + config.slabTicks - 1) / config.slabTicks);
+}
+
 void
 emitRollup(obs::TraceSink &sink, Tick tick, std::size_t cohort,
            const CohortCounters &delta, const CohortCounters &gauge,
@@ -462,14 +492,71 @@ runFleet(const FleetConfig &config, const FleetOptions &options)
     for (const CohortConfig &cohort : config.cohorts)
         totalDevices += cohort.devices;
 
+    std::vector<CohortCounters> cohortTotals(cohortCount);
+    std::vector<CohortCounters> rollupBase(cohortCount);
+    std::vector<CohortCounters> shardTotals(shards);
+    std::vector<std::vector<CohortCounters>> reports(
+        shards, std::vector<CohortCounters>(cohortCount));
+
+    // The snapshot fingerprint and the replay log only exist when
+    // the run checkpoints; a plain run pays nothing.
+    const bool checkpointing =
+        static_cast<bool>(options.checkpointSink);
+    const std::uint64_t fingerprint =
+        checkpointing || options.resumeState != nullptr
+            ? fleetFingerprint(config)
+            : 0;
+    std::vector<obs::Event> emitted;
+    LoggingSink rollupSink;
+    rollupSink.inner = options.sink;
+    rollupSink.log = checkpointing ? &emitted : nullptr;
+
+    Tick startTick = 0;
+    if (options.resumeState != nullptr) {
+        if (!validBarrierTick(config, options.resumeTick))
+            util::panic(util::msg(
+                "fleet resume: barrier epoch mismatch — tick ",
+                options.resumeTick,
+                " is not a coordinator barrier of this "
+                "configuration"));
+        FleetSnapshot snap;
+        std::string error;
+        if (!decodeFleetState(*options.resumeState, config, snap,
+                              error))
+            util::panic(util::msg("fleet resume failed: ", error));
+        reshardSnapshot(snap, config, states, shardTotals);
+        coordinator.importState(snap.coordinator);
+        cohortTotals = snap.cohortTotals;
+        rollupBase = snap.rollupBase;
+        // Replay the pre-barrier event stream, so the run sink —
+        // and any trace written from it — carries the straight
+        // run's full timeline.
+        for (const obs::Event &event : snap.events)
+            rollupSink.record(event);
+        startTick = options.resumeTick;
+        if (options.episodeSink != nullptr) {
+            obs::Event restore;
+            restore.kind = obs::EventKind::FleetRestore;
+            restore.tick = startTick;
+            restore.id = barrierEpoch(config, startTick);
+            restore.value = static_cast<std::int64_t>(
+                options.resumeState->size());
+            restore.extra = static_cast<std::int64_t>(shards);
+            if (options.resumeTornTail)
+                restore.flags |= obs::kFlagTornTail;
+            options.episodeSink->record(restore);
+        }
+    }
+
     std::size_t stateBytes = 0;
     for (const ShardState &state : states)
         stateBytes += state.bytes();
 
-    if (options.out) {
+    if (options.out && options.resumeState == nullptr) {
         // Shard count and --jobs are deliberately absent: the text
         // stream is byte-identical across both, and the golden files
-        // under scenarios/golden/ rely on that.
+        // under scenarios/golden/ rely on that. A resumed run skips
+        // the header too — its stdout is the straight run's suffix.
         *options.out << "== fleet: " << totalDevices << " devices, "
                      << cohortCount << " cohorts, slab "
                      << config.slabTicks / kTicksPerSecond
@@ -478,13 +565,10 @@ runFleet(const FleetConfig &config, const FleetOptions &options)
                      << " s ==\n";
     }
 
-    std::vector<CohortCounters> cohortTotals(cohortCount);
-    std::vector<CohortCounters> rollupBase(cohortCount);
-    std::vector<CohortCounters> shardTotals(shards);
-    std::vector<std::vector<CohortCounters>> reports(
-        shards, std::vector<CohortCounters>(cohortCount));
+    Tick haltedAtTick = 0;
+    std::uint64_t checkpointsWritten = 0;
 
-    for (Tick slabStart = 0; slabStart < config.horizonTicks;
+    for (Tick slabStart = startTick; slabStart < config.horizonTicks;
          slabStart += config.slabTicks) {
         const Tick slabEnd = std::min(
             slabStart + config.slabTicks, config.horizonTicks);
@@ -543,8 +627,8 @@ runFleet(const FleetConfig &config, const FleetOptions &options)
                 delta.rechargeTicks -= base.rechargeTicks;
                 delta.activeTicks -= base.activeTicks;
                 delta.wastedNanojoules -= base.wastedNanojoules;
-                if (options.sink)
-                    emitRollup(*options.sink, slabEnd, c, delta,
+                if (options.sink != nullptr || checkpointing)
+                    emitRollup(rollupSink, slabEnd, c, delta,
                                cohortTotals[c],
                                config.cohorts[c].devices);
                 if (options.out)
@@ -554,12 +638,62 @@ runFleet(const FleetConfig &config, const FleetOptions &options)
                 rollupBase[c] = cohortTotals[c];
             }
         }
+
+        // Barrier snapshot, after the coordinator consumed the slab
+        // and the rollup (if due) was emitted — the exact state a
+        // straight run carries into the next slab. The final barrier
+        // always snapshots, whatever the cadence.
+        const std::uint64_t epoch = barrierEpoch(config, slabEnd);
+        if (checkpointing) {
+            const unsigned every = options.checkpointEverySlabs > 0
+                ? options.checkpointEverySlabs
+                : 1;
+            if (epoch % every == 0 || slabEnd == config.horizonTicks) {
+                FleetSnapshot snap;
+                snap.shards = shards;
+                snap.coordinator = coordinator.exportState();
+                snap.cohortTotals = cohortTotals;
+                snap.rollupBase = rollupBase;
+                snap.shardTotals = shardTotals;
+                snap.events = emitted;
+                // The device columns are only read during encoding;
+                // swapping them in and back avoids the copy.
+                snap.states.swap(states);
+                std::string blob = encodeFleetState(snap, fingerprint);
+                snap.states.swap(states);
+                ++checkpointsWritten;
+                if (options.episodeSink != nullptr) {
+                    obs::Event saved;
+                    saved.kind = obs::EventKind::FleetCheckpoint;
+                    saved.tick = slabEnd;
+                    saved.id = epoch;
+                    saved.value =
+                        static_cast<std::int64_t>(blob.size());
+                    saved.extra = static_cast<std::int64_t>(shards);
+                    options.episodeSink->record(saved);
+                }
+                options.checkpointSink(std::move(blob), slabEnd);
+            }
+        }
+
+        // A pre-horizon halt models the preemption the chaos harness
+        // injects: the barrier completed (aggregation, coordinator,
+        // rollup, snapshot), then the process dies.
+        if (options.stopAfterTick > 0 &&
+            slabEnd >= options.stopAfterTick &&
+            slabEnd < config.horizonTicks) {
+            haltedAtTick = slabEnd;
+            break;
+        }
     }
 
     FleetResult result;
     result.devices = totalDevices;
     result.shards = shards;
     result.stateBytes = stateBytes;
+    result.resumedFromTick = startTick;
+    result.haltedAtTick = haltedAtTick;
+    result.checkpointsWritten = checkpointsWritten;
     result.shardTotals = std::move(shardTotals);
     result.cohorts.reserve(cohortCount);
     for (std::size_t c = 0; c < cohortCount; ++c) {
@@ -574,7 +708,10 @@ runFleet(const FleetConfig &config, const FleetOptions &options)
         result.cohorts.push_back(std::move(cohort));
     }
 
-    if (options.out) {
+    if (options.out && haltedAtTick == 0) {
+        // Halted runs skip the summaries: the killed run's stdout
+        // must be a strict prefix of the straight run's, so prefix +
+        // resumed suffix reassembles the golden byte-for-byte.
         for (const CohortResult &cohort : result.cohorts)
             printCohortSummary(*options.out, cohort,
                                config.horizonTicks);

@@ -26,6 +26,7 @@
 #define QUETZAL_FLEET_FLEET_HPP
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -151,6 +152,14 @@ struct FleetResult
     unsigned shards = 0;
     /** Bytes of struct-of-arrays device state (all shards). */
     std::size_t stateBytes = 0;
+    /** Barrier the run resumed from (0 = started at tick 0). */
+    Tick resumedFromTick = 0;
+    /** Barrier the run halted at under stopAfterTick (0 = ran to
+     *  the horizon). A halted run skips its cohort summaries, so
+     *  its stdout is a strict prefix of the straight run's. */
+    Tick haltedAtTick = 0;
+    /** Barrier snapshots handed to the checkpoint sink. */
+    std::uint64_t checkpointsWritten = 0;
 };
 
 /** Engine knobs. */
@@ -164,6 +173,35 @@ struct FleetOptions
     obs::TraceSink *sink = nullptr;
     /** Rollup text lines + final summary; may be null. */
     std::ostream *out = nullptr;
+
+    /** @name Barrier checkpointing (DESIGN.md section 17) */
+    /// @{
+    /** Receives the encoded FleetSnapshot blob and the barrier tick
+     *  it was taken at, serially between slabs. Saving draws no
+     *  randomness and mutates nothing, so a checkpointing run stays
+     *  byte-identical to a clean one. */
+    std::function<void(std::string &&, Tick)> checkpointSink;
+    /** Snapshot every N coordinator barriers (the final barrier at
+     *  the horizon always snapshots); meaningful only with a sink. */
+    unsigned checkpointEverySlabs = 1;
+    /** Halt cleanly after the first barrier at or past this tick
+     *  when that barrier is before the horizon (0 = run to the
+     *  horizon). The kill-at-barrier chaos driver rides this. */
+    Tick stopAfterTick = 0;
+    /** Resume point: the barrier tick and the decoded-and-validated
+     *  snapshot blob (fleet::decodeFleetState names the diagnostics;
+     *  runFleet panics on a malformed blob). */
+    Tick resumeTick = 0;
+    const std::string *resumeState = nullptr;
+    /** The resume scan dropped a torn final record (reported on the
+     *  FleetRestore episode event). */
+    bool resumeTornTail = false;
+    /** Checkpoint/restore episode events (FleetCheckpoint /
+     *  FleetRestore). Deliberately a separate sink: the run sink's
+     *  event stream — and therefore every golden — must not depend
+     *  on whether the run checkpoints. */
+    obs::TraceSink *episodeSink = nullptr;
+    /// @}
 };
 
 /**

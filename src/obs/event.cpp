@@ -33,6 +33,8 @@ constexpr KindInfo kKinds[kEventKindCount] = {
     {EventKind::FaultDetected, "fault_detected", ObsLevel::Counters},
     {EventKind::FaultMitigated, "fault_mitigated", ObsLevel::Counters},
     {EventKind::FleetRollup, "fleet_rollup", ObsLevel::Counters},
+    {EventKind::FleetCheckpoint, "fleet_checkpoint", ObsLevel::Counters},
+    {EventKind::FleetRestore, "fleet_restore", ObsLevel::Counters},
 };
 
 const KindInfo &

@@ -67,10 +67,12 @@ enum class EventKind : std::uint8_t {
     FaultDetected,    ///< prediction error crossed the fault threshold
     FaultMitigated,   ///< error back under threshold while fault active
     FleetRollup,      ///< per-cohort fleet aggregate (src/fleet)
+    FleetCheckpoint,  ///< fleet barrier snapshot appended to disk
+    FleetRestore,     ///< fleet run resumed from a barrier snapshot
 };
 
 /** Number of distinct event kinds. */
-constexpr std::size_t kEventKindCount = 17;
+constexpr std::size_t kEventKindCount = 19;
 
 /** Kind display name ("capture", "schedule", ...). */
 std::string eventKindName(EventKind kind);
@@ -93,6 +95,7 @@ constexpr std::uint32_t kFlagTransmit = 1u << 6;     ///< transmit job
 constexpr std::uint32_t kFlagPositive = 1u << 7;     ///< ML said yes
 constexpr std::uint32_t kFlagHighQuality = 1u << 8;  ///< HQ radio option
 constexpr std::uint32_t kFlagUnfinished = 1u << 9;   ///< cut by horizon
+constexpr std::uint32_t kFlagTornTail = 1u << 10;    ///< resume dropped a torn final record
 /// @}
 
 /**
@@ -117,6 +120,8 @@ constexpr std::uint32_t kFlagUnfinished = 1u << 9;   ///< cut by horizon
  * FaultDetected    | episode seq  | —            | —            | error (s)    | threshold (s) | —
  * FaultMitigated   | episode seq  | calm streak  | —            | error (s)    | PID output (s) | —
  * FleetRollup      | cohort index | jobs completed (delta) | IBO drops (delta) | mean charge (J) | energy wasted (delta J) | —
+ * FleetCheckpoint  | barrier epoch | state bytes | shard count  | —            | —          | —
+ * FleetRestore     | barrier epoch | state bytes | shard count  | —            | —          | tornTail
  *
  * `tick` is the simulated time the event was recorded at.
  */

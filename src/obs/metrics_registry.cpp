@@ -200,6 +200,14 @@ MetricsRegistry::record(const Event &event)
         replay.fleetIboDrops += static_cast<std::uint64_t>(event.extra);
         replay.fleetEnergyWastedJoules += event.b;
         break;
+
+      case EventKind::FleetCheckpoint:
+        ++replay.fleetCheckpoints;
+        break;
+
+      case EventKind::FleetRestore:
+        ++replay.fleetRestores;
+        break;
     }
 }
 
@@ -269,6 +277,10 @@ MetricsRegistry::printSummary(std::ostream &out,
         out << "  fleet rollups: " << c.fleetRollups << " (jobs "
             << c.fleetJobsCompleted << ", drops " << c.fleetIboDrops
             << ", wasted " << c.fleetEnergyWastedJoules << " J)\n";
+    }
+    if (c.fleetCheckpoints + c.fleetRestores > 0) {
+        out << "  fleet checkpoints: " << c.fleetCheckpoints
+            << " saved, " << c.fleetRestores << " restored\n";
     }
     if (c.faultsInjected + c.faultsDetected + c.faultsMitigated > 0) {
         out << "  faults: injected " << c.faultsInjected

@@ -73,6 +73,10 @@ struct ReplayCounters
     std::uint64_t fleetJobsCompleted = 0;
     std::uint64_t fleetIboDrops = 0;
     double fleetEnergyWastedJoules = 0.0;
+    /** Fleet checkpoint/restore episodes (src/fleet barrier
+     *  snapshots); zero outside checkpointed fleet runs. */
+    std::uint64_t fleetCheckpoints = 0;
+    std::uint64_t fleetRestores = 0;
 };
 
 /**

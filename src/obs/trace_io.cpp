@@ -108,6 +108,14 @@ schemaFor(EventKind kind)
           {"drops", Field::Extra}, {"charge", Field::A},
           {"wasted", Field::B}},
          {}},
+        // FleetCheckpoint
+        {{{"epoch", Field::Id}, {"bytes", Field::Value},
+          {"shards", Field::Extra}},
+         {}},
+        // FleetRestore
+        {{{"epoch", Field::Id}, {"bytes", Field::Value},
+          {"shards", Field::Extra}},
+         {{"torn", kFlagTornTail}}},
     };
     const auto index = static_cast<std::size_t>(kind);
     if (index >= kEventKindCount)

@@ -9,10 +9,12 @@
 #include <string>
 #include <utility>
 
+#include "fleet/checkpoint.hpp"
 #include "obs/btrace.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace_io.hpp"
 #include "obs/trace_sink.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/ensemble.hpp"
 #include "sim/runner.hpp"
 #include "util/logging.hpp"
@@ -431,16 +433,93 @@ runFleetSpec(const ScenarioSpec &spec, const EngineOptions &options,
     if (!sinks.empty())
         fleetOptions.sink = &sinks.front();
 
+    const bool checkpointing = !options.fleetCheckpointPath.empty();
+    const bool resuming = !options.fleetResumePath.empty();
+    const std::uint64_t fingerprint = checkpointing || resuming
+        ? fleet::fleetFingerprint(config)
+        : 0;
+
+    obs::VectorSink episodes;
+    if (checkpointing || resuming)
+        fleetOptions.episodeSink = &episodes;
+
+    std::string resumeBlob;
+    if (resuming) {
+        sim::CheckpointScan scan = sim::readCheckpointStream(
+            options.fleetResumePath, fingerprint);
+        if (!fleet::validBarrierTick(config, scan.last.boundaryTick))
+            util::fatal(util::msg(
+                options.fleetResumePath,
+                ": barrier epoch mismatch — checkpoint tick ",
+                scan.last.boundaryTick,
+                " is not a coordinator barrier of this "
+                "configuration"));
+        resumeBlob = std::move(scan.last.state);
+        fleetOptions.resumeTick = scan.last.boundaryTick;
+        fleetOptions.resumeState = &resumeBlob;
+        fleetOptions.resumeTornTail = scan.tornTail;
+        if (checkpointing &&
+            options.fleetCheckpointPath == options.fleetResumePath) {
+            // Appending resumes on the same stream: drop any torn
+            // tail first so the next scan stays clean — the resumed
+            // file ends up byte-identical to a straight run's.
+            sim::truncateCheckpointFile(options.fleetCheckpointPath,
+                                        scan.validBytes);
+        }
+    }
+    if (checkpointing) {
+        if (!resuming ||
+            options.fleetCheckpointPath != options.fleetResumePath) {
+            // A fresh stream: truncate whatever the path held.
+            std::ofstream fresh(options.fleetCheckpointPath,
+                                std::ios::binary | std::ios::trunc);
+            if (!fresh)
+                util::fatal(util::msg(
+                    "cannot open checkpoint file for write: ",
+                    options.fleetCheckpointPath));
+        }
+        fleetOptions.checkpointEverySlabs =
+            options.fleetCheckpointEverySlabs > 0
+                ? options.fleetCheckpointEverySlabs
+                : static_cast<unsigned>(spec.fleet->checkpointSlabs);
+        const std::string path = options.fleetCheckpointPath;
+        fleetOptions.checkpointSink =
+            [path, fingerprint](std::string &&state, Tick tick) {
+                sim::appendCheckpointFile(path, state, fingerprint,
+                                          tick);
+            };
+    }
+    if (options.fleetStopAfterSeconds > 0)
+        fleetOptions.stopAfterTick =
+            static_cast<Tick>(options.fleetStopAfterSeconds) *
+            kTicksPerSecond;
+
     const fleet::FleetResult result =
         fleet::runFleet(config, fleetOptions);
 
-    if (tracing)
+    // A halted (chaos-preempted) run skips every post-run output —
+    // its stdout stays a strict prefix of the straight run's, and
+    // the resumed run writes the complete trace and summary.
+    const bool halted = result.haltedAtTick > 0;
+    if (tracing && !halted)
         writeTrace(spec, sinks);
-    if (spec.output.rollup) {
+    if (spec.output.rollup && !halted) {
         obs::MetricsRegistry registry;
         for (const obs::Event &event : sinks.front().events())
             registry.record(event);
         registry.printSummary(std::cout, "fleet");
+    }
+    if (!options.fleetEpisodeTracePath.empty()) {
+        std::ofstream file(options.fleetEpisodeTracePath,
+                           std::ios::binary);
+        if (!file)
+            util::fatal(util::msg("cannot open episode trace: ",
+                                  options.fleetEpisodeTracePath));
+        obs::writeJsonlHeader(file);
+        obs::writeJsonl(file, episodes.events(), 0);
+        if (!file)
+            util::fatal(util::msg("error writing episode trace: ",
+                                  options.fleetEpisodeTracePath));
     }
 
     if (metricsOut) {
@@ -474,6 +553,15 @@ runScenarioFileImpl(const std::string &path,
         return reportErrors(
             {{"fleet",
               "a fleet run needs a \"fleet\" block in the scenario"}},
+            "validation");
+
+    if (!spec.value->fleet &&
+        (!options.fleetCheckpointPath.empty() ||
+         !options.fleetResumePath.empty()))
+        return reportErrors(
+            {{"fleet",
+              "--fleet-checkpoint/--fleet-resume need a \"fleet\" "
+              "block; run-matrix scenarios do not checkpoint"}},
             "validation");
 
     if (spec.value->fleet) {
@@ -603,28 +691,35 @@ buildFleetConfig(const ScenarioSpec &spec)
 void
 installRunHandlers(sim::RunDispatcher &dispatcher)
 {
+    const auto toOptions = [](const sim::RunRequest &request) {
+        EngineOptions options;
+        options.jobs = request.jobs;
+        options.validateOnly = request.validateOnly;
+        options.eventCountOverride = request.eventCountOverride;
+        options.fleetCheckpointPath = request.fleetCheckpointPath;
+        options.fleetCheckpointEverySlabs =
+            request.fleetCheckpointEverySlabs;
+        options.fleetStopAfterSeconds = request.fleetStopAfterSeconds;
+        options.fleetResumePath = request.fleetResumePath;
+        options.fleetEpisodeTracePath = request.fleetEpisodeTracePath;
+        return options;
+    };
     dispatcher.setHandler(
-        sim::RunKind::Scenario, [](const sim::RunRequest &request) {
+        sim::RunKind::Scenario,
+        [toOptions](const sim::RunRequest &request) {
             sim::RunOutcome outcome;
-            EngineOptions options;
-            options.jobs = request.jobs;
-            options.validateOnly = request.validateOnly;
-            options.eventCountOverride = request.eventCountOverride;
             outcome.exitCode = runScenarioFileImpl(
-                request.scenarioPath, options, &outcome.metrics,
-                false);
+                request.scenarioPath, toOptions(request),
+                &outcome.metrics, false);
             return outcome;
         });
     dispatcher.setHandler(
-        sim::RunKind::Fleet, [](const sim::RunRequest &request) {
+        sim::RunKind::Fleet,
+        [toOptions](const sim::RunRequest &request) {
             sim::RunOutcome outcome;
-            EngineOptions options;
-            options.jobs = request.jobs;
-            options.validateOnly = request.validateOnly;
-            options.eventCountOverride = request.eventCountOverride;
             outcome.exitCode = runScenarioFileImpl(
-                request.scenarioPath, options, &outcome.metrics,
-                true);
+                request.scenarioPath, toOptions(request),
+                &outcome.metrics, true);
             return outcome;
         });
 }

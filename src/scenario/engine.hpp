@@ -36,6 +36,16 @@ struct EngineOptions
     std::size_t eventCountOverride = 0;
     /** Compile + validate only; don't run (quetzal_sim --validate). */
     bool validateOnly = false;
+
+    /** @name Fleet barrier checkpointing (DESIGN.md section 17);
+     *  mirrors the sim::RunRequest fields of the same names. */
+    /// @{
+    std::string fleetCheckpointPath;
+    unsigned fleetCheckpointEverySlabs = 0;
+    long long fleetStopAfterSeconds = 0;
+    std::string fleetResumePath;
+    std::string fleetEpisodeTracePath;
+    /// @}
 };
 
 /**

@@ -898,6 +898,10 @@ validateSpec(const ScenarioSpec &spec)
             fleet.solarSampleSeconds > 86400.0)
             addError(errors, "fleet.solar_sample_s",
                      "must be a number in [1, 86400]");
+        if (fleet.checkpointSlabs < 1 ||
+            fleet.checkpointSlabs > 100000)
+            addError(errors, "fleet.checkpoint_slabs",
+                     "must be an integer in [1, 100000]");
         if (fleet.cohorts.empty())
             addError(errors, "fleet.cohorts",
                      "fleet needs at least one cohort");
@@ -1346,6 +1350,12 @@ parseFleet(const json::Value &fleetValue, ScenarioSpec &spec,
             else
                 addError(errors, "fleet.solar_sample_s",
                          "must be a number");
+        } else if (key == "checkpoint_slabs") {
+            if (value.asUint64())
+                fleet.checkpointSlabs = *value.asUint64();
+            else
+                addError(errors, "fleet.checkpoint_slabs",
+                         "must be an unsigned integer");
         } else if (key == "cohorts") {
             if (!value.isArray()) {
                 addError(errors, "fleet.cohorts",
@@ -1410,7 +1420,8 @@ parseFleet(const json::Value &fleetValue, ScenarioSpec &spec,
         } else {
             addError(errors, "fleet." + key,
                      "unknown key (allowed: shards, slab_s, "
-                     "horizon_s, rollup_s, solar_sample_s, cohorts)");
+                     "horizon_s, rollup_s, solar_sample_s, "
+                     "checkpoint_slabs, cohorts)");
         }
     }
     spec.fleet = std::move(fleet);

@@ -221,6 +221,9 @@ struct FleetSpec
     std::uint64_t horizonSeconds = 86400;
     std::uint64_t rollupSeconds = 3600;
     double solarSampleSeconds = 300.0;
+    /** Barrier snapshot cadence in slabs when --fleet-checkpoint is
+     *  set (the final barrier always snapshots). */
+    std::uint64_t checkpointSlabs = 1;
     std::vector<FleetCohortSpec> cohorts;
 };
 

@@ -20,8 +20,10 @@
 
 #include "sim/checkpoint.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <system_error>
 #include <utility>
 
 #include "fault/fault_injector.hpp"
@@ -648,6 +650,183 @@ readCheckpointFile(const std::string &path,
             "); resume requires the identical configuration"));
     }
     return archive;
+}
+
+namespace {
+
+/** Little-endian fixed-width loads at a byte offset (no copy). */
+std::uint64_t
+loadFixed64(const std::string &bytes, std::size_t off)
+{
+    std::uint64_t value = 0;
+    for (int i = 7; i >= 0; --i)
+        value = (value << 8) |
+            static_cast<unsigned char>(bytes[off + static_cast<std::size_t>(i)]);
+    return value;
+}
+
+std::uint32_t
+loadFixed32(const std::string &bytes, std::size_t off)
+{
+    std::uint32_t value = 0;
+    for (int i = 3; i >= 0; --i)
+        value = (value << 8) |
+            static_cast<unsigned char>(bytes[off + static_cast<std::size_t>(i)]);
+    return value;
+}
+
+/** QZCK record header size: magic + version + fingerprint + tick +
+ *  size + CRC. */
+constexpr std::size_t kCheckpointHeaderBytes = 32;
+
+} // namespace
+
+bool
+scanCheckpointStream(const std::string &bytes, CheckpointScan &scan,
+                     std::string &error)
+{
+    scan = CheckpointScan{};
+    // The winning record's bounds — the state bytes are copied once,
+    // after the whole stream has validated, not per record.
+    std::size_t lastStateOff = 0;
+    std::size_t lastStateSize = 0;
+
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const std::size_t avail = bytes.size() - off;
+
+        // The magic is the first thing an append writes, so even a
+        // torn tail starts with a (possibly truncated) "QZCK" prefix.
+        // Any other byte sequence is corruption, torn tail or not.
+        const std::size_t magicAvail =
+            avail < sizeof kCheckpointMagic ? avail
+                                            : sizeof kCheckpointMagic;
+        for (std::size_t i = 0; i < magicAvail; ++i) {
+            if (bytes[off + i] != kCheckpointMagic[i]) {
+                error = util::msg(
+                    "not a QZCK checkpoint record (bad magic at byte ",
+                    off, ")");
+                return false;
+            }
+        }
+
+        if (avail < kCheckpointHeaderBytes) {
+            // Header itself is torn. With a prior complete record the
+            // append-only discipline explains it; alone it is just a
+            // truncated file.
+            if (scan.records > 0) {
+                scan.tornTail = true;
+                break;
+            }
+            error = "truncated checkpoint header";
+            return false;
+        }
+
+        const std::uint8_t major =
+            static_cast<std::uint8_t>(bytes[off + 4]);
+        const std::uint8_t minor =
+            static_cast<std::uint8_t>(bytes[off + 5]);
+        if (major != kCheckpointMajor) {
+            error = util::msg("unsupported checkpoint schema version ",
+                              static_cast<int>(major), ".",
+                              static_cast<int>(minor),
+                              " (reader supports ",
+                              static_cast<int>(kCheckpointMajor), ".x)");
+            return false;
+        }
+
+        const std::uint64_t fingerprint = loadFixed64(bytes, off + 8);
+        const std::uint64_t boundary = loadFixed64(bytes, off + 16);
+        const std::uint32_t stateSize = loadFixed32(bytes, off + 24);
+        const std::uint32_t crc = loadFixed32(bytes, off + 28);
+
+        if (avail - kCheckpointHeaderBytes < stateSize) {
+            // State payload is torn: same rule as a torn header.
+            if (scan.records > 0) {
+                scan.tornTail = true;
+                break;
+            }
+            error = util::msg("truncated checkpoint state: header claims ",
+                              stateSize, " bytes, file holds ",
+                              avail - kCheckpointHeaderBytes);
+            return false;
+        }
+
+        const std::size_t stateOff = off + kCheckpointHeaderBytes;
+        if (wire::crc32(bytes.data() + stateOff, stateSize) != crc) {
+            // A *complete* record never tears — a CRC mismatch here
+            // means flipped bits, not a crash mid-append.
+            error = "checkpoint state CRC mismatch (corrupt file)";
+            return false;
+        }
+
+        scan.last.fingerprint = fingerprint;
+        scan.last.boundaryTick = static_cast<Tick>(boundary);
+        lastStateOff = stateOff;
+        lastStateSize = stateSize;
+        ++scan.records;
+        off = stateOff + stateSize;
+        scan.validBytes = off;
+    }
+
+    if (scan.records == 0) {
+        error = "checkpoint stream holds no complete record";
+        return false;
+    }
+    scan.last.state.assign(bytes, lastStateOff, lastStateSize);
+    return true;
+}
+
+void
+appendCheckpointFile(const std::string &path, const std::string &state,
+                     std::uint64_t fingerprint, Tick boundaryTick)
+{
+    const std::string framed =
+        frameCheckpoint(state, fingerprint, boundaryTick);
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out)
+        util::fatal(util::msg("cannot open checkpoint file for append: ",
+                              path));
+    out.write(framed.data(),
+              static_cast<std::streamsize>(framed.size()));
+    out.flush();
+    if (!out)
+        util::fatal(util::msg("checkpoint append failed: ", path));
+}
+
+void
+truncateCheckpointFile(const std::string &path, std::size_t bytes)
+{
+    std::error_code ec;
+    std::filesystem::resize_file(path, bytes, ec);
+    if (ec)
+        util::fatal(util::msg("cannot truncate checkpoint file ", path,
+                              ": ", ec.message()));
+}
+
+CheckpointScan
+readCheckpointStream(const std::string &path,
+                     std::uint64_t expectedFingerprint)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        util::fatal(util::msg("cannot open checkpoint file: ", path));
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (in.bad())
+        util::fatal(util::msg("checkpoint read failed: ", path));
+    CheckpointScan scan;
+    std::string error;
+    if (!scanCheckpointStream(bytes, scan, error))
+        util::fatal(util::msg(path, ": ", error));
+    if (scan.last.fingerprint != expectedFingerprint) {
+        util::fatal(util::msg(
+            path, ": checkpoint belongs to a different experiment "
+            "(fingerprint ", scan.last.fingerprint,
+            ", resuming configuration has ", expectedFingerprint,
+            "); resume requires the identical configuration"));
+    }
+    return scan;
 }
 
 } // namespace sim

@@ -19,6 +19,16 @@
  * engine kind is deliberately *not* part of it: both engines produce
  * byte-identical timelines, so a checkpoint taken under one resumes
  * under the other.
+ *
+ * A checkpoint *stream* (DESIGN.md section 17) is the append-only
+ * concatenation of such records, one per fleet coordinator barrier.
+ * Because writers only ever append whole records, a crash — even
+ * SIGKILL mid-write — can only truncate the final record; scanning
+ * therefore resolves to the last *complete*, CRC-valid record and
+ * tolerates a torn tail when an earlier complete record exists ("the
+ * prior barrier wins"). Anything else — a CRC mismatch on a complete
+ * record, a non-QZCK byte sequence after a valid record, a lone torn
+ * record — is corruption and is rejected with a named diagnostic.
  */
 
 #ifndef QUETZAL_SIM_CHECKPOINT_HPP
@@ -80,6 +90,57 @@ void writeCheckpointFile(const std::string &path,
  */
 CheckpointArchive readCheckpointFile(const std::string &path,
                                      std::uint64_t expectedFingerprint);
+
+/** Outcome of scanning a multi-record checkpoint stream. */
+struct CheckpointScan
+{
+    /** The last complete, CRC-valid record (the resume point). */
+    CheckpointArchive last;
+    /** Complete records found, in file order. */
+    std::size_t records = 0;
+    /** True when a truncated final record was dropped in favor of
+     *  the prior barrier's complete record. */
+    bool tornTail = false;
+    /** Bytes up to the end of the last complete record. Appending
+     *  to a torn stream must first truncate it to this offset, or
+     *  the tail's garbage would corrupt the next scan. */
+    std::size_t validBytes = 0;
+};
+
+/**
+ * Scan the concatenation of QZCK records in `bytes`: the last
+ * complete CRC-valid record wins. Returns false with a diagnostic in
+ * `error` when no complete record exists (empty stream, lone torn
+ * record) or on corruption (bad magic anywhere, unsupported major
+ * version, CRC mismatch on a complete record). A truncated *final*
+ * record after at least one complete record sets `scan.tornTail`
+ * and succeeds — the append-only write discipline means truncation
+ * is the only shape a crash can leave behind.
+ */
+bool scanCheckpointStream(const std::string &bytes, CheckpointScan &scan,
+                          std::string &error);
+
+/**
+ * Append one framed record to a checkpoint stream file (created when
+ * absent); util::fatal on I/O failure.
+ */
+void appendCheckpointFile(const std::string &path,
+                          const std::string &state,
+                          std::uint64_t fingerprint, Tick boundaryTick);
+
+/**
+ * Shrink a checkpoint stream file to `bytes` (drop a torn tail
+ * before appending resumes); util::fatal on I/O failure.
+ */
+void truncateCheckpointFile(const std::string &path, std::size_t bytes);
+
+/**
+ * Read and scan a checkpoint stream file; util::fatal (naming the
+ * file) on I/O failure, corruption or a fingerprint mismatch of the
+ * resume record against `expectedFingerprint`.
+ */
+CheckpointScan readCheckpointStream(const std::string &path,
+                                    std::uint64_t expectedFingerprint);
 
 } // namespace sim
 } // namespace quetzal

@@ -181,6 +181,25 @@ struct RunRequest
     bool validateOnly = false;
     /** Scenario: override every run's eventCount (0 = spec values). */
     std::size_t eventCountOverride = 0;
+
+    /** @name Fleet barrier checkpointing (DESIGN.md section 17) */
+    /// @{
+    /** Fleet: append a QZCK barrier snapshot stream here ("" = no
+     *  checkpointing). */
+    std::string fleetCheckpointPath;
+    /** Fleet: snapshot cadence in coordinator barriers (0 = the
+     *  scenario's fleet.checkpoint_slabs, itself defaulting to 1). */
+    unsigned fleetCheckpointEverySlabs = 0;
+    /** Fleet: halt cleanly after the first barrier at or past this
+     *  many simulated seconds (0 = run to the horizon). */
+    long long fleetStopAfterSeconds = 0;
+    /** Fleet: resume from the last complete record of this QZCK
+     *  stream ("" = start at tick 0). */
+    std::string fleetResumePath;
+    /** Fleet: write checkpoint/restore episode events (JSONL) here
+     *  ("" = discard them); never mixed into the run trace. */
+    std::string fleetEpisodeTracePath;
+    /// @}
 };
 
 /** What a dispatched run produced. */

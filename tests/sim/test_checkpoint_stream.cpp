@@ -1,0 +1,261 @@
+/**
+ * @file
+ * QZCK file I/O and multi-record stream semantics (DESIGN.md
+ * sections 16 and 17): the single-archive read/write pair, the
+ * append-only stream builder the fleet engine checkpoints through,
+ * the truncate-then-append torn-tail repair, and a cross-engine
+ * resume routed through an on-disk archive — the file-level paths
+ * the in-memory resume suite (test_checkpoint_resume.cpp) never
+ * touches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_io.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/experiment.hpp"
+
+namespace quetzal {
+namespace sim {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "quetzal_stream_" + name + ".qzck";
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    return bytes.str();
+}
+
+TEST(CheckpointFile, WriteReadRoundTrips)
+{
+    const std::string path = tempPath("roundtrip");
+    writeCheckpointFile(path, "the state blob", 0xf00d, 4200);
+
+    const CheckpointArchive archive = readCheckpointFile(path, 0xf00d);
+    EXPECT_EQ(archive.fingerprint, 0xf00dull);
+    EXPECT_EQ(archive.boundaryTick, 4200);
+    EXPECT_EQ(archive.state, "the state blob");
+
+    // Writing again replaces the archive (single-archive semantics:
+    // the file holds the latest checkpoint, not a stream).
+    writeCheckpointFile(path, "a later state", 0xf00d, 8400);
+    const CheckpointArchive later = readCheckpointFile(path, 0xf00d);
+    EXPECT_EQ(later.boundaryTick, 8400);
+    EXPECT_EQ(later.state, "a later state");
+    std::remove(path.c_str());
+}
+
+using CheckpointFileDeathTest = ::testing::Test;
+
+TEST(CheckpointFileDeathTest, ReadDiesOnMissingCorruptOrForeignFile)
+{
+    EXPECT_EXIT((void)readCheckpointFile(tempPath("missing"), 1),
+                ::testing::ExitedWithCode(1),
+                "cannot open checkpoint file");
+
+    const std::string path = tempPath("bad");
+    writeCheckpointFile(path, "payload", 0xaaaa, 100);
+    EXPECT_EXIT((void)readCheckpointFile(path, 0xbbbb),
+                ::testing::ExitedWithCode(1),
+                "belongs to a different experiment");
+
+    std::string corrupt = fileBytes(path);
+    corrupt.back() = static_cast<char>(corrupt.back() ^ 0x01);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << corrupt;
+    out.close();
+    EXPECT_EXIT((void)readCheckpointFile(path, 0xaaaa),
+                ::testing::ExitedWithCode(1), "CRC mismatch");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointStreamFile, AppendBuildsAScannableStream)
+{
+    const std::string path = tempPath("append");
+    std::remove(path.c_str());
+    appendCheckpointFile(path, "one", 0xcafe, 600);
+    appendCheckpointFile(path, "two", 0xcafe, 1200);
+    appendCheckpointFile(path, "three", 0xcafe, 1800);
+
+    const CheckpointScan scan = readCheckpointStream(path, 0xcafe);
+    EXPECT_EQ(scan.records, 3u);
+    EXPECT_FALSE(scan.tornTail);
+    EXPECT_EQ(scan.last.boundaryTick, 1800);
+    EXPECT_EQ(scan.last.state, "three");
+    EXPECT_EQ(scan.validBytes, fileBytes(path).size());
+
+    // The stream is the concatenation of the individual frames.
+    EXPECT_EQ(fileBytes(path),
+              frameCheckpoint("one", 0xcafe, 600) +
+                  frameCheckpoint("two", 0xcafe, 1200) +
+                  frameCheckpoint("three", 0xcafe, 1800));
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointStreamFile, TruncateRepairsATornTailForAppendResume)
+{
+    const std::string path = tempPath("repair");
+    std::remove(path.c_str());
+    appendCheckpointFile(path, "one", 0xcafe, 600);
+    appendCheckpointFile(path, "two", 0xcafe, 1200);
+    const std::string clean = fileBytes(path);
+
+    // Tear a third record in half, as a killed writer would.
+    const std::string torn = frameCheckpoint("three", 0xcafe, 1800);
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write(torn.data(),
+              static_cast<std::streamsize>(torn.size() / 2));
+    out.close();
+
+    CheckpointScan scan = readCheckpointStream(path, 0xcafe);
+    EXPECT_EQ(scan.records, 2u);
+    EXPECT_TRUE(scan.tornTail);
+    EXPECT_EQ(scan.last.boundaryTick, 1200);
+    EXPECT_EQ(scan.validBytes, clean.size());
+
+    // The resume protocol: truncate to validBytes, then append the
+    // re-simulated barrier — the repaired stream is the straight one.
+    truncateCheckpointFile(path, scan.validBytes);
+    EXPECT_EQ(fileBytes(path), clean);
+    appendCheckpointFile(path, "three", 0xcafe, 1800);
+    const CheckpointScan repaired = readCheckpointStream(path, 0xcafe);
+    EXPECT_EQ(repaired.records, 3u);
+    EXPECT_FALSE(repaired.tornTail);
+    EXPECT_EQ(repaired.last.state, "three");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointStreamFile, ScanToleratesATornTailOnlyAfterARecord)
+{
+    // File-level parity with the in-memory sweep: a lone torn record
+    // is fatal (there is nothing to fall back to), a torn tail after
+    // a complete record is not.
+    const std::string path = tempPath("tolerance");
+    const std::string framed = frameCheckpoint("state", 0xcafe, 600);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(framed.data(),
+              static_cast<std::streamsize>(framed.size()));
+    out.write(framed.data(), 10); // torn duplicate: header prefix
+    out.close();
+
+    const CheckpointScan scan = readCheckpointStream(path, 0xcafe);
+    EXPECT_EQ(scan.records, 1u);
+    EXPECT_TRUE(scan.tornTail);
+    EXPECT_EQ(scan.validBytes, framed.size());
+    std::remove(path.c_str());
+}
+
+using CheckpointStreamFileDeathTest = ::testing::Test;
+
+TEST(CheckpointStreamFileDeathTest, ReadDiesOnMissingOrEmptyStream)
+{
+    EXPECT_EXIT((void)readCheckpointStream(tempPath("absent"), 1),
+                ::testing::ExitedWithCode(1),
+                "cannot open checkpoint file");
+
+    const std::string path = tempPath("empty");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.close();
+    EXPECT_EXIT((void)readCheckpointStream(path, 1),
+                ::testing::ExitedWithCode(1), "no complete record");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointStreamFileDeathTest, ReadDiesOnAForeignFingerprint)
+{
+    const std::string path = tempPath("foreign");
+    std::remove(path.c_str());
+    appendCheckpointFile(path, "state", 0x1234, 600);
+    EXPECT_EXIT((void)readCheckpointStream(path, 0x4321),
+                ::testing::ExitedWithCode(1),
+                "belongs to a different experiment");
+    std::remove(path.c_str());
+}
+
+// --- Cross-engine resume through an on-disk archive --------------------
+
+ExperimentConfig
+resumableConfig(EngineKind engine)
+{
+    ExperimentConfig config;
+    config.eventCount = 120;
+    config.seed = 42;
+    config.sim.drainTicks = 60 * kTicksPerSecond;
+    config.sim.engine = engine;
+    config.obsLevel = obs::ObsLevel::Full;
+    return config;
+}
+
+TEST(CheckpointStreamFile, CrossEngineResumeThroughAnArchiveFile)
+{
+    // Save under the tick engine through writeCheckpointFile, read
+    // the archive back under the event engine's (equal) fingerprint,
+    // and finish the run: the full disk round trip of the resume
+    // path, across the engine seam the fingerprint deliberately
+    // ignores.
+    const std::string path = tempPath("cross_engine");
+    obs::VectorSink straightSink;
+    ExperimentConfig straightCfg = resumableConfig(EngineKind::Tick);
+    straightCfg.obsSink = &straightSink;
+    const Metrics straight = runExperiment(straightCfg);
+
+    ExperimentConfig saveCfg = resumableConfig(EngineKind::Tick);
+    const std::uint64_t saveFp = experimentFingerprint(saveCfg);
+    saveCfg.sim.checkpointEveryCaptures = 40;
+    saveCfg.sim.checkpointStop = true;
+    saveCfg.sim.checkpointSink = [&path, saveFp](std::string &&state,
+                                                 Tick now) {
+        writeCheckpointFile(path, state, saveFp, now);
+    };
+    (void)runExperiment(saveCfg);
+
+    ExperimentConfig resumeCfg = resumableConfig(EngineKind::Event);
+    ASSERT_EQ(experimentFingerprint(resumeCfg), saveFp)
+        << "the engine kind must not enter the fingerprint";
+    const CheckpointArchive archive =
+        readCheckpointFile(path, experimentFingerprint(resumeCfg));
+    obs::VectorSink resumedSink;
+    resumeCfg.obsSink = &resumedSink;
+    resumeCfg.sim.resumeState = &archive.state;
+    const Metrics resumed = runExperiment(resumeCfg);
+
+    EXPECT_EQ(straight.jobsCompleted, resumed.jobsCompleted);
+    EXPECT_EQ(straight.powerFailures, resumed.powerFailures);
+    EXPECT_EQ(straight.simulatedTicks, resumed.simulatedTicks);
+    EXPECT_EQ(straight.storedInputs, resumed.storedInputs);
+
+    // The resumed event stream is the straight run's suffix from the
+    // archive's boundary tick on.
+    std::vector<obs::Event> suffix;
+    for (const obs::Event &event : straightSink.events()) {
+        if (event.tick >= archive.boundaryTick)
+            suffix.push_back(event);
+    }
+    std::ostringstream expected;
+    std::ostringstream actual;
+    obs::writeJsonl(expected, suffix, 0);
+    obs::writeJsonl(actual, resumedSink.events(), 0);
+    EXPECT_EQ(expected.str(), actual.str());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace sim
+} // namespace quetzal

@@ -39,6 +39,10 @@
  *   quetzal_sim --scenario scenarios/fig09.json --jobs 4
  *   quetzal_sim --fleet scenarios/fleet_day.json --jobs 8
  *   quetzal_sim --scenario scenarios/fleet_day.json --validate
+ *   quetzal_sim --fleet scenarios/fleet_day.json \
+ *       --fleet-checkpoint day.qzck --fleet-stop-after-s 43200
+ *   quetzal_sim --fleet scenarios/fleet_day.json \
+ *       --fleet-resume day.qzck --fleet-checkpoint day.qzck
  */
 
 #include <cstdio>
@@ -137,6 +141,30 @@ usage(const char *argv0, bool requested)
         "  --resume FILE          resume from a QZCK archive written "
         "by an\n"
         "                         identically-configured run\n"
+        "\n"
+        "Fleet checkpoint / resume (--scenario/--fleet with a "
+        "\"fleet\" block):\n"
+        "  --fleet-checkpoint FILE    append a QZCK snapshot stream at "
+        "coordinator\n"
+        "                             barriers (resume keeps the whole "
+        "stream)\n"
+        "  --fleet-checkpoint-every N snapshot every N barriers "
+        "(default: the\n"
+        "                             file's fleet.checkpoint_slabs); "
+        "the final\n"
+        "                             barrier always snapshots\n"
+        "  --fleet-stop-after-s T     halt cleanly at the first "
+        "barrier at or past\n"
+        "                             T simulated seconds (crash-drill "
+        "half runs)\n"
+        "  --fleet-resume FILE        resume from the stream's last "
+        "complete\n"
+        "                             record; outputs continue "
+        "byte-identically\n"
+        "  --fleet-ckpt-trace FILE    write checkpoint/restore episode "
+        "events\n"
+        "                             (JSONL), kept out of the run "
+        "trace\n"
         "\n"
         "Output (experiment modes):\n"
         "  --csv                  one CSV row per run instead of the "
@@ -294,6 +322,7 @@ main(int argc, char **argv)
     std::string outputFlag;     ///< --csv / --csv-header
     std::string ensembleFlag;   ///< --ensemble
     std::string checkpointFlag; ///< first --checkpoint*/--resume flag
+    std::string fleetCkptFlag;  ///< first --fleet-checkpoint*/--fleet-* flag
     bool validateOnly = false;
 
     std::string checkpointOut;
@@ -438,6 +467,27 @@ main(int argc, char **argv)
         } else if (arg == "--resume") {
             checkpointFlag = checkpointFlag.empty() ? arg : checkpointFlag;
             resumePath = value();
+        } else if (arg == "--fleet-checkpoint") {
+            fleetCkptFlag = fleetCkptFlag.empty() ? arg : fleetCkptFlag;
+            request.fleetCheckpointPath = value();
+        } else if (arg == "--fleet-checkpoint-every") {
+            fleetCkptFlag = fleetCkptFlag.empty() ? arg : fleetCkptFlag;
+            request.fleetCheckpointEverySlabs = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
+            if (request.fleetCheckpointEverySlabs == 0)
+                util::fatal("--fleet-checkpoint-every must be positive");
+        } else if (arg == "--fleet-stop-after-s") {
+            fleetCkptFlag = fleetCkptFlag.empty() ? arg : fleetCkptFlag;
+            request.fleetStopAfterSeconds =
+                std::strtoll(value().c_str(), nullptr, 10);
+            if (request.fleetStopAfterSeconds <= 0)
+                util::fatal("--fleet-stop-after-s must be positive");
+        } else if (arg == "--fleet-resume") {
+            fleetCkptFlag = fleetCkptFlag.empty() ? arg : fleetCkptFlag;
+            request.fleetResumePath = value();
+        } else if (arg == "--fleet-ckpt-trace") {
+            fleetCkptFlag = fleetCkptFlag.empty() ? arg : fleetCkptFlag;
+            request.fleetEpisodeTracePath = value();
         } else if (arg == "--no-pid") {
             configArg();
             cfg.usePid = false;
@@ -477,11 +527,37 @@ main(int argc, char **argv)
                      "\"output.trace\" block");
         if (!checkpointFlag.empty())
             conflict(checkpointFlag, modeFlag,
-                     "scenario checkpointing is configured in the "
-                     "file's \"output\" block");
+                     "single-experiment checkpointing; fleet runs "
+                     "take --fleet-checkpoint/--fleet-resume");
+        if (!fleetCkptFlag.empty() && validateOnly)
+            conflict(fleetCkptFlag, "--validate",
+                     "--validate never runs, so there is nothing to "
+                     "checkpoint or resume");
     } else if (validateOnly) {
         util::fatal(
             "--validate requires --scenario or --fleet FILE.json");
+    } else if (!fleetCkptFlag.empty()) {
+        util::fatal(util::msg(
+            fleetCkptFlag,
+            " requires --scenario or --fleet FILE.json (the "
+            "single-experiment flags are --checkpoint/--resume)"));
+    }
+
+    if (!fleetCkptFlag.empty()) {
+        if (request.fleetCheckpointEverySlabs > 0 &&
+            request.fleetCheckpointPath.empty())
+            util::fatal("--fleet-checkpoint-every requires "
+                        "--fleet-checkpoint FILE");
+        if (request.fleetStopAfterSeconds > 0 &&
+            request.fleetCheckpointPath.empty() &&
+            request.fleetResumePath.empty())
+            util::fatal("--fleet-stop-after-s requires "
+                        "--fleet-checkpoint or --fleet-resume");
+        if (request.fleetEpisodeTracePath != "" &&
+            request.fleetCheckpointPath.empty() &&
+            request.fleetResumePath.empty())
+            util::fatal("--fleet-ckpt-trace requires "
+                        "--fleet-checkpoint or --fleet-resume");
     }
 
     if (!checkpointFlag.empty()) {
